@@ -1,0 +1,209 @@
+// Microbenchmarks of the six tile kernels (Section V-B) and the dense QR
+// building blocks. These numbers calibrate the simulator's kernel
+// efficiency model for *this* host; the Kraken model in sim/machine.hpp
+// uses the paper's platform instead.
+#include <benchmark/benchmark.h>
+
+#include "chol/reference_chol.hpp"
+#include "common/rng.hpp"
+#include "kernels/tile_kernels.hpp"
+#include "lapack/cholesky.hpp"
+#include "lapack/lu.hpp"
+#include "lapack/qr.hpp"
+#include "lu/reference_lu.hpp"
+#include "plan/flops.hpp"
+
+namespace {
+
+using namespace pulsarqr;
+
+Matrix random_matrix(int m, int n, std::uint64_t seed) {
+  Matrix a(m, n);
+  fill_random(a.view(), seed);
+  return a;
+}
+
+Matrix upper(const Matrix& a) {
+  Matrix r(a.rows(), a.cols());
+  for (int j = 0; j < a.cols(); ++j) {
+    for (int i = 0; i <= j && i < a.rows(); ++i) r(i, j) = a(i, j);
+    if (j < a.rows()) r(j, j) += 2.0;
+  }
+  return r;
+}
+
+void BM_geqrt(benchmark::State& state) {
+  const int nb = static_cast<int>(state.range(0));
+  const int ib = static_cast<int>(state.range(1));
+  Matrix a0 = random_matrix(nb, nb, 1);
+  Matrix t(ib, nb);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Matrix a = a0;
+    state.ResumeTiming();
+    kernels::geqrt(a.view(), ib, t.view());
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.counters["Gflop/s"] = benchmark::Counter(
+      plan::flops_geqrt(nb, nb) * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_tsqrt(benchmark::State& state) {
+  const int nb = static_cast<int>(state.range(0));
+  const int ib = static_cast<int>(state.range(1));
+  Matrix r0 = upper(random_matrix(nb, nb, 2));
+  Matrix a0 = random_matrix(nb, nb, 3);
+  Matrix t(ib, nb);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Matrix r = r0;
+    Matrix a = a0;
+    state.ResumeTiming();
+    kernels::tsqrt(r.view(), a.view(), ib, t.view());
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.counters["Gflop/s"] = benchmark::Counter(
+      plan::flops_tsqrt(nb, nb) * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_ttqrt(benchmark::State& state) {
+  const int nb = static_cast<int>(state.range(0));
+  const int ib = static_cast<int>(state.range(1));
+  Matrix r0 = upper(random_matrix(nb, nb, 4));
+  Matrix a0 = upper(random_matrix(nb, nb, 5));
+  Matrix t(ib, nb);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Matrix r = r0;
+    Matrix a = a0;
+    state.ResumeTiming();
+    kernels::ttqrt(r.view(), a.view(), ib, t.view());
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.counters["Gflop/s"] = benchmark::Counter(
+      plan::flops_ttqrt(nb) * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_ormqr(benchmark::State& state) {
+  const int nb = static_cast<int>(state.range(0));
+  const int ib = static_cast<int>(state.range(1));
+  Matrix v = random_matrix(nb, nb, 6);
+  Matrix t(ib, nb);
+  kernels::geqrt(v.view(), ib, t.view());
+  Matrix c = random_matrix(nb, nb, 7);
+  for (auto _ : state) {
+    kernels::ormqr(blas::Trans::Yes, v.view(), t.view(), ib, c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["Gflop/s"] = benchmark::Counter(
+      plan::flops_ormqr(nb, nb, nb) * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_tsmqr(benchmark::State& state) {
+  const int nb = static_cast<int>(state.range(0));
+  const int ib = static_cast<int>(state.range(1));
+  Matrix r = upper(random_matrix(nb, nb, 8));
+  Matrix v = random_matrix(nb, nb, 9);
+  Matrix t(ib, nb);
+  kernels::tsqrt(r.view(), v.view(), ib, t.view());
+  Matrix c1 = random_matrix(nb, nb, 10);
+  Matrix c2 = random_matrix(nb, nb, 11);
+  for (auto _ : state) {
+    kernels::tsmqr(blas::Trans::Yes, v.view(), t.view(), ib, c1.view(),
+                   c2.view());
+    benchmark::DoNotOptimize(c2.data());
+  }
+  state.counters["Gflop/s"] = benchmark::Counter(
+      plan::flops_tsmqr(nb, nb, nb) * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_ttmqr(benchmark::State& state) {
+  const int nb = static_cast<int>(state.range(0));
+  const int ib = static_cast<int>(state.range(1));
+  Matrix r = upper(random_matrix(nb, nb, 12));
+  Matrix v = upper(random_matrix(nb, nb, 13));
+  Matrix t(ib, nb);
+  kernels::ttqrt(r.view(), v.view(), ib, t.view());
+  Matrix c1 = random_matrix(nb, nb, 14);
+  Matrix c2 = random_matrix(nb, nb, 15);
+  for (auto _ : state) {
+    kernels::ttmqr(blas::Trans::Yes, v.view(), t.view(), ib, c1.view(),
+                   c2.view());
+    benchmark::DoNotOptimize(c2.data());
+  }
+  state.counters["Gflop/s"] = benchmark::Counter(
+      plan::flops_ttmqr(nb, nb) * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_potrf_tile(benchmark::State& state) {
+  const int nb = static_cast<int>(state.range(0));
+  Matrix spd = pulsarqr::chol::random_spd(nb, 20);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Matrix a = spd;
+    state.ResumeTiming();
+    lapack::potf2(a.view());
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.counters["Gflop/s"] = benchmark::Counter(
+      static_cast<double>(nb) * nb * nb / 3.0 * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_getrf_tile(benchmark::State& state) {
+  const int nb = static_cast<int>(state.range(0));
+  Matrix dd = pulsarqr::lu::random_diag_dominant(nb, nb, 21);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Matrix a = dd;
+    state.ResumeTiming();
+    lapack::getf2_nopiv(a.view());
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.counters["Gflop/s"] = benchmark::Counter(
+      2.0 * nb * nb * nb / 3.0 * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_dense_geqrf(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  Matrix a0 = random_matrix(m, n, 16);
+  std::vector<double> tau(n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Matrix a = a0;
+    state.ResumeTiming();
+    lapack::geqrf(a.view(), tau.data());
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.counters["Gflop/s"] = benchmark::Counter(
+      plan::qr_useful_flops(m, n) * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+// Paper tile sizes: nb in {192, 240}, ib = 48; a small size for context.
+BENCHMARK(BM_geqrt)->Args({64, 16})->Args({192, 48})->Args({240, 48})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_tsqrt)->Args({64, 16})->Args({192, 48})->Args({240, 48})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ttqrt)->Args({64, 16})->Args({192, 48})->Args({240, 48})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ormqr)->Args({64, 16})->Args({192, 48})->Args({240, 48})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_tsmqr)->Args({64, 16})->Args({192, 48})->Args({240, 48})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ttmqr)->Args({64, 16})->Args({192, 48})->Args({240, 48})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_potrf_tile)->Arg(64)->Arg(192)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_getrf_tile)->Arg(64)->Arg(192)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_dense_geqrf)->Args({768, 192})->Args({1024, 64})
+    ->Unit(benchmark::kMillisecond);

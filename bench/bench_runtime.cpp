@@ -1,0 +1,129 @@
+// Microbenchmarks of the PULSAR runtime primitives: channel throughput,
+// VDP firing overhead, the by-pass chain, and the inter-node proxy path.
+// These quantify the "minimal scheduling overheads" claim of Section IV-B.
+#include <benchmark/benchmark.h>
+
+#include "prt/vsa.hpp"
+
+namespace {
+
+using namespace pulsarqr;
+using prt::Packet;
+using prt::Scheduling;
+using prt::Tuple;
+using prt::Vsa;
+
+void BM_channel_push_pop(benchmark::State& state) {
+  prt::Channel ch(64, true);
+  Packet p = Packet::make(64);
+  for (auto _ : state) {
+    ch.push(p);
+    benchmark::DoNotOptimize(ch.pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_packet_alloc(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Packet p = Packet::make(bytes);
+    benchmark::DoNotOptimize(p.bytes());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_packet_clone(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  Packet p = Packet::make(bytes);
+  for (auto _ : state) {
+    Packet c = p.clone();
+    benchmark::DoNotOptimize(c.bytes());
+  }
+  state.SetBytesProcessed(state.iterations() * bytes);
+}
+
+// Firing overhead: a pipeline of trivial VDPs; reported as fires/second.
+void fire_pipeline(benchmark::State& state, int nodes, int workers) {
+  const int length = 16;
+  const int packets = 256;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Vsa::Config cfg;
+    cfg.nodes = nodes;
+    cfg.workers_per_node = workers;
+    Vsa vsa(cfg);
+    for (int i = 0; i < length; ++i) {
+      const bool last = i == length - 1;
+      vsa.add_vdp(
+          prt::tuple2(0, i), packets,
+          [last](prt::VdpContext& ctx) {
+            Packet p = ctx.pop(0);
+            if (!last) ctx.push(0, std::move(p));
+          },
+          1, last ? 0 : 1);
+    }
+    std::vector<Packet> init;
+    for (int k = 0; k < packets; ++k) init.push_back(Packet::make(64));
+    vsa.feed(prt::tuple2(0, 0), 0, 64, std::move(init));
+    for (int i = 0; i + 1 < length; ++i) {
+      vsa.connect(prt::tuple2(0, i), 0, prt::tuple2(0, i + 1), 0, 64);
+    }
+    state.ResumeTiming();
+    auto stats = vsa.run();
+    benchmark::DoNotOptimize(stats.fires);
+  }
+  state.SetItemsProcessed(state.iterations() * length * packets);
+}
+
+void BM_vdp_fire_local(benchmark::State& state) {
+  fire_pipeline(state, 1, static_cast<int>(state.range(0)));
+}
+
+void BM_vdp_fire_internode(benchmark::State& state) {
+  fire_pipeline(state, static_cast<int>(state.range(0)), 1);
+}
+
+// The by-pass broadcast chain (Section V-C): time for one packet to
+// traverse a chain of forwarding VDPs.
+void BM_bypass_chain(benchmark::State& state) {
+  const int length = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Vsa::Config cfg;
+    cfg.nodes = 1;
+    cfg.workers_per_node = 2;
+    Vsa vsa(cfg);
+    for (int i = 0; i < length; ++i) {
+      const bool last = i == length - 1;
+      vsa.add_vdp(
+          prt::tuple2(1, i), 1,
+          [last](prt::VdpContext& ctx) {
+            Packet p = ctx.pop(0);
+            if (!last) ctx.push(0, p);  // forward before "using"
+            benchmark::DoNotOptimize(p.doubles());
+          },
+          1, last ? 0 : 1);
+    }
+    std::vector<Packet> init;
+    init.push_back(Packet::make(8 * 1024));
+    vsa.feed(prt::tuple2(1, 0), 0, 8 * 1024, std::move(init));
+    for (int i = 0; i + 1 < length; ++i) {
+      vsa.connect(prt::tuple2(1, i), 0, prt::tuple2(1, i + 1), 0, 8 * 1024);
+    }
+    state.ResumeTiming();
+    auto stats = vsa.run();
+    benchmark::DoNotOptimize(stats.fires);
+  }
+  state.SetItemsProcessed(state.iterations() * length);
+}
+
+}  // namespace
+
+BENCHMARK(BM_channel_push_pop);
+BENCHMARK(BM_packet_alloc)->Arg(64)->Arg(192 * 192 * 8);
+BENCHMARK(BM_packet_clone)->Arg(64)->Arg(192 * 192 * 8);
+BENCHMARK(BM_vdp_fire_local)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_vdp_fire_internode)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_bypass_chain)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);

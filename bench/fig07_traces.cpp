@@ -1,0 +1,131 @@
+// Figure 7 reproduction: execution traces of the hierarchical QR with
+// fixed vs shifted domain boundaries, on the real PULSAR runtime.
+//
+// The paper's Figure 7 shows per-core Gantt traces where red = flat-tree
+// panel reductions, orange = the corresponding trailing updates and
+// blue = binary-tree reductions. With fixed boundaries only the first
+// domain of the next panel can overlap the binary reduction; with shifted
+// boundaries the flat trees overlap much more. We reproduce the traces
+// (ASCII Gantt + CSV) and quantify the effect with two numbers per mode:
+// the flat/binary overlap fraction and total wall time.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "vsaqr/tree_qr.hpp"
+
+using namespace pulsarqr;
+
+namespace {
+
+struct ModeResult {
+  double seconds = 0.0;
+  double overlap = 0.0;
+  double utilization = 0.0;
+  double depth = 0.0;  ///< average panel steps in flight
+};
+
+// One traced run; the trace of the last repetition is rendered/saved.
+ModeResult run_once(plan::BoundaryMode bm, const TileMatrix& a, int workers,
+                    int h, int ib, bool render, const char* name) {
+  vsaqr::TreeQrOptions opt;
+  opt.tree = {plan::TreeKind::BinaryOnFlat, h, bm};
+  opt.ib = ib;
+  opt.nodes = 1;
+  opt.workers_per_node = workers;
+  opt.trace = true;
+  auto run = vsaqr::tree_qr(a, opt);
+  const auto stats =
+      prt::trace::compute_stats(run.events, workers, vsaqr::kColorBinary);
+  if (render) {
+    std::printf("\nGantt, boundary = %s (F=flat factor, U=update, "
+                "B=binary, .=idle):\n",
+                name);
+    prt::trace::write_ascii_gantt(std::cout, run.events, workers, 100,
+                                  {"flat-factor", "update", "binary"});
+    const std::string csv = std::string("fig07_trace_") + name + ".csv";
+    std::ofstream os(csv);
+    prt::trace::write_csv(os, run.events);
+    std::printf("full trace written to %s\n", csv.c_str());
+  }
+  return {stats.span, stats.overlap_fraction, stats.utilization,
+          prt::trace::pipeline_depth(run.events)};
+}
+
+// Median over repetitions: on an oversubscribed host a single trace is
+// noisy (preempted tasks count as "in flight").
+ModeResult run_mode(plan::BoundaryMode bm, const char* name,
+                    const TileMatrix& a, int workers, int h, int ib,
+                    int reps) {
+  std::vector<double> overlap, util, span, depth;
+  for (int r = 0; r < reps; ++r) {
+    const auto one = run_once(bm, a, workers, h, ib, r == reps - 1, name);
+    overlap.push_back(one.overlap);
+    util.push_back(one.utilization);
+    span.push_back(one.seconds);
+    depth.push_back(one.depth);
+  }
+  auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  ModeResult out{median(span), median(overlap), median(util), median(depth)};
+  std::printf("\n--- boundary = %s (median of %d runs) ---\n", name, reps);
+  std::printf("wall time          : %8.3f s\n", out.seconds);
+  std::printf("worker utilization : %8.1f %%\n", out.utilization * 100);
+  std::printf("binary/flat overlap: %8.1f %% of wall time\n",
+              out.overlap * 100);
+  std::printf("pipeline depth     : %8.2f panel steps in flight\n",
+              out.depth);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Defaults chosen so the panel reductions dominate (few trailing
+  // columns) — the regime where the boundary strategy matters most.
+  const int m = argc > 1 ? std::atoi(argv[1]) : 4096;
+  const int n = argc > 2 ? std::atoi(argv[2]) : 128;
+  const int nb = argc > 3 ? std::atoi(argv[3]) : 64;
+  const int ib = argc > 4 ? std::atoi(argv[4]) : 16;
+  const int h = argc > 5 ? std::atoi(argv[5]) : 16;
+  const int workers = argc > 6 ? std::atoi(argv[6]) : 2;
+  const int reps = argc > 7 ? std::atoi(argv[7]) : 5;
+  std::printf("== Figure 7: execution traces, fixed vs shifted domain "
+              "boundaries ==\n");
+  std::printf("matrix %d x %d, nb = %d, ib = %d, binary-on-flat h = %d, "
+              "%d workers, %d reps\n",
+              m, n, nb, ib, h, workers, reps);
+
+  Matrix a0(m, n);
+  fill_random(a0.view(), 2014);
+  TileMatrix a = TileMatrix::from_dense(a0.view(), nb);
+
+  const auto fixed = run_mode(plan::BoundaryMode::Fixed, "fixed", a,
+                              workers, h, ib, reps);
+  const auto shifted = run_mode(plan::BoundaryMode::Shifted, "shifted", a,
+                                workers, h, ib, reps);
+
+  std::printf("\n== summary (paper: shifted boundaries give greater overlap "
+              "of the tree reductions) ==\n");
+  std::printf("wall time       : fixed %.3f s -> shifted %.3f s (%.2fx)\n",
+              fixed.seconds, shifted.seconds,
+              fixed.seconds / shifted.seconds);
+  std::printf("utilization     : fixed %.1f %% -> shifted %.1f %%\n",
+              fixed.utilization * 100, shifted.utilization * 100);
+  std::printf("overlap fraction: fixed %.1f %% -> shifted %.1f %%\n",
+              fixed.overlap * 100, shifted.overlap * 100);
+  std::printf("pipeline depth  : fixed %.2f -> shifted %.2f panel steps in "
+              "flight\n",
+              fixed.depth, shifted.depth);
+  std::printf("\n(on an oversubscribed host the in-flight overlap metric is "
+              "noisy — wall time and\nutilization are the robust signals "
+              "here; bench/tab_ablation quantifies the boundary\neffect at "
+              "scale on the simulator: 1.4-2.1x.)\n");
+  return 0;
+}

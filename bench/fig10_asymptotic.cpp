@@ -1,0 +1,70 @@
+// Figure 10 reproduction: asymptotic scaling of tree-based QR.
+//
+// Paper setup: n = 4608 fixed, m in {23040, 92160, 184320, 368640,
+// 737280}, 9216 cores (768 Kraken nodes), double precision, nb in
+// {192, 240}, ib = 48, h in {6, 12}; the best configuration per tree is
+// reported. Result: binary-on-flat > binary >> flat, with the flat tree
+// saturating early for tall-skinny matrices.
+//
+// Reproduced on the simulator substrate (see DESIGN.md): the machine is a
+// calibrated Kraken model, the schedule is the VSA's task graph.
+#include <cstdio>
+#include <fstream>
+
+#include "sim/simulator.hpp"
+
+using namespace pulsarqr;
+using namespace pulsarqr::sim;
+
+namespace {
+
+struct Best {
+  double gflops = 0.0;
+  int nb = 0, h = 0;
+};
+
+Best best_of(int m, int n, plan::TreeKind tree, const MachineModel& mm,
+             int nodes) {
+  Best best;
+  const std::vector<int> hs =
+      tree == plan::TreeKind::BinaryOnFlat ? std::vector<int>{6, 12}
+                                           : std::vector<int>{1};
+  for (int nb : {192, 240}) {
+    for (int h : hs) {
+      const auto r = simulate_tree_qr(
+          m, n, nb, 48, {tree, h, plan::BoundaryMode::Shifted}, mm, nodes);
+      if (r.useful_gflops > best.gflops) best = {r.useful_gflops, nb, h};
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const MachineModel mm = MachineModel::kraken();
+  const int n = 4608;
+  const int nodes = 768;  // 9216 cores
+  std::printf("== Figure 10: asymptotic tree-based QR scaling ==\n");
+  std::printf("n = %d, %d nodes (%d cores), nb in {192,240}, ib = 48, "
+              "h in {6,12}, best-of per tree\n\n",
+              n, nodes, nodes * mm.cores_per_node);
+  std::printf("%10s %14s %14s %14s   best hier cfg\n", "m",
+              "Hierarchical", "Binary", "Flat");
+
+  std::ofstream csv("fig10_asymptotic.csv");
+  csv << "m,hierarchical_gflops,binary_gflops,flat_gflops\n";
+  for (int m : {23040, 92160, 184320, 368640, 737280}) {
+    const Best h = best_of(m, n, plan::TreeKind::BinaryOnFlat, mm, nodes);
+    const Best b = best_of(m, n, plan::TreeKind::Binary, mm, nodes);
+    const Best f = best_of(m, n, plan::TreeKind::Flat, mm, nodes);
+    std::printf("%10d %14.0f %14.0f %14.0f   (nb=%d, h=%d)\n", m, h.gflops,
+                b.gflops, f.gflops, h.nb, h.h);
+    csv << m << ',' << h.gflops << ',' << b.gflops << ',' << f.gflops
+        << '\n';
+  }
+  std::printf("\npaper shape: hierarchical > binary >> flat; flat saturates "
+              "(limited panel parallelism);\nhierarchical reaches ~10500 "
+              "Gflop/s at m = 737280. CSV: fig10_asymptotic.csv\n");
+  return 0;
+}

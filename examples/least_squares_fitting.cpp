@@ -1,0 +1,100 @@
+// Domain scenario: harmonic regression on a long sensor time series.
+//
+// The paper motivates tall-and-skinny QR with "models using least-squares
+// optimization" over growing data volumes (Section II). This example
+// builds the classic instance: fit a trend + seasonal harmonics model to
+// tens of thousands of noisy samples — a design matrix with m >> n — and
+// solves it through the tree QR, comparing the three reduction trees.
+//
+//   build/examples/least_squares_fitting
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "ref/apply_q.hpp"
+#include "vsaqr/tree_qr.hpp"
+
+using namespace pulsarqr;
+
+namespace {
+
+constexpr int kHarmonics = 6;
+constexpr int kCols = 2 + 2 * kHarmonics;  // intercept, slope, sin/cos pairs
+
+// Design matrix row for time t in [0, 1).
+void design_row(double t, double* row) {
+  row[0] = 1.0;
+  row[1] = t;
+  for (int h = 1; h <= kHarmonics; ++h) {
+    row[2 * h] = std::sin(2.0 * M_PI * h * t);
+    row[2 * h + 1] = std::cos(2.0 * M_PI * h * t);
+  }
+}
+
+const char* tree_name(plan::TreeKind t) {
+  switch (t) {
+    case plan::TreeKind::Flat: return "flat";
+    case plan::TreeKind::Binary: return "binary";
+    case plan::TreeKind::BinaryOnFlat: return "binary-on-flat";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  const int m = 36000;  // e.g. one sample per second for 10 hours
+  const int n = kCols;
+  std::printf("harmonic regression: %d observations, %d coefficients\n\n", m,
+              n);
+
+  // Ground-truth signal: trend + two strong harmonics + noise.
+  Rng rng(7);
+  std::vector<double> truth(n, 0.0);
+  truth[0] = 3.0;   // offset
+  truth[1] = -1.5;  // drift
+  truth[2] = 2.0;   // sin(2 pi t)
+  truth[5] = 0.8;   // cos(4 pi t)
+  Matrix a(m, n);
+  std::vector<double> b(m);
+  std::vector<double> row(n);
+  for (int i = 0; i < m; ++i) {
+    const double t = static_cast<double>(i) / m;
+    design_row(t, row.data());
+    double y = 0.0;
+    for (int j = 0; j < n; ++j) {
+      a(i, j) = row[j];
+      y += truth[j] * row[j];
+    }
+    b[i] = y + 0.05 * rng.next_symmetric();
+  }
+
+  TileMatrix tiled = TileMatrix::from_dense(a.view(), /*nb=*/n);
+  for (plan::TreeKind tree :
+       {plan::TreeKind::Flat, plan::TreeKind::Binary,
+        plan::TreeKind::BinaryOnFlat}) {
+    vsaqr::TreeQrOptions opt;
+    opt.tree = {tree, 8, plan::BoundaryMode::Shifted};
+    opt.ib = 7;
+    opt.workers_per_node = 3;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto run = vsaqr::tree_qr(tiled, opt);
+    const auto x = ref::least_squares(run.factors, b);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    double coeff_err = 0.0;
+    for (int j = 0; j < n; ++j) {
+      coeff_err = std::max(coeff_err, std::abs(x[j] - truth[j]));
+    }
+    std::printf("%-15s: %7.3f s, %6lld firings, max coefficient error "
+                "%.2e\n",
+                tree_name(tree), secs, run.stats.fires, coeff_err);
+  }
+
+  std::printf("\nall trees recover the planted model; on real parallel "
+              "hardware the hierarchical tree wins on speed for this "
+              "extreme aspect ratio (m/n = %d).\n", m / n);
+  return 0;
+}

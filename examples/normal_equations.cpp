@@ -1,0 +1,70 @@
+// Two systolic arrays, one problem: solve the same least-squares system
+//   (a) by tree QR of [A | b] on the 3D array (backward stable), and
+//   (b) by forming the normal equations A^T A x = A^T b and factorizing
+//       them with the PULSAR-mapped Cholesky array.
+// Cholesky squares the condition number; on an ill-conditioned design
+// matrix the QR route keeps digits the normal equations lose — measured
+// and printed at the end.
+//
+//   build/examples/normal_equations
+#include <cmath>
+#include <cstdio>
+
+#include "blas/blas.hpp"
+#include "chol/vsa_chol.hpp"
+#include "common/rng.hpp"
+#include "vsaqr/tree_qr.hpp"
+
+using namespace pulsarqr;
+
+int main() {
+  const int m = 4000;
+  const int n = 48;
+  // An ill-conditioned design matrix: geometrically decaying column
+  // scales (cond ~ 1e6).
+  Matrix a(m, n);
+  fill_random(a.view(), 55);
+  for (int j = 0; j < n; ++j) {
+    const double scale = std::pow(10.0, -6.0 * j / (n - 1));
+    blas::scal(m, scale, a.view().col(j));
+  }
+  Rng rng(56);
+  std::vector<double> xtrue(n);
+  for (auto& v : xtrue) v = rng.next_symmetric();
+  std::vector<double> b(m);
+  blas::gemv(blas::Trans::No, 1.0, a.view(), xtrue.data(), 0.0, b.data());
+
+  // (a) Tree QR on the 3D array.
+  TileMatrix at = TileMatrix::from_dense(a.view(), 48);
+  vsaqr::TreeQrOptions qopt;
+  qopt.tree = {plan::TreeKind::BinaryOnFlat, 6, plan::BoundaryMode::Shifted};
+  qopt.ib = 12;
+  qopt.nodes = 2;
+  Matrix bx(m, 1);
+  for (int i = 0; i < m; ++i) bx(i, 0) = b[i];
+  Matrix xqr = vsaqr::tree_qr_solve(at, bx.view(), qopt);
+
+  // (b) Normal equations + systolic Cholesky.
+  Matrix ata(n, n);
+  blas::gemm(blas::Trans::Yes, blas::Trans::No, 1.0, a.view(), a.view(), 0.0,
+             ata.view());
+  std::vector<double> atb(n, 0.0);
+  blas::gemv(blas::Trans::Yes, 1.0, a.view(), b.data(), 0.0, atb.data());
+  chol::VsaCholOptions copt;
+  copt.nodes = 2;
+  auto lrun = chol::vsa_cholesky(TileMatrix::from_dense(ata.view(), 12), copt);
+  const auto xchol = chol::chol_solve(lrun.l, atb);
+
+  double err_qr = 0.0, err_chol = 0.0;
+  for (int i = 0; i < n; ++i) {
+    err_qr = std::fmax(err_qr, std::fabs(xqr(i, 0) - xtrue[i]));
+    err_chol = std::fmax(err_chol, std::fabs(xchol[i] - xtrue[i]));
+  }
+  std::printf("ill-conditioned least squares, %d x %d (cond ~ 1e6)\n\n", m, n);
+  std::printf("tree QR on the 3D array     : max error %.3e\n", err_qr);
+  std::printf("normal eqs + systolic chol  : max error %.3e\n", err_chol);
+  std::printf("\nQR works on A directly (cond ~ 1e6); the normal equations "
+              "square it (cond ~ 1e12),\nso Cholesky loses ~6 more digits — "
+              "the classic argument for tall-skinny QR.\n");
+  return err_qr < 1e-6 && err_qr <= err_chol ? 0 : 1;
+}

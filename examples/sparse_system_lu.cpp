@@ -1,0 +1,65 @@
+// Solving a discretized PDE system with the systolic LU array.
+//
+// A 2D reaction-diffusion operator (5-point Laplacian plus a reaction
+// term) on an N x N grid gives a diagonally dominant system — exactly the
+// class where no-pivot LU is safe. We assemble it densely (this library
+// is a dense-tile engine), factorize it on the PULSAR LU array, and check
+// the solution against a manufactured right-hand side.
+//
+//   build/examples/sparse_system_lu
+#include <cmath>
+#include <cstdio>
+
+#include "blas/blas.hpp"
+#include "common/rng.hpp"
+#include "lu/vsa_lu.hpp"
+
+using namespace pulsarqr;
+
+int main() {
+  const int grid = 28;           // 28 x 28 interior points
+  const int n = grid * grid;     // 784 unknowns
+  const double reaction = 0.35;  // diagonal shift (keeps dominance strict)
+
+  // Assemble -Laplacian + reaction*I (row-wise 5-point stencil).
+  Matrix a(n, n);
+  auto idx = [&](int r, int c) { return r * grid + c; };
+  for (int r = 0; r < grid; ++r) {
+    for (int c = 0; c < grid; ++c) {
+      const int i = idx(r, c);
+      a(i, i) = 4.0 + reaction;
+      if (r > 0) a(i, idx(r - 1, c)) = -1.0;
+      if (r + 1 < grid) a(i, idx(r + 1, c)) = -1.0;
+      if (c > 0) a(i, idx(r, c - 1)) = -1.0;
+      if (c + 1 < grid) a(i, idx(r, c + 1)) = -1.0;
+    }
+  }
+
+  // Manufactured solution: u(r,c) = sin(pi r/N) * cos(pi c/N).
+  std::vector<double> utrue(n);
+  for (int r = 0; r < grid; ++r) {
+    for (int c = 0; c < grid; ++c) {
+      utrue[idx(r, c)] =
+          std::sin(M_PI * (r + 1) / (grid + 1)) *
+          std::cos(M_PI * (c + 1) / (grid + 1));
+    }
+  }
+  std::vector<double> b(n, 0.0);
+  blas::gemv(blas::Trans::No, 1.0, a.view(), utrue.data(), 0.0, b.data());
+
+  lu::VsaLuOptions opt;
+  opt.nodes = 2;
+  opt.workers_per_node = 2;
+  auto run = lu::vsa_lu(TileMatrix::from_dense(a.view(), 56), opt);
+  const auto u = lu::lu_solve(run.f, b);
+
+  double err = 0.0;
+  for (int i = 0; i < n; ++i) err = std::max(err, std::abs(u[i] - utrue[i]));
+  std::printf("reaction-diffusion system: %d unknowns (%dx%d grid)\n", n,
+              grid, grid);
+  std::printf("systolic LU: %lld firings on %d virtual nodes, %lld "
+              "inter-node messages\n",
+              run.stats.fires, opt.nodes, run.stats.remote_messages);
+  std::printf("max |u - u_true| = %.3e\n", err);
+  return err < 1e-10 ? 0 : 1;
+}

@@ -1,0 +1,113 @@
+// PULSAR beyond QR: the textbook 2D systolic array — matrix
+// multiplication C = A * B on a grid of processing elements, with A tiles
+// streaming rightward and B tiles streaming downward (Kung & Leiserson's
+// classic design, reference [8] of the paper).
+//
+// This demonstrates the Section II goal that the runtime is "fully
+// decoupled from the user code" and reusable across application domains:
+// the whole application is VDP functions plus channel wiring.
+//
+//   build/examples/systolic_gemm
+#include <cstdio>
+#include <memory>
+
+#include "blas/blas.hpp"
+#include "common/rng.hpp"
+#include "prt/vsa.hpp"
+#include "tile/tile_matrix.hpp"
+#include "vsaqr/codec.hpp"
+
+using namespace pulsarqr;
+using prt::Packet;
+using prt::Tuple;
+
+namespace {
+
+/// Results deposited by the grid's VDPs.
+struct GemmSink {
+  explicit GemmSink(TileMatrix c) : c(std::move(c)) {}
+  TileMatrix c;
+};
+
+}  // namespace
+
+int main() {
+  const int m = 384, k = 256, n = 320, nb = 64;
+  Matrix ad(m, k), bd(k, n);
+  fill_random(ad.view(), 11);
+  fill_random(bd.view(), 12);
+  TileMatrix a = TileMatrix::from_dense(ad.view(), nb);
+  TileMatrix b = TileMatrix::from_dense(bd.view(), nb);
+  const int mt = a.mt(), kt = a.nt(), ntt = b.nt();
+
+  prt::Vsa::Config cfg;
+  cfg.nodes = 2;
+  cfg.workers_per_node = 2;
+  prt::Vsa vsa(cfg);
+  auto sink = std::make_shared<GemmSink>(TileMatrix(m, n, nb));
+  vsa.set_global(sink);
+
+  // PE(i,j) receives kt tile pairs: A(i,0..kt) from the left, B(0..kt,j)
+  // from above; accumulates C(i,j) locally; forwards both streams onward.
+  const std::size_t bytes = vsaqr::tile_packet_bytes(nb, nb);
+  for (int i = 0; i < mt; ++i) {
+    for (int j = 0; j < ntt; ++j) {
+      const bool last_col = j == ntt - 1;
+      const bool last_row = i == mt - 1;
+      const int num_out = (last_col ? 0 : 1) + (last_row ? 0 : 1);
+      vsa.add_vdp(
+          prt::tuple2(i, j), kt,
+          [i, j, last_col, last_row](prt::VdpContext& ctx) {
+            Packet pa = ctx.pop(0);
+            Packet pb = ctx.pop(1);
+            // Systolic forwarding first (by-pass), then local compute.
+            int slot = 0;
+            if (!last_col) ctx.push(slot++, pa);
+            if (!last_row) ctx.push(slot, pb);
+            auto& s = ctx.global<GemmSink>();
+            MatrixView c = s.c.tile(i, j);
+            blas::gemm(blas::Trans::No, blas::Trans::No, 1.0,
+                       vsaqr::tile_view(pa), vsaqr::tile_view(pb), 1.0, c);
+          },
+          2, num_out);
+    }
+  }
+  // Horizontal channels carry A, vertical carry B; the west/north borders
+  // are fed with the input tiles.
+  for (int i = 0; i < mt; ++i) {
+    std::vector<Packet> row;
+    for (int p = 0; p < kt; ++p) row.push_back(vsaqr::encode_tile(a.tile(i, p), p));
+    vsa.feed(prt::tuple2(i, 0), 0, bytes, std::move(row));
+    for (int j = 0; j + 1 < ntt; ++j) {
+      vsa.connect(prt::tuple2(i, j), 0, prt::tuple2(i, j + 1), 0, bytes);
+    }
+  }
+  for (int j = 0; j < ntt; ++j) {
+    std::vector<Packet> col;
+    for (int p = 0; p < kt; ++p) col.push_back(vsaqr::encode_tile(b.tile(p, j), p));
+    vsa.feed(prt::tuple2(0, j), 1, bytes, std::move(col));
+    for (int i = 0; i + 1 < mt; ++i) {
+      const int slot = (j == ntt - 1) ? 0 : 1;
+      vsa.connect(prt::tuple2(i, j), slot, prt::tuple2(i + 1, j), 1, bytes);
+    }
+  }
+
+  auto stats = vsa.run();
+  std::printf("systolic C = A*B on a %d x %d PE grid: %lld firings, "
+              "%lld inter-node messages, %.3f s\n",
+              mt, ntt, stats.fires, stats.remote_messages, stats.seconds);
+
+  // Verify against a direct gemm.
+  Matrix expect(m, n);
+  blas::gemm(blas::Trans::No, blas::Trans::No, 1.0, ad.view(), bd.view(), 0.0,
+             expect.view());
+  Matrix got = sink->c.to_dense();
+  double err = 0.0;
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) {
+      err = std::max(err, std::abs(got(i, j) - expect(i, j)));
+    }
+  }
+  std::printf("max |C - C_ref| = %.3e\n", err);
+  return err < 1e-10 * k ? 0 : 1;
+}

@@ -1,0 +1,424 @@
+#include "blas/blas.hpp"
+
+#include <cmath>
+
+namespace pulsarqr::blas {
+
+// ---- Level 1 -------------------------------------------------------------
+
+void axpy(int n, double a, const double* x, double* y) {
+  for (int i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+void scal(int n, double a, double* x) {
+  for (int i = 0; i < n; ++i) x[i] *= a;
+}
+
+double dot(int n, const double* x, const double* y) {
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+double nrm2(int n, const double* x) {
+  // Scaled sum of squares, as in LAPACK dlassq, to avoid overflow/underflow.
+  double scale = 0.0;
+  double ssq = 1.0;
+  for (int i = 0; i < n; ++i) {
+    const double ax = std::fabs(x[i]);
+    if (ax == 0.0) continue;
+    if (scale < ax) {
+      const double r = scale / ax;
+      ssq = 1.0 + ssq * r * r;
+      scale = ax;
+    } else {
+      const double r = ax / scale;
+      ssq += r * r;
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+void copy(int n, const double* x, double* y) {
+  for (int i = 0; i < n; ++i) y[i] = x[i];
+}
+
+// ---- Level 2 -------------------------------------------------------------
+
+void gemv(Trans trans, double alpha, ConstMatrixView a, const double* x,
+          double beta, double* y) {
+  const int m = a.rows;
+  const int n = a.cols;
+  if (trans == Trans::No) {
+    if (beta != 1.0) scal(m, beta, y);
+    for (int j = 0; j < n; ++j) {
+      const double t = alpha * x[j];
+      if (t != 0.0) axpy(m, t, a.col(j), y);
+    }
+  } else {
+    for (int j = 0; j < n; ++j) {
+      y[j] = beta * y[j] + alpha * dot(m, a.col(j), x);
+    }
+  }
+}
+
+void ger(double alpha, const double* x, const double* y, MatrixView a) {
+  for (int j = 0; j < a.cols; ++j) {
+    const double t = alpha * y[j];
+    if (t != 0.0) axpy(a.rows, t, x, a.col(j));
+  }
+}
+
+void trmv(Uplo uplo, Trans trans, Diag diag, ConstMatrixView a, double* x) {
+  const int n = a.rows;
+  PQR_ASSERT(a.cols == n, "trmv: A must be square");
+  const bool unit = diag == Diag::Unit;
+  if (trans == Trans::No) {
+    if (uplo == Uplo::Upper) {
+      for (int i = 0; i < n; ++i) {
+        double s = unit ? x[i] : a(i, i) * x[i];
+        for (int j = i + 1; j < n; ++j) s += a(i, j) * x[j];
+        x[i] = s;
+      }
+    } else {
+      for (int i = n - 1; i >= 0; --i) {
+        double s = unit ? x[i] : a(i, i) * x[i];
+        for (int j = 0; j < i; ++j) s += a(i, j) * x[j];
+        x[i] = s;
+      }
+    }
+  } else {
+    if (uplo == Uplo::Upper) {
+      for (int j = n - 1; j >= 0; --j) {
+        double s = unit ? x[j] : a(j, j) * x[j];
+        for (int i = 0; i < j; ++i) s += a(i, j) * x[i];
+        x[j] = s;
+      }
+    } else {
+      for (int j = 0; j < n; ++j) {
+        double s = unit ? x[j] : a(j, j) * x[j];
+        for (int i = j + 1; i < n; ++i) s += a(i, j) * x[i];
+        x[j] = s;
+      }
+    }
+  }
+}
+
+void trsv(Uplo uplo, Trans trans, Diag diag, ConstMatrixView a, double* x) {
+  const int n = a.rows;
+  PQR_ASSERT(a.cols == n, "trsv: A must be square");
+  const bool unit = diag == Diag::Unit;
+  if (trans == Trans::No) {
+    if (uplo == Uplo::Upper) {
+      for (int i = n - 1; i >= 0; --i) {
+        double s = x[i];
+        for (int j = i + 1; j < n; ++j) s -= a(i, j) * x[j];
+        x[i] = unit ? s : s / a(i, i);
+      }
+    } else {
+      for (int i = 0; i < n; ++i) {
+        double s = x[i];
+        for (int j = 0; j < i; ++j) s -= a(i, j) * x[j];
+        x[i] = unit ? s : s / a(i, i);
+      }
+    }
+  } else {
+    if (uplo == Uplo::Upper) {
+      for (int i = 0; i < n; ++i) {
+        double s = x[i];
+        for (int j = 0; j < i; ++j) s -= a(j, i) * x[j];
+        x[i] = unit ? s : s / a(i, i);
+      }
+    } else {
+      for (int i = n - 1; i >= 0; --i) {
+        double s = x[i];
+        for (int j = i + 1; j < n; ++j) s -= a(j, i) * x[j];
+        x[i] = unit ? s : s / a(i, i);
+      }
+    }
+  }
+}
+
+// ---- Level 3 -------------------------------------------------------------
+
+namespace {
+
+// C := C + alpha * A * B. The inner kernels are 4-way unrolled over k so
+// each sweep of a C column touches it once per four A columns — the
+// no-dependency accumulator form the compiler can vectorize.
+void gemm_nn(double alpha, ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+  const int m = c.rows;
+  const int kk = a.cols;
+  for (int j = 0; j < c.cols; ++j) {
+    double* cj = c.col(j);
+    int k = 0;
+    for (; k + 4 <= kk; k += 4) {
+      const double t0 = alpha * b(k, j);
+      const double t1 = alpha * b(k + 1, j);
+      const double t2 = alpha * b(k + 2, j);
+      const double t3 = alpha * b(k + 3, j);
+      const double* a0 = a.col(k);
+      const double* a1 = a.col(k + 1);
+      const double* a2 = a.col(k + 2);
+      const double* a3 = a.col(k + 3);
+      for (int i = 0; i < m; ++i) {
+        cj[i] += t0 * a0[i] + t1 * a1[i] + t2 * a2[i] + t3 * a3[i];
+      }
+    }
+    for (; k < kk; ++k) {
+      const double t = alpha * b(k, j);
+      if (t == 0.0) continue;
+      const double* ak = a.col(k);
+      for (int i = 0; i < m; ++i) cj[i] += t * ak[i];
+    }
+  }
+}
+
+void gemm_tn(double alpha, ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+  // C(i,j) += alpha * dot(A(:,i), B(:,j)); four rows of C share one pass
+  // over B's column.
+  const int kk = a.rows;
+  for (int j = 0; j < c.cols; ++j) {
+    const double* bj = b.col(j);
+    int i = 0;
+    for (; i + 4 <= c.rows; i += 4) {
+      const double* a0 = a.col(i);
+      const double* a1 = a.col(i + 1);
+      const double* a2 = a.col(i + 2);
+      const double* a3 = a.col(i + 3);
+      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+      for (int p = 0; p < kk; ++p) {
+        const double bp = bj[p];
+        s0 += a0[p] * bp;
+        s1 += a1[p] * bp;
+        s2 += a2[p] * bp;
+        s3 += a3[p] * bp;
+      }
+      c(i, j) += alpha * s0;
+      c(i + 1, j) += alpha * s1;
+      c(i + 2, j) += alpha * s2;
+      c(i + 3, j) += alpha * s3;
+    }
+    for (; i < c.rows; ++i) {
+      c(i, j) += alpha * dot(kk, a.col(i), bj);
+    }
+  }
+}
+
+void gemm_nt(double alpha, ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+  const int m = c.rows;
+  const int kk = a.cols;
+  for (int j = 0; j < c.cols; ++j) {
+    double* cj = c.col(j);
+    int k = 0;
+    for (; k + 4 <= kk; k += 4) {
+      const double t0 = alpha * b(j, k);
+      const double t1 = alpha * b(j, k + 1);
+      const double t2 = alpha * b(j, k + 2);
+      const double t3 = alpha * b(j, k + 3);
+      const double* a0 = a.col(k);
+      const double* a1 = a.col(k + 1);
+      const double* a2 = a.col(k + 2);
+      const double* a3 = a.col(k + 3);
+      for (int i = 0; i < m; ++i) {
+        cj[i] += t0 * a0[i] + t1 * a1[i] + t2 * a2[i] + t3 * a3[i];
+      }
+    }
+    for (; k < kk; ++k) {
+      const double t = alpha * b(j, k);
+      if (t == 0.0) continue;
+      const double* ak = a.col(k);
+      for (int i = 0; i < m; ++i) cj[i] += t * ak[i];
+    }
+  }
+}
+
+void gemm_tt(double alpha, ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+  for (int j = 0; j < c.cols; ++j) {
+    for (int i = 0; i < c.rows; ++i) {
+      double s = 0.0;
+      for (int k = 0; k < a.rows; ++k) s += a(k, i) * b(j, k);
+      c(i, j) += alpha * s;
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+          ConstMatrixView b, double beta, MatrixView c) {
+  const int ka = (ta == Trans::No) ? a.cols : a.rows;
+  const int kb = (tb == Trans::No) ? b.rows : b.cols;
+  const int ma = (ta == Trans::No) ? a.rows : a.cols;
+  const int nb_ = (tb == Trans::No) ? b.cols : b.rows;
+  PQR_ASSERT(ka == kb && ma == c.rows && nb_ == c.cols, "gemm: shape mismatch");
+  if (beta == 0.0) {
+    laset_all(0.0, 0.0, c);
+  } else if (beta != 1.0) {
+    for (int j = 0; j < c.cols; ++j) scal(c.rows, beta, c.col(j));
+  }
+  if (ta == Trans::No && tb == Trans::No) {
+    gemm_nn(alpha, a, b, c);
+  } else if (ta == Trans::Yes && tb == Trans::No) {
+    gemm_tn(alpha, a, b, c);
+  } else if (ta == Trans::No && tb == Trans::Yes) {
+    gemm_nt(alpha, a, b, c);
+  } else {
+    gemm_tt(alpha, a, b, c);
+  }
+}
+
+void trmm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView a, MatrixView b) {
+  if (side == Side::Left) {
+    PQR_ASSERT(a.rows == b.rows && a.cols == b.rows, "trmm: shape mismatch");
+    for (int j = 0; j < b.cols; ++j) {
+      trmv(uplo, trans, diag, a, b.col(j));
+      if (alpha != 1.0) scal(b.rows, alpha, b.col(j));
+    }
+  } else {
+    PQR_ASSERT(a.rows == b.cols && a.cols == b.cols, "trmm: shape mismatch");
+    // B := alpha * B * op(A). Work row-wise via column combinations:
+    // treat each row of B as a vector times op(A) from the right, i.e.
+    // B(:,j) := alpha * sum_k B(:,k) * op(A)(k,j). Computed out-of-place
+    // one column at a time in the safe traversal order.
+    const int n = b.cols;
+    const bool upper_effect =
+        (uplo == Uplo::Upper) == (trans == Trans::No);
+    if (upper_effect) {
+      // op(A) upper: column j depends on columns k <= j, traverse j desc.
+      for (int j = n - 1; j >= 0; --j) {
+        const double ajj = diag == Diag::Unit ? 1.0 : (trans == Trans::No ? a(j, j) : a(j, j));
+        scal(b.rows, alpha * ajj, b.col(j));
+        for (int k = 0; k < j; ++k) {
+          const double t = alpha * (trans == Trans::No ? a(k, j) : a(j, k));
+          if (t != 0.0) axpy(b.rows, t, b.col(k), b.col(j));
+        }
+      }
+    } else {
+      // op(A) lower: column j depends on columns k >= j, traverse j asc.
+      for (int j = 0; j < n; ++j) {
+        const double ajj = diag == Diag::Unit ? 1.0 : a(j, j);
+        scal(b.rows, alpha * ajj, b.col(j));
+        for (int k = j + 1; k < n; ++k) {
+          const double t = alpha * (trans == Trans::No ? a(k, j) : a(j, k));
+          if (t != 0.0) axpy(b.rows, t, b.col(k), b.col(j));
+        }
+      }
+    }
+  }
+}
+
+void trsm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView a, MatrixView b) {
+  if (alpha != 1.0) {
+    for (int j = 0; j < b.cols; ++j) scal(b.rows, alpha, b.col(j));
+  }
+  if (side == Side::Left) {
+    PQR_ASSERT(a.rows == b.rows && a.cols == b.rows, "trsm: shape mismatch");
+    for (int j = 0; j < b.cols; ++j) trsv(uplo, trans, diag, a, b.col(j));
+  } else {
+    PQR_ASSERT(a.rows == b.cols && a.cols == b.cols, "trsm: shape mismatch");
+    // Solve X * op(A) = B, i.e. column recurrences over X's columns.
+    const int n = b.cols;
+    const bool upper_effect = (uplo == Uplo::Upper) == (trans == Trans::No);
+    if (upper_effect) {
+      // op(A) upper triangular: X(:,j) = (B(:,j) - sum_{k<j} X(:,k) op(A)(k,j)) / op(A)(j,j)
+      for (int j = 0; j < n; ++j) {
+        for (int k = 0; k < j; ++k) {
+          const double t = trans == Trans::No ? a(k, j) : a(j, k);
+          if (t != 0.0) axpy(b.rows, -t, b.col(k), b.col(j));
+        }
+        if (diag == Diag::NonUnit) scal(b.rows, 1.0 / a(j, j), b.col(j));
+      }
+    } else {
+      for (int j = n - 1; j >= 0; --j) {
+        for (int k = j + 1; k < n; ++k) {
+          const double t = trans == Trans::No ? a(k, j) : a(j, k);
+          if (t != 0.0) axpy(b.rows, -t, b.col(k), b.col(j));
+        }
+        if (diag == Diag::NonUnit) scal(b.rows, 1.0 / a(j, j), b.col(j));
+      }
+    }
+  }
+}
+
+// ---- Auxiliary -------------------------------------------------------------
+
+void laset_all(double off, double diag, MatrixView a) {
+  for (int j = 0; j < a.cols; ++j) {
+    double* cj = a.col(j);
+    for (int i = 0; i < a.rows; ++i) cj[i] = off;
+    if (j < a.rows) cj[j] = diag;
+  }
+}
+
+void laset(Uplo uplo, double off, double diag, MatrixView a) {
+  for (int j = 0; j < a.cols; ++j) {
+    if (uplo == Uplo::Upper) {
+      for (int i = 0; i < j && i < a.rows; ++i) a(i, j) = off;
+    } else {
+      for (int i = j + 1; i < a.rows; ++i) a(i, j) = off;
+    }
+    if (j < a.rows) a(j, j) = diag;
+  }
+}
+
+void lacpy_all(ConstMatrixView a, MatrixView b) {
+  PQR_ASSERT(a.rows == b.rows && a.cols == b.cols, "lacpy: shape mismatch");
+  for (int j = 0; j < a.cols; ++j) copy(a.rows, a.col(j), b.col(j));
+}
+
+void lacpy(Uplo uplo, ConstMatrixView a, MatrixView b) {
+  PQR_ASSERT(a.rows == b.rows && a.cols == b.cols, "lacpy: shape mismatch");
+  for (int j = 0; j < a.cols; ++j) {
+    if (uplo == Uplo::Upper) {
+      const int top = j < a.rows - 1 ? j + 1 : a.rows;
+      copy(top, a.col(j), b.col(j));
+    } else {
+      for (int i = j; i < a.rows; ++i) b(i, j) = a(i, j);
+    }
+  }
+}
+
+double norm_fro(ConstMatrixView a) {
+  double scale = 0.0;
+  double ssq = 1.0;
+  for (int j = 0; j < a.cols; ++j) {
+    for (int i = 0; i < a.rows; ++i) {
+      const double ax = std::fabs(a(i, j));
+      if (ax == 0.0) continue;
+      if (scale < ax) {
+        const double r = scale / ax;
+        ssq = 1.0 + ssq * r * r;
+        scale = ax;
+      } else {
+        const double r = ax / scale;
+        ssq += r * r;
+      }
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+double norm_max(ConstMatrixView a) {
+  double m = 0.0;
+  for (int j = 0; j < a.cols; ++j) {
+    for (int i = 0; i < a.rows; ++i) {
+      m = std::fmax(m, std::fabs(a(i, j)));
+    }
+  }
+  return m;
+}
+
+double norm_one(ConstMatrixView a) {
+  double m = 0.0;
+  for (int j = 0; j < a.cols; ++j) {
+    double s = 0.0;
+    for (int i = 0; i < a.rows; ++i) s += std::fabs(a(i, j));
+    m = std::fmax(m, s);
+  }
+  return m;
+}
+
+}  // namespace pulsarqr::blas

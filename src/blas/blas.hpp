@@ -1,0 +1,82 @@
+// From-scratch double-precision BLAS subset used by the QR kernels.
+//
+// Only the operations the library needs are provided, all on column-major
+// views. Operand aliasing is not supported unless a routine documents it.
+#pragma once
+
+#include "common/view.hpp"
+
+namespace pulsarqr::blas {
+
+enum class Trans { No, Yes };
+enum class Side { Left, Right };
+enum class Uplo { Upper, Lower };
+enum class Diag { NonUnit, Unit };
+
+// ---- Level 1 -------------------------------------------------------------
+
+/// y := a*x + y (length n).
+void axpy(int n, double a, const double* x, double* y);
+
+/// x := a*x (length n).
+void scal(int n, double a, double* x);
+
+/// Dot product of two length-n vectors.
+double dot(int n, const double* x, const double* y);
+
+/// Euclidean norm of a length-n vector, with scaling against overflow.
+double nrm2(int n, const double* x);
+
+/// y := x (length n).
+void copy(int n, const double* x, double* y);
+
+// ---- Level 2 -------------------------------------------------------------
+
+/// y := alpha * op(A) * x + beta * y.
+void gemv(Trans trans, double alpha, ConstMatrixView a, const double* x,
+          double beta, double* y);
+
+/// A := A + alpha * x * y^T.
+void ger(double alpha, const double* x, const double* y, MatrixView a);
+
+/// x := op(A) * x for triangular A (n-by-n).
+void trmv(Uplo uplo, Trans trans, Diag diag, ConstMatrixView a, double* x);
+
+/// Solve op(A) * x = b in place for triangular A (x overwrites b).
+void trsv(Uplo uplo, Trans trans, Diag diag, ConstMatrixView a, double* x);
+
+// ---- Level 3 -------------------------------------------------------------
+
+/// C := alpha * op(A) * op(B) + beta * C.
+void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+          ConstMatrixView b, double beta, MatrixView c);
+
+/// B := alpha * op(A) * B (Side::Left) or alpha * B * op(A) (Side::Right),
+/// A triangular.
+void trmm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView a, MatrixView b);
+
+/// Solve op(A) * X = alpha * B (Side::Left) or X * op(A) = alpha * B
+/// (Side::Right) in place, A triangular; X overwrites B.
+void trsm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView a, MatrixView b);
+
+// ---- Auxiliary (LAPACK-style helpers) -------------------------------------
+
+/// Set off-diagonal entries to `off` and diagonal entries to `diag`.
+void laset(Uplo uplo, double off, double diag, MatrixView a);
+/// Variant that sets the full rectangle.
+void laset_all(double off, double diag, MatrixView a);
+
+/// Copy (part of) a matrix: B := A.
+void lacpy_all(ConstMatrixView a, MatrixView b);
+void lacpy(Uplo uplo, ConstMatrixView a, MatrixView b);
+
+/// Frobenius norm.
+double norm_fro(ConstMatrixView a);
+/// Max-abs entry.
+double norm_max(ConstMatrixView a);
+/// One-norm (max column sum).
+double norm_one(ConstMatrixView a);
+
+}  // namespace pulsarqr::blas

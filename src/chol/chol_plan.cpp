@@ -1,0 +1,57 @@
+#include "chol/chol_plan.hpp"
+
+#include "common/error.hpp"
+
+namespace pulsarqr::chol {
+
+CholPlan::CholPlan(int mt) : mt_(mt) {
+  require(mt >= 1, "CholPlan: empty tile matrix");
+  for (int k = 0; k < mt; ++k) {
+    ops_.push_back({OpKind::Potrf, k, -1, -1});
+    for (int i = k + 1; i < mt; ++i) {
+      ops_.push_back({OpKind::Trsm, k, i, -1});
+    }
+    for (int j = k + 1; j < mt; ++j) {
+      ops_.push_back({OpKind::Syrk, k, -1, j});
+      for (int i = j + 1; i < mt; ++i) {
+        ops_.push_back({OpKind::Gemm, k, i, j});
+      }
+    }
+  }
+}
+
+namespace {
+int tile_dim(int n, int nb, int i) {
+  const int mt = (n + nb - 1) / nb;
+  return i == mt - 1 ? n - i * nb : nb;
+}
+}  // namespace
+
+double op_flops(const Op& op, int n, int nb) {
+  const double b = tile_dim(n, nb, op.k);
+  switch (op.kind) {
+    case OpKind::Potrf: {
+      const double d = tile_dim(n, nb, op.k);
+      return d * d * d / 3.0;
+    }
+    case OpKind::Trsm:
+      return static_cast<double>(tile_dim(n, nb, op.i)) * b * b;
+    case OpKind::Syrk: {
+      const double d = tile_dim(n, nb, op.j);
+      return d * d * b;
+    }
+    case OpKind::Gemm:
+      return 2.0 * tile_dim(n, nb, op.i) * tile_dim(n, nb, op.j) * b;
+  }
+  return 0.0;
+}
+
+double plan_flops(const CholPlan& plan, int n, int nb) {
+  double total = 0.0;
+  for (const auto& op : plan.ops()) total += op_flops(op, n, nb);
+  return total;
+}
+
+double chol_useful_flops(double n) { return n * n * n / 3.0; }
+
+}  // namespace pulsarqr::chol

@@ -1,0 +1,49 @@
+// Tile Cholesky plan — the op-stream single source of truth for the
+// PULSAR-mapped Cholesky (the paper's stated follow-up: "map other
+// algorithms onto PULSAR"). Right-looking tile algorithm on the lower
+// triangle:
+//   for k:  POTRF(k,k);  TRSM(i,k) for i>k;
+//           SYRK(j,j,k) and GEMM(i,j,k) for k<j<=i.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pulsarqr::chol {
+
+enum class OpKind : std::uint8_t {
+  Potrf,  ///< factor diagonal tile (k, k)
+  Trsm,   ///< L(i,k) := A(i,k) L(k,k)^{-T}
+  Syrk,   ///< A(j,j) -= L(j,k) L(j,k)^T
+  Gemm,   ///< A(i,j) -= L(i,k) L(j,k)^T, i > j
+};
+
+/// One kernel invocation; unused fields are -1.
+///   Potrf: (k)    Trsm: (i, k)    Syrk: (j, k)    Gemm: (i, j, k)
+struct Op {
+  OpKind kind;
+  int k;
+  int i;  ///< row (Trsm/Gemm)
+  int j;  ///< updated column (Syrk/Gemm)
+};
+
+class CholPlan {
+ public:
+  explicit CholPlan(int mt);
+
+  int mt() const { return mt_; }
+  const std::vector<Op>& ops() const { return ops_; }
+
+ private:
+  int mt_;
+  std::vector<Op> ops_;
+};
+
+/// Flop counts (lower-triangular kernels, tile size nb; diagonal blocks
+/// counted as triangular work).
+double op_flops(const Op& op, int n, int nb);
+double plan_flops(const CholPlan& plan, int n, int nb);
+/// Classical Cholesky useful flops: n^3 / 3.
+double chol_useful_flops(double n);
+
+}  // namespace pulsarqr::chol

@@ -1,0 +1,69 @@
+#include "chol/reference_chol.hpp"
+
+#include <utility>
+
+#include "blas/blas.hpp"
+#include "common/rng.hpp"
+#include "lapack/cholesky.hpp"
+
+namespace pulsarqr::chol {
+
+using blas::Diag;
+using blas::Side;
+using blas::Trans;
+using blas::Uplo;
+
+void execute_op(const Op& op, TileMatrix& a) {
+  switch (op.kind) {
+    case OpKind::Potrf:
+      lapack::potf2(a.tile(op.k, op.k));
+      break;
+    case OpKind::Trsm:
+      blas::trsm(Side::Right, Uplo::Lower, Trans::Yes, Diag::NonUnit, 1.0,
+                 a.tile(op.k, op.k), a.tile(op.i, op.k));
+      break;
+    case OpKind::Syrk:
+      blas::gemm(Trans::No, Trans::Yes, -1.0, a.tile(op.j, op.k),
+                 a.tile(op.j, op.k), 1.0, a.tile(op.j, op.j));
+      break;
+    case OpKind::Gemm:
+      blas::gemm(Trans::No, Trans::Yes, -1.0, a.tile(op.i, op.k),
+                 a.tile(op.j, op.k), 1.0, a.tile(op.i, op.j));
+      break;
+  }
+}
+
+TileMatrix tile_cholesky(TileMatrix a) {
+  require(a.rows() == a.cols(), "tile_cholesky: matrix must be square");
+  CholPlan plan(a.mt());
+  for (const auto& op : plan.ops()) execute_op(op, a);
+  return a;
+}
+
+Matrix extract_l(const TileMatrix& l) {
+  const int n = l.rows();
+  Matrix out(n, n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) out(i, j) = l.at(i, j);
+  }
+  return out;
+}
+
+std::vector<double> chol_solve(const TileMatrix& l, std::vector<double> b) {
+  require(static_cast<int>(b.size()) == l.rows(),
+          "chol_solve: rhs length mismatch");
+  Matrix ld = extract_l(l);
+  lapack::potrs(ld.view(), b.data());
+  return b;
+}
+
+Matrix random_spd(int n, std::uint64_t seed) {
+  Matrix m(n, n);
+  fill_random(m.view(), seed);
+  Matrix a(n, n);
+  blas::gemm(Trans::No, Trans::Yes, 1.0, m.view(), m.view(), 0.0, a.view());
+  for (int i = 0; i < n; ++i) a(i, i) += n;
+  return a;
+}
+
+}  // namespace pulsarqr::chol

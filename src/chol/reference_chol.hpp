@@ -1,0 +1,29 @@
+// Sequential reference executor for the tile Cholesky plan, plus the SPD
+// solve driver. Ground truth for the systolic-array Cholesky.
+#pragma once
+
+#include <vector>
+
+#include "chol/chol_plan.hpp"
+#include "tile/tile_matrix.hpp"
+
+namespace pulsarqr::chol {
+
+/// Execute one plan op against the tile matrix (lower triangle holds the
+/// data; the strict upper tiles are ignored and left untouched).
+void execute_op(const Op& op, TileMatrix& a);
+
+/// Factorize an SPD tile matrix in place (lower triangle becomes L).
+/// The matrix must be square with square tiles.
+TileMatrix tile_cholesky(TileMatrix a);
+
+/// Extract the dense lower-triangular factor.
+Matrix extract_l(const TileMatrix& l);
+
+/// Solve A x = b given the tile factor from tile_cholesky.
+std::vector<double> chol_solve(const TileMatrix& l, std::vector<double> b);
+
+/// Build a well-conditioned random SPD matrix (M M^T + n I).
+Matrix random_spd(int n, std::uint64_t seed);
+
+}  // namespace pulsarqr::chol

@@ -1,0 +1,48 @@
+// Tile Cholesky mapped onto the PULSAR runtime — the paper's stated
+// follow-up work ("to map other algorithms onto PULSAR"), built with the
+// same streaming idioms as the QR array:
+//
+//   * one Panel VDP P(k) per step: first tile -> potrf (L_kk held),
+//     further tiles -> trsm against the held L_kk; every produced L tile
+//     is broadcast rightward through a by-passing chain;
+//   * one Update VDP S(k,j) per trailing column: consumes the L chain in
+//     row order, keeps L_jk when it passes, pairs every L_ik (i >= j)
+//     with the streamed tile A(i,j) (syrk at i == j, gemm after) and
+//     forwards the updated tile to step k+1;
+//   * tile-stream channels start disabled on VDPs that first need to
+//     drain the chain (j > k+1) and are enabled on the fly, mirroring the
+//     QR array's dynamic channel control.
+//
+// Finalized L tiles exit into a shared result store; the output is
+// bitwise identical to chol::tile_cholesky.
+#pragma once
+
+#include "chol/reference_chol.hpp"
+#include "prt/vsa.hpp"
+
+namespace pulsarqr::chol {
+
+struct VsaCholOptions {
+  int nodes = 1;
+  int workers_per_node = 2;
+  prt::Scheduling scheduling = prt::Scheduling::Lazy;
+  bool work_stealing = false;
+  bool trace = false;
+  double watchdog_seconds = 60.0;
+};
+
+struct VsaCholRun {
+  TileMatrix l;  ///< lower triangle holds the factor
+  prt::Vsa::RunStats stats;
+  std::vector<prt::trace::Event> events;
+  int vdp_count = 0;
+  int channel_count = 0;
+};
+
+/// Factorize an SPD tile matrix on the systolic array. Only the lower
+/// triangle of `a` is read.
+VsaCholRun vsa_cholesky(const TileMatrix& a, const VsaCholOptions& opt);
+
+enum CholTraceColor { kCholPanel = 0, kCholUpdate = 1 };
+
+}  // namespace pulsarqr::chol

@@ -1,0 +1,26 @@
+#include "common/error.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace pulsarqr {
+
+void require(bool cond, const std::string& msg) {
+  if (!cond) {
+    throw Error(msg);
+  }
+}
+
+namespace detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  // An internal invariant failed inside a (possibly multithreaded) runtime.
+  // Unwinding across worker threads would deadlock the VSA, so abort.
+  std::cerr << "pulsarqr internal error: " << msg << "\n  expression: " << expr
+            << "\n  at " << file << ":" << line << std::endl;
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace pulsarqr

@@ -1,0 +1,36 @@
+// Error handling for pulsarqr.
+//
+// The library throws pulsarqr::Error for user-facing contract violations
+// (bad dimensions, invalid configuration) and uses PQR_ASSERT for internal
+// invariants that indicate a library bug.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pulsarqr {
+
+/// Exception thrown on API contract violations.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+/// Check a user-facing precondition; throws pulsarqr::Error on failure.
+void require(bool cond, const std::string& msg);
+
+}  // namespace pulsarqr
+
+// Internal invariant check. Active in all build types: the runtime is
+// concurrent and silent corruption is far more expensive than the branch.
+#define PQR_ASSERT(expr, msg)                                             \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::pulsarqr::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,59 @@
+#include "common/rng.hpp"
+
+namespace pulsarqr {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_unit() {
+  // Top 53 bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_symmetric() { return 2.0 * next_unit() - 1.0; }
+
+void fill_random(MatrixView a, std::uint64_t seed) {
+  Rng rng(seed);
+  for (int j = 0; j < a.cols; ++j) {
+    for (int i = 0; i < a.rows; ++i) {
+      a(i, j) = rng.next_symmetric();
+    }
+  }
+}
+
+void fill_random_well_conditioned(MatrixView a, std::uint64_t seed) {
+  fill_random(a, seed);
+  const int k = a.rows < a.cols ? a.rows : a.cols;
+  for (int j = 0; j < k; ++j) {
+    a(j, j) += (a(j, j) >= 0 ? 2.0 : -2.0);
+  }
+}
+
+}  // namespace pulsarqr

@@ -1,0 +1,33 @@
+// Deterministic random matrix generation for tests, examples and benches.
+#pragma once
+
+#include <cstdint>
+
+#include "common/view.hpp"
+
+namespace pulsarqr {
+
+/// Small, fast, reproducible PRNG (xoshiro256**). Deterministic across
+/// platforms, unlike std::mt19937 + std::uniform_real_distribution.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+  /// Uniform double in [-1, 1).
+  double next_symmetric();
+  /// Uniform double in [0, 1).
+  double next_unit();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Fill a matrix view with uniform values in [-1, 1), reproducibly.
+void fill_random(MatrixView a, std::uint64_t seed);
+
+/// Fill with a well-conditioned random matrix: uniform noise plus a
+/// diagonal shift that keeps tall-skinny least-squares problems benign.
+void fill_random_well_conditioned(MatrixView a, std::uint64_t seed);
+
+}  // namespace pulsarqr

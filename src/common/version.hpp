@@ -1,0 +1,12 @@
+// Library version.
+#pragma once
+
+#define PULSARQR_VERSION_MAJOR 1
+#define PULSARQR_VERSION_MINOR 0
+#define PULSARQR_VERSION_PATCH 0
+#define PULSARQR_VERSION "1.0.0"
+
+namespace pulsarqr {
+/// Version string of the library ("major.minor.patch").
+inline const char* version() { return PULSARQR_VERSION; }
+}  // namespace pulsarqr

@@ -1,0 +1,107 @@
+// Column-major 2-D views over contiguous storage (LAPACK convention).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace pulsarqr {
+
+/// Non-owning mutable column-major matrix view: element (i, j) is
+/// data[i + j * ld]. All dense-kernel routines in blas/ and lapack/ take
+/// MatrixView / ConstMatrixView so they compose with tiles, dense matrices
+/// and sub-blocks alike.
+struct MatrixView {
+  double* data = nullptr;
+  int rows = 0;
+  int cols = 0;
+  int ld = 0;  ///< leading dimension, >= rows
+
+  MatrixView() = default;
+  MatrixView(double* d, int m, int n, int l) : data(d), rows(m), cols(n), ld(l) {
+    PQR_ASSERT(m >= 0 && n >= 0 && l >= m, "bad MatrixView shape");
+  }
+
+  double& operator()(int i, int j) const { return data[i + static_cast<std::ptrdiff_t>(j) * ld]; }
+
+  /// Sub-view of rows [i0, i0+m) x cols [j0, j0+n).
+  MatrixView block(int i0, int j0, int m, int n) const {
+    PQR_ASSERT(i0 >= 0 && j0 >= 0 && i0 + m <= rows && j0 + n <= cols,
+               "MatrixView::block out of range");
+    return MatrixView(data + i0 + static_cast<std::ptrdiff_t>(j0) * ld, m, n, ld);
+  }
+
+  /// Column j as a raw pointer (length rows).
+  double* col(int j) const { return data + static_cast<std::ptrdiff_t>(j) * ld; }
+};
+
+/// Non-owning read-only column-major matrix view.
+struct ConstMatrixView {
+  const double* data = nullptr;
+  int rows = 0;
+  int cols = 0;
+  int ld = 0;
+
+  ConstMatrixView() = default;
+  ConstMatrixView(const double* d, int m, int n, int l)
+      : data(d), rows(m), cols(n), ld(l) {
+    PQR_ASSERT(m >= 0 && n >= 0 && l >= m, "bad ConstMatrixView shape");
+  }
+  ConstMatrixView(const MatrixView& v)  // NOLINT: implicit by design
+      : data(v.data), rows(v.rows), cols(v.cols), ld(v.ld) {}
+
+  const double& operator()(int i, int j) const {
+    return data[i + static_cast<std::ptrdiff_t>(j) * ld];
+  }
+
+  ConstMatrixView block(int i0, int j0, int m, int n) const {
+    PQR_ASSERT(i0 >= 0 && j0 >= 0 && i0 + m <= rows && j0 + n <= cols,
+               "ConstMatrixView::block out of range");
+    return ConstMatrixView(data + i0 + static_cast<std::ptrdiff_t>(j0) * ld, m, n, ld);
+  }
+
+  const double* col(int j) const { return data + static_cast<std::ptrdiff_t>(j) * ld; }
+};
+
+/// Owning column-major dense matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int m, int n) : rows_(m), cols_(n), data_(checked_size(m, n), 0.0) {}
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int ld() const { return rows_; }
+
+  double& operator()(int i, int j) {
+    return data_[i + static_cast<std::size_t>(j) * rows_];
+  }
+  const double& operator()(int i, int j) const {
+    return data_[i + static_cast<std::size_t>(j) * rows_];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  MatrixView view() { return MatrixView(data_.data(), rows_, cols_, rows_); }
+  ConstMatrixView view() const {
+    return ConstMatrixView(data_.data(), rows_, cols_, rows_);
+  }
+  MatrixView block(int i0, int j0, int m, int n) { return view().block(i0, j0, m, n); }
+  ConstMatrixView block(int i0, int j0, int m, int n) const {
+    return view().block(i0, j0, m, n);
+  }
+
+ private:
+  static std::size_t checked_size(int m, int n) {
+    require(m >= 0 && n >= 0, "Matrix dimensions must be non-negative");
+    return static_cast<std::size_t>(m) * static_cast<std::size_t>(n);
+  }
+
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace pulsarqr

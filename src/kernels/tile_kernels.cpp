@@ -1,0 +1,179 @@
+#include "kernels/tile_kernels.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "lapack/householder.hpp"
+#include "lapack/qr.hpp"
+
+namespace pulsarqr::kernels {
+
+using blas::Diag;
+using blas::Side;
+using blas::Trans;
+using blas::Uplo;
+
+void geqrt(MatrixView a, int ib, MatrixView t) { lapack::geqrt(a, ib, t); }
+
+void ormqr(blas::Trans trans, ConstMatrixView v, ConstMatrixView t, int ib,
+           MatrixView c) {
+  lapack::ormqr_t(trans, v, t, ib, c);
+}
+
+namespace {
+
+// Shared "triangle on top of block" QR core: factorizes [A1; A2] where A1
+// is n-by-n upper triangular and A2 is m2-by-n dense. Householder vector j
+// is [e_j; V2(:, j)] (identity top), so only row j of A1 is touched when
+// eliminating column j, and the block T recurrence reduces to dot products
+// over V2 columns.
+void stacked_qrt(MatrixView a1, MatrixView a2, int ib, MatrixView t) {
+  const int n = a1.cols;
+  const int m2 = a2.rows;
+  PQR_ASSERT(a1.rows >= n, "tsqrt: A1 must be at least n-by-n");
+  PQR_ASSERT(a2.cols == n, "tsqrt: A2 column mismatch");
+  require(ib >= 1, "tsqrt: ib must be positive");
+  PQR_ASSERT(t.rows >= std::min(ib, n) && t.cols >= n, "tsqrt: T too small");
+
+  std::vector<double> tau(std::min(ib, n));
+  std::vector<double> work;
+
+  for (int jb = 0; jb < n; jb += ib) {
+    const int kb = std::min(ib, n - jb);
+    // Panel: eliminate columns jb .. jb+kb-1 one reflector at a time.
+    for (int jl = 0; jl < kb; ++jl) {
+      const int j = jb + jl;
+      tau[jl] = lapack::larfg(m2 + 1, a1(j, j), a2.col(j));
+      // Apply H_j to the remaining columns of this panel.
+      for (int jj = j + 1; jj < jb + kb; ++jj) {
+        double w = a1(j, jj) + blas::dot(m2, a2.col(j), a2.col(jj));
+        w *= tau[jl];
+        a1(j, jj) -= w;
+        blas::axpy(m2, -w, a2.col(j), a2.col(jj));
+      }
+    }
+    // T block for this panel: T(i,i) = tau_i and
+    // T(0:i, i) = -tau_i * T(0:i, 0:i) * (V2b(:, 0:i)^T V2b(:, i));
+    // the identity tops of the reflectors contribute nothing off-diagonal.
+    MatrixView tb = t.block(0, jb, kb, kb);
+    for (int i = 0; i < kb; ++i) {
+      tb(i, i) = tau[i];
+      for (int j2 = 0; j2 < i; ++j2) {
+        tb(j2, i) = -tau[i] * blas::dot(m2, a2.col(jb + j2), a2.col(jb + i));
+      }
+      if (i > 0) {
+        blas::trmv(Uplo::Upper, Trans::No, Diag::NonUnit,
+                   ConstMatrixView(tb.data, i, i, tb.ld), tb.col(i));
+      }
+    }
+    // Block update of the trailing columns: with V = [I; V2b],
+    //   W  = A1(jb:jb+kb, rest) + V2b^T A2(:, rest)
+    //   W := T^T W
+    //   A1(jb:jb+kb, rest) -= W ;  A2(:, rest) -= V2b W.
+    const int rest = n - (jb + kb);
+    if (rest > 0) {
+      work.resize(static_cast<std::size_t>(kb) * rest);
+      MatrixView w(work.data(), kb, rest, kb);
+      blas::lacpy_all(a1.block(jb, jb + kb, kb, rest), w);
+      ConstMatrixView v2b(a2.col(jb), m2, kb, a2.ld);
+      blas::gemm(Trans::Yes, Trans::No, 1.0, v2b,
+                 a2.block(0, jb + kb, m2, rest), 1.0, w);
+      blas::trmm(Side::Left, Uplo::Upper, Trans::Yes, Diag::NonUnit, 1.0,
+                 ConstMatrixView(tb), w);
+      for (int j2 = 0; j2 < rest; ++j2) {
+        blas::axpy(kb, -1.0, w.col(j2), a1.col(jb + kb + j2) + jb);
+      }
+      blas::gemm(Trans::No, Trans::No, -1.0, v2b, ConstMatrixView(w), 1.0,
+                 a2.block(0, jb + kb, m2, rest));
+    }
+  }
+}
+
+// Shared apply core for tsmqr/ttmqr: C := op(Q) C with Q from stacked_qrt.
+void stacked_apply(Trans trans, ConstMatrixView v2, ConstMatrixView t, int ib,
+                   MatrixView c1, MatrixView c2) {
+  const int n = v2.cols;
+  const int m2 = v2.rows;
+  const int nc = c1.cols;
+  PQR_ASSERT(c1.rows >= n, "tsmqr: C1 must have at least n rows");
+  PQR_ASSERT(c2.rows == m2 && c2.cols == nc, "tsmqr: C2 shape mismatch");
+  require(ib >= 1, "tsmqr: ib must be positive");
+  if (n == 0 || nc == 0) return;
+
+  std::vector<double> work(static_cast<std::size_t>(std::min(ib, n)) * nc);
+  const int nblocks = (n + ib - 1) / ib;
+  // Q^T applies inner blocks first-to-last (with T^T), Q last-to-first.
+  for (int bi = 0; bi < nblocks; ++bi) {
+    const int b = trans == Trans::Yes ? bi : nblocks - 1 - bi;
+    const int jb = b * ib;
+    const int kb = std::min(ib, n - jb);
+    ConstMatrixView v2b(v2.col(jb), m2, kb, v2.ld);
+    ConstMatrixView tb = t.block(0, jb, kb, kb);
+    MatrixView w(work.data(), kb, nc, kb);
+    // W = C1(jb:jb+kb, :) + V2b^T C2
+    blas::lacpy_all(c1.block(jb, 0, kb, nc), w);
+    blas::gemm(Trans::Yes, Trans::No, 1.0, v2b, ConstMatrixView(c2), 1.0, w);
+    // W := op(T) W
+    blas::trmm(Side::Left, Uplo::Upper, trans, Diag::NonUnit, 1.0, tb, w);
+    // C1(jb:jb+kb, :) -= W ;  C2 -= V2b W
+    for (int j2 = 0; j2 < nc; ++j2) {
+      blas::axpy(kb, -1.0, w.col(j2), c1.col(j2) + jb);
+    }
+    blas::gemm(Trans::No, Trans::No, -1.0, v2b, ConstMatrixView(w), 1.0, c2);
+  }
+}
+
+// Copy the upper triangle of src into a dense zero-filled n-by-n buffer.
+Matrix upper_of(ConstMatrixView src) {
+  const int n = src.cols;
+  PQR_ASSERT(src.rows >= std::min(src.rows, n), "upper_of: bad shape");
+  const int m = std::min(src.rows, n);
+  Matrix dense(m, n);
+  for (int j = 0; j < n; ++j) {
+    const int top = std::min(j + 1, m);
+    for (int i = 0; i < top; ++i) dense(i, j) = src(i, j);
+  }
+  return dense;
+}
+
+// Write the upper triangle of src back into dst, leaving the strict lower
+// part of dst untouched (it holds Householder vectors from earlier kernels).
+void copy_upper_back(ConstMatrixView src, MatrixView dst) {
+  for (int j = 0; j < src.cols; ++j) {
+    const int top = std::min(j + 1, src.rows);
+    for (int i = 0; i < top; ++i) dst(i, j) = src(i, j);
+  }
+}
+
+}  // namespace
+
+void tsqrt(MatrixView a1, MatrixView a2, int ib, MatrixView t) {
+  stacked_qrt(a1, a2, ib, t);
+}
+
+void tsmqr(Trans trans, ConstMatrixView v2, ConstMatrixView t, int ib,
+           MatrixView c1, MatrixView c2) {
+  stacked_apply(trans, v2, t, ib, c1, c2);
+}
+
+void ttqrt(MatrixView a1, MatrixView a2, int ib, MatrixView t) {
+  // Only the upper triangle of A2 is input (R of the losing domain) and only
+  // the upper triangle is output (V2); the strict lower part of the tile
+  // holds Householder vectors from the flat-tree phase and must survive.
+  const int n = a1.cols;
+  const int m2 = std::min(a2.rows, n);
+  Matrix v2 = upper_of(ConstMatrixView(a2.data, m2, n, a2.ld));
+  stacked_qrt(a1, v2.view(), ib, t);
+  copy_upper_back(v2.view(), MatrixView(a2.data, m2, n, a2.ld));
+}
+
+void ttmqr(Trans trans, ConstMatrixView v2, ConstMatrixView t, int ib,
+           MatrixView c1, MatrixView c2) {
+  const int n = v2.cols;
+  const int m2 = std::min(v2.rows, n);
+  Matrix v2u = upper_of(ConstMatrixView(v2.data, m2, n, v2.ld));
+  stacked_apply(trans, v2u.view(), t, ib, c1,
+                MatrixView(c2.data, m2, c2.cols, c2.ld));
+}
+
+}  // namespace pulsarqr::kernels

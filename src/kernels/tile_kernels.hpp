@@ -1,0 +1,58 @@
+// The six tile kernels of the tree-based QR decomposition (Section V-B of
+// the paper; PLASMA core_blas equivalents):
+//
+//   geqrt  — QR of a single tile; R in the upper triangle, Householder
+//            vectors in the strict lower trapezoid, T factors on the side.
+//   ormqr  — apply the geqrt transformations to a trailing tile.
+//   tsqrt  — incremental QR of [R1; A2] ("triangle on top of square"):
+//            R1 is an already-factorized upper-triangular tile, A2 a full
+//            tile; R1 is updated, A2 is overwritten by Householder vectors.
+//   tsmqr  — apply the tsqrt transformations to a stacked pair [C1; C2].
+//   ttqrt  — incremental QR of [R1; R2] ("triangle on top of triangle"):
+//            both operands upper triangular; used by the binary tree.
+//   ttmqr  — apply the ttqrt transformations to a stacked pair [C1; C2].
+//
+// All kernels use inner block size ib: transformations are accumulated in
+// ib-wide compact WY blocks whose T factors are stored in an ib-by-n tile.
+// The TT kernels share the stacked-QR core with the TS kernels: on upper
+// triangular input the Householder vectors stay upper triangular (the
+// structural zeros are preserved exactly), so the math is identical and the
+// flop savings of the triangular structure are accounted for analytically
+// in sim/cost_model rather than exploited in the inner loops.
+#pragma once
+
+#include "blas/blas.hpp"
+#include "common/view.hpp"
+
+namespace pulsarqr::kernels {
+
+/// QR of tile a (m-by-n, any shape). t is ib-by-n (one T block per inner
+/// panel). Equivalent to lapack::geqrt.
+void geqrt(MatrixView a, int ib, MatrixView t);
+
+/// Apply op(Q) from geqrt(v, t) to tile c from the left (op = transpose for
+/// Trans::Yes, as used during factorization).
+void ormqr(blas::Trans trans, ConstMatrixView v, ConstMatrixView t, int ib,
+           MatrixView c);
+
+/// Incremental QR of [A1; A2]: A1 is n-by-n upper triangular (R from a
+/// previous geqrt/tsqrt) and is updated in place; A2 is m2-by-n (m2 >= 1,
+/// any m2 including m2 < n) and is overwritten with the Householder
+/// vectors V2; t is ib-by-n.
+void tsqrt(MatrixView a1, MatrixView a2, int ib, MatrixView t);
+
+/// Apply op(Q) from tsqrt(v2, t) to the stacked pair [C1; C2] from the
+/// left. C1 is n-by-nc (only its first n rows participate; callers pass a
+/// tile whose row count equals v2.cols), C2 is m2-by-nc with m2 == v2.rows.
+void tsmqr(blas::Trans trans, ConstMatrixView v2, ConstMatrixView t, int ib,
+           MatrixView c1, MatrixView c2);
+
+/// Triangle-on-triangle QR: like tsqrt but A2 is upper triangular on entry
+/// (only its upper triangle is meaningful); V2 stays upper triangular.
+void ttqrt(MatrixView a1, MatrixView a2, int ib, MatrixView t);
+
+/// Apply op(Q) from ttqrt to [C1; C2].
+void ttmqr(blas::Trans trans, ConstMatrixView v2, ConstMatrixView t, int ib,
+           MatrixView c1, MatrixView c2);
+
+}  // namespace pulsarqr::kernels

@@ -1,0 +1,70 @@
+#include "lapack/cholesky.hpp"
+
+#include <cmath>
+
+#include "blas/blas.hpp"
+
+namespace pulsarqr::lapack {
+
+using blas::Diag;
+using blas::Side;
+using blas::Trans;
+using blas::Uplo;
+
+namespace {
+void zero_strict_upper(MatrixView a) {
+  for (int j = 1; j < a.cols; ++j) {
+    for (int i = 0; i < j && i < a.rows; ++i) a(i, j) = 0.0;
+  }
+}
+}  // namespace
+
+void potf2(MatrixView a) {
+  const int n = a.rows;
+  PQR_ASSERT(a.cols == n, "potf2: A must be square");
+  for (int j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (int p = 0; p < j; ++p) d -= a(j, p) * a(j, p);
+    require(d > 0.0, "potf2: matrix is not positive definite");
+    const double ljj = std::sqrt(d);
+    a(j, j) = ljj;
+    for (int i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (int p = 0; p < j; ++p) s -= a(i, p) * a(j, p);
+      a(i, j) = s / ljj;
+    }
+  }
+  zero_strict_upper(a);
+}
+
+void potrf(MatrixView a, int nb) {
+  const int n = a.rows;
+  PQR_ASSERT(a.cols == n, "potrf: A must be square");
+  if (nb >= n) {
+    potf2(a);
+    return;
+  }
+  for (int k = 0; k < n; k += nb) {
+    const int kb = k + nb < n ? nb : n - k;
+    potf2(a.block(k, k, kb, kb));
+    if (k + kb < n) {
+      const int rest = n - k - kb;
+      // L21 := A21 * L11^{-T}
+      blas::trsm(Side::Right, Uplo::Lower, Trans::Yes, Diag::NonUnit, 1.0,
+                 a.block(k, k, kb, kb), a.block(k + kb, k, rest, kb));
+      // A22 -= L21 * L21^T (full square update: cheaper bookkeeping than a
+      // triangular syrk and the upper triangle is discarded below anyway).
+      blas::gemm(Trans::No, Trans::Yes, -1.0, a.block(k + kb, k, rest, kb),
+                 a.block(k + kb, k, rest, kb), 1.0,
+                 a.block(k + kb, k + kb, rest, rest));
+    }
+  }
+  zero_strict_upper(a);
+}
+
+void potrs(ConstMatrixView a, double* b) {
+  blas::trsv(Uplo::Lower, Trans::No, Diag::NonUnit, a, b);
+  blas::trsv(Uplo::Lower, Trans::Yes, Diag::NonUnit, a, b);
+}
+
+}  // namespace pulsarqr::lapack

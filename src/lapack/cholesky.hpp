@@ -1,0 +1,20 @@
+// Cholesky factorization (lower, A = L L^T) — the tile kernel behind the
+// PULSAR-mapped Cholesky (src/chol), and a dense driver for tests.
+#pragma once
+
+#include "common/view.hpp"
+
+namespace pulsarqr::lapack {
+
+/// Unblocked lower Cholesky of an n-by-n SPD matrix in place. Throws
+/// pulsarqr::Error if a non-positive pivot is met (matrix not SPD).
+void potf2(MatrixView a);
+
+/// Blocked lower Cholesky with block size nb.
+void potrf(MatrixView a, int nb = 32);
+
+/// Solve A x = b given the Cholesky factor L (lower triangle of a);
+/// b is overwritten with x.
+void potrs(ConstMatrixView a, double* b);
+
+}  // namespace pulsarqr::lapack

@@ -1,0 +1,115 @@
+#include "lapack/householder.hpp"
+
+#include <cmath>
+
+namespace pulsarqr::lapack {
+
+using blas::Diag;
+using blas::Trans;
+using blas::Uplo;
+
+double larfg(int n, double& alpha, double* x) {
+  if (n <= 1) return 0.0;
+  const double xnorm = blas::nrm2(n - 1, x);
+  if (xnorm == 0.0) return 0.0;  // H = I
+  double beta = -std::copysign(std::hypot(alpha, xnorm), alpha);
+  // Rescale if beta is tiny (LAPACK-style safeguard).
+  const double safmin = 2.00416836000897278e-292;  // dlamch('S') / eps
+  int iters = 0;
+  double scale = 1.0;
+  while (std::fabs(beta) < safmin && iters < 20) {
+    const double inv = 1.0 / safmin;
+    blas::scal(n - 1, inv, x);
+    beta *= inv;
+    alpha *= inv;
+    scale *= safmin;
+    ++iters;
+  }
+  if (iters > 0) {
+    const double xn = blas::nrm2(n - 1, x);
+    beta = -std::copysign(std::hypot(alpha, xn), alpha);
+  }
+  const double tau = (beta - alpha) / beta;
+  blas::scal(n - 1, 1.0 / (alpha - beta), x);
+  alpha = beta * scale;
+  return tau;
+}
+
+void larf_left(const double* v, double tau, MatrixView c, double* work) {
+  if (tau == 0.0) return;
+  const int m = c.rows;
+  const int n = c.cols;
+  // work := C^T v  (v(0) = 1 implicit)
+  for (int j = 0; j < n; ++j) {
+    const double* cj = c.col(j);
+    double s = cj[0];
+    for (int i = 1; i < m; ++i) s += cj[i] * v[i];
+    work[j] = s;
+  }
+  // C := C - tau * v * work^T
+  for (int j = 0; j < n; ++j) {
+    const double t = tau * work[j];
+    if (t == 0.0) continue;
+    double* cj = c.col(j);
+    cj[0] -= t;
+    for (int i = 1; i < m; ++i) cj[i] -= t * v[i];
+  }
+}
+
+void larft(ConstMatrixView v, const double* tau, MatrixView t) {
+  const int k = v.cols;
+  PQR_ASSERT(t.rows >= k && t.cols >= k, "larft: T too small");
+  const int m = v.rows;
+  for (int i = 0; i < k; ++i) {
+    t(i, i) = tau[i];
+    if (i == 0) continue;
+    // t(0:i, i) = -tau_i * V(:, 0:i)^T * v_i, exploiting the unit-lower
+    // trapezoidal structure: v_i has zeros above row i and v_i(i) = 1.
+    for (int j = 0; j < i; ++j) {
+      // dot over rows i..m-1; row i of column j is v(i, j), v_i(i) = 1.
+      double s = v(i, j);  // * v_i(i) == 1
+      for (int r = i + 1; r < m; ++r) s += v(r, j) * v(r, i);
+      t(j, i) = -tau[i] * s;
+    }
+    // t(0:i, i) := T(0:i, 0:i) * t(0:i, i)
+    blas::trmv(Uplo::Upper, Trans::No, Diag::NonUnit,
+               ConstMatrixView(t.data, i, i, t.ld), t.col(i));
+  }
+}
+
+void larfb_left(blas::Trans trans, ConstMatrixView v, ConstMatrixView t,
+                MatrixView c, double* work) {
+  const int m = c.rows;
+  const int n = c.cols;
+  const int k = v.cols;
+  PQR_ASSERT(v.rows == m && t.rows >= k && t.cols >= k,
+             "larfb_left: shape mismatch");
+  if (k == 0 || m == 0 || n == 0) return;
+  // W (k-by-n) = V^T C, with V = [V1 (unit lower tri, k-by-k); V2].
+  MatrixView w(work, k, n, k);
+  // W := V1^T C1 : copy C1 then trmm.
+  blas::lacpy_all(ConstMatrixView(c.data, k, n, c.ld), w);
+  blas::trmm(blas::Side::Left, Uplo::Lower, Trans::Yes, Diag::Unit,
+             1.0, ConstMatrixView(v.data, k, k, v.ld), w);
+  if (m > k) {
+    blas::gemm(Trans::Yes, Trans::No, 1.0, v.block(k, 0, m - k, k),
+               ConstMatrixView(c.data + k, m - k, n, c.ld), 1.0, w);
+  }
+  // W := op(T) W
+  blas::trmm(blas::Side::Left, Uplo::Upper, trans, Diag::NonUnit, 1.0,
+             ConstMatrixView(t.data, k, k, t.ld), w);
+  // C := C - V W
+  if (m > k) {
+    blas::gemm(Trans::No, Trans::No, -1.0, v.block(k, 0, m - k, k),
+               ConstMatrixView(w), 1.0,
+               MatrixView(c.data + k, m - k, n, c.ld));
+  }
+  // C1 := C1 - V1 W : compute V1 W via trmm into a copy of W, then subtract.
+  blas::trmm(blas::Side::Left, Uplo::Lower, Trans::No, Diag::Unit, 1.0,
+             ConstMatrixView(v.data, k, k, v.ld), w);
+  for (int j = 0; j < n; ++j) {
+    blas::axpy(k, -1.0, w.col(j), c.col(j));
+  }
+}
+
+}  // namespace pulsarqr::lapack

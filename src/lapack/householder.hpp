@@ -1,0 +1,34 @@
+// Householder reflector primitives (LAPACK dlarfg/dlarf/dlarft/dlarfb
+// equivalents), the numerical core of every QR kernel in this library.
+//
+// Conventions follow LAPACK: a reflector is H = I - tau * v * v^T with
+// v(0) = 1 implicit; a block of k reflectors is H_1 ... H_k =
+// I - V * T * V^T with V unit-lower-trapezoidal and T upper triangular.
+#pragma once
+
+#include "blas/blas.hpp"
+#include "common/view.hpp"
+
+namespace pulsarqr::lapack {
+
+/// Generate a Householder reflector for the n-vector [alpha; x] (x of
+/// length n-1) such that H * [alpha; x] = [beta; 0]. On return alpha is
+/// overwritten with beta and x with the tail of v. Returns tau.
+double larfg(int n, double& alpha, double* x);
+
+/// Apply H = I - tau * v * v^T from the left to C. v has length C.rows
+/// with v(0) = 1 implicit (v[0] is not read). work must hold C.cols doubles.
+void larf_left(const double* v, double tau, MatrixView c, double* work);
+
+/// Form the T factor of a block reflector from V (m-by-k, unit lower
+/// trapezoidal, diagonal ones implicit) and tau (length k). T is k-by-k
+/// upper triangular, written into t.
+void larft(ConstMatrixView v, const double* tau, MatrixView t);
+
+/// Apply a block reflector (or its transpose) from the left:
+/// C := (I - V op(T) V^T) C, with trans selecting op(T) = T or T^T.
+/// V is m-by-k unit-lower-trapezoidal; work must hold k * C.cols doubles.
+void larfb_left(blas::Trans trans, ConstMatrixView v, ConstMatrixView t,
+                MatrixView c, double* work);
+
+}  // namespace pulsarqr::lapack

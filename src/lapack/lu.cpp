@@ -1,0 +1,65 @@
+#include "lapack/lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "blas/blas.hpp"
+
+namespace pulsarqr::lapack {
+
+using blas::Diag;
+using blas::Side;
+using blas::Trans;
+using blas::Uplo;
+
+void getf2_nopiv(MatrixView a) {
+  const int m = a.rows;
+  const int n = a.cols;
+  const int k = std::min(m, n);
+  for (int j = 0; j < k; ++j) {
+    const double pivot = a(j, j);
+    require(pivot != 0.0, "getf2_nopiv: zero pivot (matrix needs pivoting)");
+    for (int i = j + 1; i < m; ++i) a(i, j) /= pivot;
+    // Rank-1 update of the trailing block: A22 -= l * u^T, where u is the
+    // (strided) remainder of row j — updated column by column.
+    for (int c = j + 1; c < n; ++c) {
+      const double u = a(j, c);
+      if (u != 0.0) blas::axpy(m - j - 1, -u, a.col(j) + j + 1, a.col(c) + j + 1);
+    }
+  }
+}
+
+void getrf_nopiv(MatrixView a, int nb) {
+  const int m = a.rows;
+  const int n = a.cols;
+  const int k = std::min(m, n);
+  if (nb >= k) {
+    getf2_nopiv(a);
+    return;
+  }
+  for (int j = 0; j < k; j += nb) {
+    const int kb = std::min(nb, k - j);
+    // Factor the panel.
+    getf2_nopiv(a.block(j, j, m - j, kb));
+    if (j + kb < n) {
+      // U12 := L11^{-1} A12
+      blas::trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, 1.0,
+                 a.block(j, j, kb, kb), a.block(j, j + kb, kb, n - j - kb));
+      if (j + kb < m) {
+        // A22 -= L21 U12
+        blas::gemm(Trans::No, Trans::No, -1.0,
+                   a.block(j + kb, j, m - j - kb, kb),
+                   a.block(j, j + kb, kb, n - j - kb), 1.0,
+                   a.block(j + kb, j + kb, m - j - kb, n - j - kb));
+      }
+    }
+  }
+}
+
+void getrs_nopiv(ConstMatrixView lu, double* b) {
+  PQR_ASSERT(lu.rows == lu.cols, "getrs_nopiv: LU must be square");
+  blas::trsv(Uplo::Lower, Trans::No, Diag::Unit, lu, b);
+  blas::trsv(Uplo::Upper, Trans::No, Diag::NonUnit, lu, b);
+}
+
+}  // namespace pulsarqr::lapack

@@ -1,0 +1,22 @@
+// LU factorization without pivoting (A = L U, L unit lower), used by the
+// PULSAR-mapped LU (src/lu). No-pivot LU is numerically safe only for
+// special classes (diagonally dominant, SPD-like); callers are expected
+// to know their matrix — the same contract as PLASMA's dgetrf_nopiv.
+#pragma once
+
+#include "common/view.hpp"
+
+namespace pulsarqr::lapack {
+
+/// Unblocked no-pivot LU of an m-by-n matrix in place: U in the upper
+/// triangle, unit-L factors below. Throws on a zero pivot.
+void getf2_nopiv(MatrixView a);
+
+/// Blocked no-pivot LU with block size nb.
+void getrf_nopiv(MatrixView a, int nb = 32);
+
+/// Solve A x = b given the packed LU factors (square n-by-n); b is
+/// overwritten with x.
+void getrs_nopiv(ConstMatrixView lu, double* b);
+
+}  // namespace pulsarqr::lapack

@@ -1,0 +1,31 @@
+#include "lapack/solve.hpp"
+
+#include "blas/blas.hpp"
+#include "lapack/qr.hpp"
+
+namespace pulsarqr::lapack {
+
+std::vector<double> least_squares(MatrixView a, std::vector<double> b) {
+  const int m = a.rows;
+  const int n = a.cols;
+  require(m >= n, "least_squares: need m >= n");
+  require(static_cast<int>(b.size()) == m, "least_squares: rhs length mismatch");
+  std::vector<double> tau(n);
+  geqrf(a, tau.data());
+  MatrixView bview(b.data(), m, 1, m);
+  ormqr(blas::Trans::Yes, ConstMatrixView(a), tau.data(), bview);
+  // Solve R x = (Q^T b)(0:n).
+  blas::trsv(blas::Uplo::Upper, blas::Trans::No, blas::Diag::NonUnit,
+             ConstMatrixView(a.data, n, n, a.ld), b.data());
+  b.resize(n);
+  return b;
+}
+
+double residual_norm(ConstMatrixView a, const std::vector<double>& x,
+                     const std::vector<double>& b) {
+  std::vector<double> r = b;
+  blas::gemv(blas::Trans::No, -1.0, a, x.data(), 1.0, r.data());
+  return blas::nrm2(static_cast<int>(r.size()), r.data());
+}
+
+}  // namespace pulsarqr::lapack

@@ -1,0 +1,19 @@
+// Dense least-squares driver (LAPACK dgels equivalent, QR path only) used
+// as ground truth for the tile/VSA solvers and by the examples.
+#pragma once
+
+#include <vector>
+
+#include "common/view.hpp"
+
+namespace pulsarqr::lapack {
+
+/// Solve min_x ||A x - b||_2 for full-rank A (m >= n) via Householder QR.
+/// A is destroyed. b has length m; returns x of length n.
+std::vector<double> least_squares(MatrixView a, std::vector<double> b);
+
+/// Residual norm ||b - A x||_2 without destroying A.
+double residual_norm(ConstMatrixView a, const std::vector<double>& x,
+                     const std::vector<double>& b);
+
+}  // namespace pulsarqr::lapack

@@ -1,0 +1,62 @@
+#include "lu/lu_plan.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pulsarqr::lu {
+
+LuPlan::LuPlan(int mt, int nt)
+    : mt_(mt), nt_(nt), panels_(std::min(mt, nt)) {
+  require(mt >= 1 && nt >= 1, "LuPlan: empty tile matrix");
+  for (int k = 0; k < panels_; ++k) {
+    ops_.push_back({OpKind::Getrf, k, -1, -1});
+    for (int i = k + 1; i < mt_; ++i) {
+      ops_.push_back({OpKind::TrsmU, k, i, -1});
+    }
+    for (int j = k + 1; j < nt_; ++j) {
+      ops_.push_back({OpKind::TrsmL, k, -1, j});
+      for (int i = k + 1; i < mt_; ++i) {
+        ops_.push_back({OpKind::Gemm, k, i, j});
+      }
+    }
+  }
+}
+
+namespace {
+int rows_of(int m, int nb, int i) {
+  const int mt = (m + nb - 1) / nb;
+  return i == mt - 1 ? m - i * nb : nb;
+}
+int cols_of(int n, int nb, int j) {
+  const int nt = (n + nb - 1) / nb;
+  return j == nt - 1 ? n - j * nb : nb;
+}
+}  // namespace
+
+double op_flops(const Op& op, int m, int n, int nb) {
+  const double bk = cols_of(n, nb, op.k);
+  switch (op.kind) {
+    case OpKind::Getrf: {
+      const double d = std::min<double>(rows_of(m, nb, op.k), bk);
+      return 2.0 / 3.0 * d * d * d;
+    }
+    case OpKind::TrsmU:
+      return static_cast<double>(rows_of(m, nb, op.i)) * bk * bk;
+    case OpKind::TrsmL:
+      return bk * bk * cols_of(n, nb, op.j);
+    case OpKind::Gemm:
+      return 2.0 * rows_of(m, nb, op.i) * bk * cols_of(n, nb, op.j);
+  }
+  return 0.0;
+}
+
+double plan_flops(const LuPlan& plan, int m, int n, int nb) {
+  double total = 0.0;
+  for (const auto& op : plan.ops()) total += op_flops(op, m, n, nb);
+  return total;
+}
+
+double lu_useful_flops(double n) { return 2.0 * n * n * n / 3.0; }
+
+}  // namespace pulsarqr::lu

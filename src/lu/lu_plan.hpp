@@ -1,0 +1,47 @@
+// Tile LU (no pivoting) plan — op stream for the PULSAR-mapped LU
+// (src/lu), the third algorithm mapped onto the runtime and the original
+// systolic-array showcase (Kung & Leiserson, reference [8] of the paper).
+//
+// Right-looking tile algorithm:
+//   for k:  GETRF(k,k);
+//           TRSM_U(i,k) for i>k  (L(i,k) := A(i,k) U(k,k)^{-1})
+//           TRSM_L(k,j) for j>k  (U(k,j) := L(k,k)^{-1} A(k,j))
+//           GEMM(i,j,k)          (A(i,j) -= L(i,k) U(k,j))
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pulsarqr::lu {
+
+enum class OpKind : std::uint8_t { Getrf, TrsmU, TrsmL, Gemm };
+
+/// One kernel invocation; unused fields are -1.
+///   Getrf: (k)    TrsmU: (i, k)    TrsmL: (k, j)    Gemm: (i, j, k)
+struct Op {
+  OpKind kind;
+  int k;
+  int i;
+  int j;
+};
+
+class LuPlan {
+ public:
+  LuPlan(int mt, int nt);
+
+  int mt() const { return mt_; }
+  int nt() const { return nt_; }
+  int panels() const { return panels_; }
+  const std::vector<Op>& ops() const { return ops_; }
+
+ private:
+  int mt_, nt_, panels_;
+  std::vector<Op> ops_;
+};
+
+double op_flops(const Op& op, int m, int n, int nb);
+double plan_flops(const LuPlan& plan, int m, int n, int nb);
+/// Classical LU useful flops for a square n-by-n system: 2 n^3 / 3.
+double lu_useful_flops(double n);
+
+}  // namespace pulsarqr::lu

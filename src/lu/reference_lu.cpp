@@ -1,0 +1,76 @@
+#include "lu/reference_lu.hpp"
+
+#include <utility>
+
+#include "blas/blas.hpp"
+#include "common/rng.hpp"
+#include "lapack/lu.hpp"
+
+namespace pulsarqr::lu {
+
+using blas::Diag;
+using blas::Side;
+using blas::Trans;
+using blas::Uplo;
+
+void execute_op(const Op& op, TileMatrix& a) {
+  switch (op.kind) {
+    case OpKind::Getrf:
+      lapack::getf2_nopiv(a.tile(op.k, op.k));
+      break;
+    case OpKind::TrsmU: {
+      // L(i,k) := A(i,k) * U(k,k)^{-1}; the pivot block is kb-by-kb with
+      // kb = min(diag tile rows, cols) — rectangular border tiles carry a
+      // trapezoidal factor.
+      const int kb = std::min(a.tile_rows(op.k), a.tile_cols(op.k));
+      blas::trsm(Side::Right, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0,
+                 a.tile(op.k, op.k).block(0, 0, kb, kb), a.tile(op.i, op.k));
+      break;
+    }
+    case OpKind::TrsmL: {
+      // U(k,j) := L(k,k)^{-1} * A(k,j) on the pivot rows.
+      const int kb = std::min(a.tile_rows(op.k), a.tile_cols(op.k));
+      blas::trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, 1.0,
+                 a.tile(op.k, op.k).block(0, 0, kb, kb),
+                 MatrixView(a.tile(op.k, op.j).data, kb,
+                            a.tile_cols(op.j), a.tile(op.k, op.j).ld));
+      break;
+    }
+    case OpKind::Gemm: {
+      const int kb = std::min(a.tile_rows(op.k), a.tile_cols(op.k));
+      blas::gemm(Trans::No, Trans::No, -1.0,
+                 ConstMatrixView(a.tile(op.i, op.k).data, a.tile_rows(op.i),
+                                 kb, a.tile(op.i, op.k).ld),
+                 ConstMatrixView(a.tile(op.k, op.j).data, kb,
+                                 a.tile_cols(op.j), a.tile(op.k, op.j).ld),
+                 1.0, a.tile(op.i, op.j));
+      break;
+    }
+  }
+}
+
+TileMatrix tile_lu(TileMatrix a) {
+  LuPlan plan(a.mt(), a.nt());
+  for (const auto& op : plan.ops()) execute_op(op, a);
+  return a;
+}
+
+std::vector<double> lu_solve(const TileMatrix& f, std::vector<double> b) {
+  require(f.rows() == f.cols(), "lu_solve: matrix must be square");
+  require(static_cast<int>(b.size()) == f.rows(), "lu_solve: rhs length");
+  Matrix lu = f.to_dense();
+  lapack::getrs_nopiv(lu.view(), b.data());
+  return b;
+}
+
+Matrix random_diag_dominant(int m, int n, std::uint64_t seed) {
+  Matrix a(m, n);
+  fill_random(a.view(), seed);
+  const int k = std::min(m, n);
+  for (int j = 0; j < k; ++j) {
+    a(j, j) += (a(j, j) >= 0 ? 1.0 : -1.0) * std::max(m, n);
+  }
+  return a;
+}
+
+}  // namespace pulsarqr::lu

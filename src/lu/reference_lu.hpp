@@ -1,0 +1,25 @@
+// Sequential reference executor for the tile LU plan, plus the solve
+// driver. Ground truth for the systolic-array LU.
+#pragma once
+
+#include <vector>
+
+#include "lu/lu_plan.hpp"
+#include "tile/tile_matrix.hpp"
+
+namespace pulsarqr::lu {
+
+/// Execute one plan op against the tile matrix.
+void execute_op(const Op& op, TileMatrix& a);
+
+/// Factorize a tile matrix in place (no pivoting): U in the upper
+/// triangle, unit-L below.
+TileMatrix tile_lu(TileMatrix a);
+
+/// Solve A x = b for square A given the packed tile factors.
+std::vector<double> lu_solve(const TileMatrix& f, std::vector<double> b);
+
+/// Build a diagonally dominant random matrix (safe for no-pivot LU).
+Matrix random_diag_dominant(int m, int n, std::uint64_t seed);
+
+}  // namespace pulsarqr::lu

@@ -1,0 +1,47 @@
+// Tile LU (no pivoting) mapped onto the PULSAR runtime — the third
+// algorithm on the runtime, and the original systolic-array showcase
+// (Kung & Leiserson, reference [8] of the paper).
+//
+// Streaming structure per step k, mirroring the Cholesky array:
+//   * Panel VDP P(k): first tile -> getrf (the packed LU of the diagonal
+//     tile, held), further tiles -> trsm against the held U; the held
+//     LU(k,k) followed by every L(i,k) is broadcast rightward through a
+//     by-passing chain;
+//   * Update VDP S(k,j): first chain packet is LU(k,k) -> trsm_L turns
+//     its held top tile into the final U(k,j); every later chain packet
+//     L(i,k) pairs with the streamed tile A(i,j) (gemm) which then flows
+//     to step k+1.
+// Unlike QR/Cholesky, every channel is consumed from the first firing,
+// so no dynamic channel enabling is needed — LU is the simplest of the
+// three arrays.
+#pragma once
+
+#include "lu/reference_lu.hpp"
+#include "prt/vsa.hpp"
+
+namespace pulsarqr::lu {
+
+struct VsaLuOptions {
+  int nodes = 1;
+  int workers_per_node = 2;
+  prt::Scheduling scheduling = prt::Scheduling::Lazy;
+  bool work_stealing = false;
+  bool trace = false;
+  double watchdog_seconds = 60.0;
+};
+
+struct VsaLuRun {
+  TileMatrix f;  ///< packed factors: U upper, unit-L below
+  prt::Vsa::RunStats stats;
+  std::vector<prt::trace::Event> events;
+  int vdp_count = 0;
+  int channel_count = 0;
+};
+
+/// Factorize a tile matrix (no pivoting — the input must be safe for it,
+/// e.g. diagonally dominant) on the systolic array.
+VsaLuRun vsa_lu(const TileMatrix& a, const VsaLuOptions& opt);
+
+enum LuTraceColor { kLuPanel = 0, kLuUpdate = 1 };
+
+}  // namespace pulsarqr::lu

@@ -1,0 +1,54 @@
+#include "plan/domains.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pulsarqr::plan {
+
+std::vector<Domain> domains_for_panel(int mt, int j, const PlanConfig& cfg) {
+  PQR_ASSERT(j >= 0 && j < mt, "domains_for_panel: bad panel index");
+  std::vector<Domain> out;
+  switch (cfg.tree) {
+    case TreeKind::Flat:
+      out.push_back({j, mt});
+      break;
+    case TreeKind::Binary:
+      for (int r = j; r < mt; ++r) out.push_back({r, r + 1});
+      break;
+    case TreeKind::BinaryOnFlat: {
+      const int h = cfg.domain_size;
+      require(h >= 1, "domain_size must be >= 1");
+      if (cfg.boundary == BoundaryMode::Shifted) {
+        for (int b = j; b < mt; b += h) {
+          out.push_back({b, std::min(mt, b + h)});
+        }
+      } else {
+        // Absolute boundaries at multiples of h; the domain containing j is
+        // truncated to start at j.
+        int b = (j / h) * h;
+        for (; b < mt; b += h) {
+          const int begin = std::max(b, j);
+          const int end = std::min(mt, b + h);
+          if (begin < end) out.push_back({begin, end});
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<int, int>> binary_level(std::vector<int>& heads) {
+  std::vector<std::pair<int, int>> pairs;
+  std::vector<int> survivors;
+  for (std::size_t p = 0; p + 1 < heads.size(); p += 2) {
+    pairs.emplace_back(heads[p], heads[p + 1]);
+    survivors.push_back(heads[p]);
+  }
+  if (heads.size() % 2 == 1) survivors.push_back(heads.back());
+  heads = std::move(survivors);
+  return pairs;
+}
+
+}  // namespace pulsarqr::plan

@@ -1,0 +1,50 @@
+// Domain partitioning of a panel's tile rows (Figure 6 of the paper).
+//
+// For panel j the tile rows j..mt-1 are split into domains of h rows; each
+// domain is flat-tree reduced independently and the domain heads are then
+// binary-tree reduced. Two strategies:
+//   Shifted — domain boundaries move with the panel (the paper's default):
+//             domain d covers rows [j + d*h, j + (d+1)*h). The eliminated
+//             head of step j becomes the *last* row of a step-(j+1) domain,
+//             which is what lets consecutive flat trees overlap (Fig 7b).
+//   Fixed   — boundaries are absolute multiples of h; the eliminated head
+//             of step j is the *first* row of its step-(j+1) domain, so the
+//             next flat tree stalls on the binary tree (Fig 7a).
+#pragma once
+
+#include <vector>
+
+namespace pulsarqr::plan {
+
+enum class TreeKind {
+  Flat,          ///< one flat tree over the whole panel (2013 domino QR)
+  Binary,        ///< pure binary tree (every row its own domain)
+  BinaryOnFlat,  ///< the paper's hierarchical tree: binary over flat domains
+};
+
+enum class BoundaryMode { Fixed, Shifted };
+
+struct PlanConfig {
+  TreeKind tree = TreeKind::BinaryOnFlat;
+  int domain_size = 6;  ///< h — tile rows per domain (BinaryOnFlat only)
+  BoundaryMode boundary = BoundaryMode::Shifted;
+};
+
+/// One domain of a panel: tile rows [begin, end), head == begin.
+struct Domain {
+  int begin = 0;
+  int end = 0;
+  int head() const { return begin; }
+  int size() const { return end - begin; }
+};
+
+/// Domains of panel j for an mt-row tile matrix (row indices are global
+/// tile-row indices; the first domain always starts at row j).
+std::vector<Domain> domains_for_panel(int mt, int j, const PlanConfig& cfg);
+
+/// One level of the binary reduction over `heads` (ascending row indices):
+/// pairs (heads[0],heads[1]), (heads[2],heads[3]), ...; the lower index
+/// survives. Returns the pair list; `heads` is replaced by the survivors.
+std::vector<std::pair<int, int>> binary_level(std::vector<int>& heads);
+
+}  // namespace pulsarqr::plan

@@ -1,0 +1,79 @@
+#include "plan/flops.hpp"
+
+#include <algorithm>
+
+namespace pulsarqr::plan {
+
+double flops_geqrt(double m, double n) {
+  // Householder QR of an m-by-n tile.
+  return 2.0 * n * n * (m - n / 3.0);
+}
+
+double flops_ormqr(double m, double n, double nc) {
+  // Apply n reflectors of length up to m to an m-by-nc tile:
+  // W = V^T C (2mn*nc), W = T W (n^2 nc), C -= V W (2mn*nc).
+  return 4.0 * m * n * nc + n * n * nc;
+}
+
+double flops_tsqrt(double m2, double n) {
+  // n reflectors of length m2+1; panel + T + block updates.
+  return 2.0 * n * n * m2 + 2.0 / 3.0 * n * n * n;
+}
+
+double flops_tsmqr(double m2, double n, double nc) {
+  // W = C1 + V2^T C2 (2 m2 n nc), W = T W (n^2 nc), C1 -= W, C2 -= V2 W.
+  return 4.0 * m2 * n * nc + n * n * nc;
+}
+
+double flops_ttqrt(double n) {
+  // Triangle-on-triangle: reflector j has j+1 nontrivial bottom entries.
+  return 2.0 / 3.0 * n * n * n + n * n;
+}
+
+double flops_ttmqr(double n, double nc) {
+  // V2 upper triangular halves both gemms of tsmqr with m2 = n.
+  return 2.0 * n * n * nc + n * n * nc;
+}
+
+namespace {
+int tile_rows(int m, int nb, int i) {
+  const int mt = (m + nb - 1) / nb;
+  return i == mt - 1 ? m - i * nb : nb;
+}
+int tile_cols(int n, int nb, int j) {
+  const int nt = (n + nb - 1) / nb;
+  return j == nt - 1 ? n - j * nb : nb;
+}
+}  // namespace
+
+double op_flops(const Op& op, int m, int n, int nb) {
+  const double pw = tile_cols(n, nb, op.j);  // panel width
+  switch (op.kind) {
+    case OpKind::Geqrt:
+      return flops_geqrt(tile_rows(m, nb, op.i), pw);
+    case OpKind::Ormqr:
+      return flops_ormqr(tile_rows(m, nb, op.i), pw, tile_cols(n, nb, op.l));
+    case OpKind::Tsqrt:
+      return flops_tsqrt(tile_rows(m, nb, op.k), pw);
+    case OpKind::Tsmqr:
+      return flops_tsmqr(tile_rows(m, nb, op.k), pw, tile_cols(n, nb, op.l));
+    case OpKind::Ttqrt:
+      return flops_ttqrt(std::min<double>(pw, tile_rows(m, nb, op.k)));
+    case OpKind::Ttmqr:
+      return flops_ttmqr(std::min<double>(pw, tile_rows(m, nb, op.k)),
+                         tile_cols(n, nb, op.l));
+  }
+  return 0.0;
+}
+
+double plan_flops(const ReductionPlan& plan, int m, int n, int nb) {
+  double total = 0.0;
+  for (const auto& op : plan.ops()) total += op_flops(op, m, n, nb);
+  return total;
+}
+
+double qr_useful_flops(double m, double n) {
+  return 2.0 * n * n * (m - n / 3.0);
+}
+
+}  // namespace pulsarqr::plan

@@ -1,0 +1,35 @@
+// Floating-point operation counts for the tile kernels and whole plans.
+//
+// Leading-order counts follow the LAPACK working notes / PLASMA
+// conventions. The TT kernels are charged their structure-exploiting
+// counts (the paper's kernels exploit the triangular shape; see
+// kernels/tile_kernels.hpp for why our implementation computes the same
+// result with the dense core).
+#pragma once
+
+#include <cstdint>
+
+#include "plan/reduction_plan.hpp"
+
+namespace pulsarqr::plan {
+
+/// Flops of one kernel, for tiles of row count mi (of the moving/eliminated
+/// tile), panel width n, updated-tile width nc.
+double flops_geqrt(double m, double n);
+double flops_ormqr(double m, double n, double nc);
+double flops_tsqrt(double m2, double n);
+double flops_tsmqr(double m2, double n, double nc);
+double flops_ttqrt(double n);
+double flops_ttmqr(double n, double nc);
+
+/// Flops of one plan op for a matrix of m rows, n cols, tile size nb.
+double op_flops(const Op& op, int m, int n, int nb);
+
+/// Total flops of a plan execution.
+double plan_flops(const ReductionPlan& plan, int m, int n, int nb);
+
+/// The standard "useful flops" credited to any QR of an m-by-n matrix
+/// (2n^2(m - n/3)); Gflop/s in the paper's figures = this over time.
+double qr_useful_flops(double m, double n);
+
+}  // namespace pulsarqr::plan

@@ -1,0 +1,66 @@
+#include "plan/reduction_plan.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pulsarqr::plan {
+
+bool is_factor_op(OpKind k) {
+  return k == OpKind::Geqrt || k == OpKind::Tsqrt || k == OpKind::Ttqrt;
+}
+
+ReductionPlan::ReductionPlan(int mt, int nt, const PlanConfig& cfg,
+                             int max_panels)
+    : mt_(mt), nt_(nt), panels_(std::min(mt, nt)), cfg_(cfg) {
+  require(mt >= 1 && nt >= 1, "ReductionPlan: empty tile matrix");
+  if (max_panels > 0) panels_ = std::min(panels_, max_panels);
+  panel_begin_.reserve(panels_ + 1);
+  for (int j = 0; j < panels_; ++j) {
+    panel_begin_.push_back(ops_.size());
+    const auto domains = domains_for_panel(mt_, j, cfg_);
+    // Flat phase: every domain is reduced by its own flat tree.
+    for (std::size_t d = 0; d < domains.size(); ++d) {
+      const auto& dom = domains[d];
+      const auto lvl = static_cast<std::int16_t>(d);
+      ops_.push_back({OpKind::Geqrt, lvl, j, dom.head(), -1, -1});
+      for (int l = j + 1; l < nt_; ++l) {
+        ops_.push_back({OpKind::Ormqr, lvl, j, dom.head(), -1, l});
+      }
+      for (int k = dom.begin + 1; k < dom.end; ++k) {
+        ops_.push_back({OpKind::Tsqrt, lvl, j, dom.head(), k, -1});
+        for (int l = j + 1; l < nt_; ++l) {
+          ops_.push_back({OpKind::Tsmqr, lvl, j, dom.head(), k, l});
+        }
+      }
+    }
+    // Binary phase over the domain heads.
+    std::vector<int> heads;
+    heads.reserve(domains.size());
+    for (const auto& dom : domains) heads.push_back(dom.head());
+    std::int16_t level = 0;
+    while (heads.size() > 1) {
+      for (const auto& [i, k] : binary_level(heads)) {
+        ops_.push_back({OpKind::Ttqrt, level, j, i, k, -1});
+        for (int l = j + 1; l < nt_; ++l) {
+          ops_.push_back({OpKind::Ttmqr, level, j, i, k, l});
+        }
+      }
+      ++level;
+    }
+    PQR_ASSERT(heads.size() == 1 && heads[0] == j,
+               "plan: panel reduction must end at the diagonal tile");
+  }
+  panel_begin_.push_back(ops_.size());
+}
+
+std::vector<Op> ReductionPlan::factor_ops(int j) const {
+  std::vector<Op> out;
+  const auto [b, e] = panel_range(j);
+  for (std::size_t idx = b; idx < e; ++idx) {
+    if (is_factor_op(ops_[idx].kind)) out.push_back(ops_[idx]);
+  }
+  return out;
+}
+
+}  // namespace pulsarqr::plan

@@ -1,0 +1,80 @@
+// ReductionPlan — the single source of truth for the hierarchical tree QR
+// elimination order (Figure 5 of the paper).
+//
+// A plan enumerates, panel by panel, every kernel invocation of the
+// factorization in a dependency-valid sequential order. It is consumed by:
+//   * ref/reference_qr  — sequential ground-truth executor,
+//   * ref/apply_q       — applying Q or Q^T to a block of vectors,
+//   * vsaqr/*           — building the virtual systolic array,
+//   * sim/task_graph    — generating the simulator's task DAG,
+//   * plan/flops        — operation counts for Gflop/s reporting.
+// Keeping all of them on one op stream is what makes the VSA bitwise
+// comparable to the reference executor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "plan/domains.hpp"
+
+namespace pulsarqr::plan {
+
+enum class OpKind : std::uint8_t {
+  Geqrt,  ///< QR of tile (i, j)                         [panel, red]
+  Ormqr,  ///< apply Geqrt(i, j) to tile (i, l)          [update, orange]
+  Tsqrt,  ///< eliminate tile (k, j) against head (i, j) [panel, red]
+  Tsmqr,  ///< apply Tsqrt to tiles (i, l), (k, l)       [update, orange]
+  Ttqrt,  ///< binary step: eliminate head (k, j) against head (i, j) [blue]
+  Ttmqr,  ///< apply Ttqrt to tiles (i, l), (k, l)       [blue]
+};
+
+/// True for the three factorization kinds (panel ops), false for updates.
+bool is_factor_op(OpKind k);
+
+/// One kernel invocation. Fields not used by a kind are -1.
+///   Geqrt: (i, j)            Ormqr: (i, j, l)
+///   Tsqrt: (i, k, j)         Tsmqr: (i, k, j, l)
+///   Ttqrt: (i, k, j)         Ttmqr: (i, k, j, l)
+struct Op {
+  OpKind kind;
+  std::int16_t level;  ///< binary-tree level for Tt*, domain index for flat ops
+  int j;               ///< panel (tile column being eliminated)
+  int i;               ///< head / survivor tile row
+  int k;               ///< eliminated tile row (-1 for Geqrt/Ormqr)
+  int l;               ///< updated tile column (-1 for factor ops)
+};
+
+class ReductionPlan {
+ public:
+  /// Build the plan for an mt-by-nt tile matrix (mt >= nt is typical but
+  /// not required; panels run to min(mt, nt)). A positive `max_panels`
+  /// stops the elimination after that many tile columns while the updates
+  /// still sweep all nt columns — used to factorize an augmented matrix
+  /// [A | B] so that the trailing columns come out as Q^T B (least
+  /// squares on the array).
+  ReductionPlan(int mt, int nt, const PlanConfig& cfg, int max_panels = -1);
+
+  int mt() const { return mt_; }
+  int nt() const { return nt_; }
+  int panels() const { return panels_; }
+  const PlanConfig& config() const { return cfg_; }
+
+  const std::vector<Op>& ops() const { return ops_; }
+
+  /// Ops restricted to one panel j (contiguous slice of ops()).
+  std::pair<std::size_t, std::size_t> panel_range(int j) const {
+    return {panel_begin_[j], panel_begin_[j + 1]};
+  }
+
+  /// Elimination row pairs of panel j in order: (head, eliminated) for
+  /// Tsqrt/Ttqrt plus (head, -1) for Geqrt. Used by Q application.
+  std::vector<Op> factor_ops(int j) const;
+
+ private:
+  int mt_, nt_, panels_;
+  PlanConfig cfg_;
+  std::vector<Op> ops_;
+  std::vector<std::size_t> panel_begin_;
+};
+
+}  // namespace pulsarqr::plan

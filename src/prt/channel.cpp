@@ -1,0 +1,39 @@
+#include "prt/channel.hpp"
+
+namespace pulsarqr::prt {
+
+void Channel::push(Packet p) {
+  PQR_ASSERT(p.size() <= max_bytes_,
+             "channel: packet exceeds the declared maximum size");
+  if (destroyed_.load(std::memory_order_acquire)) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    q_.push_back(std::move(p));
+    size_.store(static_cast<int>(q_.size()), std::memory_order_release);
+  }
+  if (waker_ != nullptr) waker_->wake();
+}
+
+Packet Channel::pop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  PQR_ASSERT(!q_.empty(), "channel: pop from empty channel");
+  Packet p = std::move(q_.front());
+  q_.pop_front();
+  size_.store(static_cast<int>(q_.size()), std::memory_order_release);
+  return p;
+}
+
+void Channel::set_enabled(bool e) {
+  enabled_.store(e, std::memory_order_release);
+  if (e && waker_ != nullptr) waker_->wake();
+}
+
+void Channel::destroy() {
+  destroyed_.store(true, std::memory_order_release);
+  enabled_.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mu_);
+  q_.clear();
+  size_.store(0, std::memory_order_release);
+}
+
+}  // namespace pulsarqr::prt

@@ -1,0 +1,61 @@
+// Channels: static unidirectional FIFO connections between two VDPs
+// (Section IV-A). A channel object lives with its destination VDP; the
+// source holds a reference that is either a direct pointer (intra-node) or
+// a (node, tag) address served by the proxy (inter-node).
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+
+#include "prt/packet.hpp"
+#include "prt/tuple.hpp"
+
+namespace pulsarqr::prt {
+
+/// Wakes the worker thread that owns a VDP when new input arrives or a
+/// channel is enabled. Implemented by the runtime's worker loop.
+class Waker {
+ public:
+  virtual ~Waker() = default;
+  virtual void wake() = 0;
+};
+
+class Channel {
+ public:
+  Channel(std::size_t max_bytes, bool enabled)
+      : max_bytes_(max_bytes), enabled_(enabled) {}
+
+  /// Producer side (any thread, or the proxy). Wakes the owner if set.
+  void push(Packet p);
+
+  /// Consumer side (owner VDP's thread only).
+  Packet pop();
+
+  /// Number of queued packets (approximate under concurrency; exact for
+  /// the owning thread's ready check once it holds the packet).
+  int size() const { return size_.load(std::memory_order_acquire); }
+
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+  void set_enabled(bool e);
+
+  /// A disabled-and-cleared channel; packets pushed after destruction are
+  /// dropped (mirrors prt's channel-destroy option).
+  void destroy();
+  bool destroyed() const { return destroyed_.load(std::memory_order_acquire); }
+
+  std::size_t max_bytes() const { return max_bytes_; }
+
+  void set_waker(Waker* w) { waker_ = w; }
+
+ private:
+  std::size_t max_bytes_;
+  std::atomic<bool> enabled_;
+  std::atomic<bool> destroyed_{false};
+  std::atomic<int> size_{0};
+  Waker* waker_ = nullptr;
+  mutable std::mutex mu_;
+  std::deque<Packet> q_;
+};
+
+}  // namespace pulsarqr::prt

@@ -1,0 +1,27 @@
+#include "prt/packet.hpp"
+
+#include <new>
+
+namespace pulsarqr::prt {
+
+namespace {
+std::shared_ptr<std::byte[]> alloc_aligned(std::size_t bytes) {
+  // Over-align to 64 bytes so double payloads sit on cache lines.
+  auto* raw = static_cast<std::byte*>(
+      ::operator new[](bytes > 0 ? bytes : 1, std::align_val_t(64)));
+  return std::shared_ptr<std::byte[]>(
+      raw, [](std::byte* p) { ::operator delete[](p, std::align_val_t(64)); });
+}
+}  // namespace
+
+Packet Packet::make(std::size_t bytes, int meta) {
+  return Packet(alloc_aligned(bytes), bytes, meta);
+}
+
+Packet Packet::clone() const {
+  Packet p = make(size_, meta_);
+  if (size_ > 0) std::memcpy(p.data_.get(), data_.get(), size_);
+  return p;
+}
+
+}  // namespace pulsarqr::prt

@@ -1,0 +1,85 @@
+// In-process message-passing transport — the repo's MPI substitution.
+//
+// The paper's proxy uses exactly six MPI calls (Isend, Irecv, Test,
+// Get_count, Barrier, Cancel) between one MPI process per node. This shim
+// provides the same nonblocking six-call surface over per-rank mailboxes.
+// Payloads are deep-copied on send, emulating separate address spaces, so
+// aliasing bugs that MPI would expose are exposed here too. Tag routing is
+// numbered independently per (source, destination) pair, as in the paper.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "prt/packet.hpp"
+
+namespace pulsarqr::prt::net {
+
+struct Message {
+  int source = -1;
+  int tag = -1;
+  int meta = 0;
+  Packet payload;  ///< already an independent copy on the receive side
+};
+
+/// A "communicator" over nranks in-process ranks.
+class Comm {
+ public:
+  explicit Comm(int nranks);
+
+  int size() const { return static_cast<int>(boxes_.size()); }
+
+  /// Nonblocking send: copies the payload and delivers it to dst's mailbox.
+  /// Returns a request handle; completion is immediate in this transport
+  /// but callers must still test() it (MPI discipline).
+  int isend(int src, int dst, int tag, const Packet& payload, int meta);
+
+  /// MPI_Test equivalent: true once the send completed.
+  bool test(int request) const;
+
+  /// MPI_Irecv+Test pattern collapsed into a non-blocking poll of the
+  /// rank's mailbox. Empty optional when nothing has arrived.
+  std::optional<Message> try_recv(int rank);
+
+  /// Blocking receive with a deadline; used by proxies to idle efficiently.
+  std::optional<Message> recv_wait(int rank, int timeout_us);
+
+  /// MPI_Get_count equivalent.
+  static std::size_t get_count(const Message& m) { return m.payload.size(); }
+
+  /// MPI_Barrier equivalent over all ranks.
+  void barrier();
+
+  /// MPI_Cancel equivalent: drop all undelivered messages for a rank.
+  void cancel(int rank);
+
+  /// Wake a rank blocked in recv_wait (used for shutdown).
+  void interrupt(int rank);
+
+  /// Totals for RunStats.
+  long long messages_sent() const { return sent_.load(); }
+  long long bytes_sent() const { return bytes_.load(); }
+
+ private:
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> q;
+  };
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+  std::atomic<long long> sent_{0};
+  std::atomic<long long> bytes_{0};
+  // Barrier state.
+  std::mutex bmu_;
+  std::condition_variable bcv_;
+  int barrier_count_ = 0;
+  int barrier_gen_ = 0;
+};
+
+}  // namespace pulsarqr::prt::net

@@ -1,0 +1,28 @@
+#include "prt/tuple.hpp"
+
+namespace pulsarqr::prt {
+
+std::size_t Tuple::hash() const {
+  // FNV-1a over the integer values; stable across platforms.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (int v : vals_) {
+    auto u = static_cast<std::uint32_t>(v);
+    for (int b = 0; b < 4; ++b) {
+      h ^= (u >> (8 * b)) & 0xffu;
+      h *= 1099511628211ULL;
+    }
+  }
+  return static_cast<std::size_t>(h);
+}
+
+std::string Tuple::to_string() const {
+  std::string s = "(";
+  for (std::size_t i = 0; i < vals_.size(); ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(vals_[i]);
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace pulsarqr::prt

@@ -1,0 +1,44 @@
+// VDP identity tuples ("a string of integers", Section IV-A of the paper).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace pulsarqr::prt {
+
+/// A VDP identifier: an ordered list of integers. Hashable, comparable and
+/// printable; used as the key of every VDP and channel-endpoint lookup.
+class Tuple {
+ public:
+  Tuple() = default;
+  Tuple(std::initializer_list<int> vals) : vals_(vals) {}
+  explicit Tuple(std::vector<int> vals) : vals_(std::move(vals)) {}
+
+  std::size_t size() const { return vals_.size(); }
+  int operator[](std::size_t i) const { return vals_[i]; }
+  const std::vector<int>& values() const { return vals_; }
+
+  bool operator==(const Tuple& o) const { return vals_ == o.vals_; }
+  bool operator!=(const Tuple& o) const { return vals_ != o.vals_; }
+  bool operator<(const Tuple& o) const { return vals_ < o.vals_; }
+
+  std::size_t hash() const;
+  std::string to_string() const;
+
+ private:
+  std::vector<int> vals_;
+};
+
+/// Convenience constructors mirroring prt_tuple_new2/3/4 from the paper.
+inline Tuple tuple2(int a, int b) { return Tuple{a, b}; }
+inline Tuple tuple3(int a, int b, int c) { return Tuple{a, b, c}; }
+inline Tuple tuple4(int a, int b, int c, int d) { return Tuple{a, b, c, d}; }
+
+struct TupleHash {
+  std::size_t operator()(const Tuple& t) const { return t.hash(); }
+};
+
+}  // namespace pulsarqr::prt

@@ -1,0 +1,151 @@
+// Virtual Data Processor (Section IV-A): executable code + read/write
+// persistent local store + input/output channels + a firing counter.
+#pragma once
+
+#include <any>
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "prt/channel.hpp"
+#include "prt/tuple.hpp"
+
+namespace pulsarqr::prt {
+
+class Vsa;
+struct VdpContext;
+
+using VdpFn = std::function<void(VdpContext&)>;
+
+/// Where a packet pushed to an output slot goes: directly into a local
+/// channel, or to the proxy addressed by (destination node, tag).
+struct OutputRef {
+  Channel* local = nullptr;
+  int dst_node = -1;
+  int tag = -1;
+  std::size_t max_bytes = 0;
+  bool connected = false;
+};
+
+class Vdp {
+ public:
+  Vdp(Tuple tuple, int counter, VdpFn fn, int num_inputs, int num_outputs,
+      int color)
+      : tuple_(std::move(tuple)),
+        counter_(counter),
+        fn_(std::move(fn)),
+        color_(color),
+        inputs_(num_inputs),
+        outputs_(num_outputs) {}
+
+  const Tuple& tuple() const { return tuple_; }
+  int color() const { return color_; }
+  int counter() const { return counter_; }
+  bool dead() const { return dead_.load(std::memory_order_acquire); }
+  int num_inputs() const { return static_cast<int>(inputs_.size()); }
+  int num_outputs() const { return static_cast<int>(outputs_.size()); }
+
+  /// Firing rule: every enabled input channel holds a packet, and at least
+  /// one input is enabled (a VDP declared with zero inputs is always ready
+  /// — a source). All inputs disabled => blocked.
+  bool ready() const {
+    if (inputs_.empty()) return true;
+    bool any_enabled = false;
+    for (const auto& ch : inputs_) {
+      if (ch == nullptr || !ch->enabled()) continue;
+      any_enabled = true;
+      if (ch->size() == 0) return false;
+    }
+    return any_enabled;
+  }
+
+ private:
+  friend class Vsa;
+  friend struct VdpContext;
+
+  Tuple tuple_;
+  int counter_;
+  VdpFn fn_;
+  int color_;
+  std::vector<std::unique_ptr<Channel>> inputs_;  ///< owned by destination
+  std::vector<OutputRef> outputs_;
+  std::any local_;
+  /// Written by the worker holding the firing claim, read by any worker
+  /// scanning for candidates (work stealing) — hence atomic.
+  std::atomic<bool> dead_{false};
+  int global_thread_ = -1;  ///< assigned by the mapping at run()
+  /// Claim flag for the work-stealing executor: at most one worker fires
+  /// a VDP at a time.
+  std::atomic<bool> running_{false};
+};
+
+/// The interface handed to a VDP's function at each firing. Mirrors the
+/// paper's cycle (Figure 3): pop inputs (or forward them first — by-pass),
+/// invoke kernels, push outputs; plus dynamic channel control.
+struct VdpContext {
+  Vdp& vdp;
+  Vsa& vsa;
+  int node;           ///< node executing this firing
+  int global_thread;  ///< global worker id
+
+  const Tuple& tuple() const { return vdp.tuple_; }
+  /// Remaining firings including the current one.
+  int counter() const { return vdp.counter_; }
+
+  Packet pop(int slot) {
+    PQR_ASSERT(slot >= 0 && slot < vdp.num_inputs() &&
+                   vdp.inputs_[slot] != nullptr,
+               "pop: bad input slot");
+    return vdp.inputs_[slot]->pop();
+  }
+
+  /// Number of packets currently waiting on an input slot.
+  int input_size(int slot) const {
+    PQR_ASSERT(slot >= 0 && slot < vdp.num_inputs() &&
+                   vdp.inputs_[slot] != nullptr,
+               "input_size: bad input slot");
+    return vdp.inputs_[slot]->size();
+  }
+
+  void push(int slot, Packet p);  // defined in vsa.cpp (needs routing)
+
+  void enable_input(int slot) { set_input_enabled(slot, true); }
+  void disable_input(int slot) { set_input_enabled(slot, false); }
+
+  /// Destroy an input channel (paper: channels can be destroyed during
+  /// execution): queued packets are dropped, later pushes are ignored and
+  /// the slot no longer participates in the firing rule.
+  void destroy_input(int slot) {
+    PQR_ASSERT(slot >= 0 && slot < vdp.num_inputs() &&
+                   vdp.inputs_[slot] != nullptr,
+               "destroy_input: bad input slot");
+    vdp.inputs_[slot]->destroy();
+  }
+
+  /// Persistent local store, constructed on first access and destroyed
+  /// with the VDP (the paper's size_loc local storage, but typed).
+  template <class T, class... Args>
+  T& local(Args&&... args) {
+    if (!vdp.local_.has_value()) {
+      vdp.local_.emplace<T>(std::forward<Args>(args)...);
+    }
+    return *std::any_cast<T>(&vdp.local_);
+  }
+
+  /// Read-only global parameters shared by all VDPs (set via
+  /// Vsa::set_global). T must match the type that was set.
+  template <class T>
+  T& global() const;  // defined after Vsa (vsa.hpp)
+
+ private:
+  void set_input_enabled(int slot, bool e) {
+    PQR_ASSERT(slot >= 0 && slot < vdp.num_inputs() &&
+                   vdp.inputs_[slot] != nullptr,
+               "enable/disable: bad input slot");
+    vdp.inputs_[slot]->set_enabled(e);
+  }
+};
+
+}  // namespace pulsarqr::prt

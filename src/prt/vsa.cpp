@@ -1,0 +1,549 @@
+#include "prt/vsa.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+namespace pulsarqr::prt {
+
+using namespace std::chrono_literals;
+
+namespace {
+std::uint64_t route_key(int src_node, int tag) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src_node))
+          << 32) |
+         static_cast<std::uint32_t>(tag);
+}
+}  // namespace
+
+// ---- runtime structures -----------------------------------------------------
+
+struct OutMsg {
+  int dst_node = -1;
+  int tag = -1;
+  Packet p;
+};
+
+struct Vsa::Worker : Waker {
+  int node_id = 0;
+  int local_id = 0;
+  int global_id = 0;
+  std::vector<Vdp*> vdps;
+  int alive = 0;
+  double busy = 0.0;
+
+  // Wake state: producers set pending and notify; the worker clears it.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool pending = false;
+
+  // Outgoing inter-node packets (one queue per worker, as in Figure 4).
+  std::mutex omu;
+  std::deque<OutMsg> outq;
+
+  std::thread thread;
+
+  void wake() override {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      pending = true;
+    }
+    cv.notify_one();
+  }
+};
+
+struct Vsa::Node {
+  int id = 0;
+  std::vector<Worker*> workers;
+  std::unordered_map<std::uint64_t, Channel*> route;  ///< (src, tag) -> channel
+  bool has_remote = false;
+  std::thread proxy;
+
+  // Work-stealing executor state: a shared pool of fire candidates for
+  // this node's workers.
+  std::mutex pool_mu;
+  std::condition_variable pool_cv;
+  std::deque<Vdp*> pool;
+  std::atomic<int> alive{0};
+
+  // Outgoing inter-node queue used in work-stealing mode. Consecutive
+  // firings of one VDP may run on different workers there; per-worker
+  // queues would let the proxy reorder packets of a single channel, so
+  // stealing funnels sends through one per-node FIFO (claim
+  // serialization makes the enqueue order the channel order).
+  std::mutex omu;
+  std::deque<OutMsg> outq;
+
+  void enqueue(Vdp* v) {
+    {
+      std::lock_guard<std::mutex> lock(pool_mu);
+      pool.push_back(v);
+    }
+    pool_cv.notify_one();
+  }
+};
+
+namespace {
+/// Channel waker used in work-stealing mode: arrival of a packet turns
+/// the destination VDP into a fire candidate for the whole node.
+struct PoolWaker : Waker {
+  Vsa::Node* node = nullptr;
+  Vdp* vdp = nullptr;
+  void wake() override { node->enqueue(vdp); }
+};
+}  // namespace
+
+// ---- construction -----------------------------------------------------------
+
+Vsa::Vsa(Config cfg) : cfg_(cfg) {
+  require(cfg_.nodes >= 1 && cfg_.workers_per_node >= 1,
+          "Vsa: need at least one node and one worker per node");
+}
+
+Vsa::~Vsa() = default;
+
+Vdp& Vsa::add_vdp(Tuple tuple, int counter, VdpFn fn, int num_inputs,
+                  int num_outputs, int color) {
+  require(counter >= 1, "add_vdp: counter must be positive");
+  require(!ran_, "add_vdp: VSA already ran");
+  auto vdp = std::make_unique<Vdp>(tuple, counter, std::move(fn), num_inputs,
+                                   num_outputs, color);
+  auto [it, inserted] = vdps_.emplace(std::move(tuple), std::move(vdp));
+  require(inserted, "add_vdp: duplicate tuple " + it->first.to_string());
+  creation_order_.push_back(it->second.get());
+  return *it->second;
+}
+
+void Vsa::connect(const Tuple& src, int out_slot, const Tuple& dst,
+                  int in_slot, std::size_t max_bytes, bool enabled) {
+  edges_.push_back({src, out_slot, dst, in_slot, max_bytes, enabled});
+}
+
+void Vsa::feed(const Tuple& dst, int in_slot, std::size_t max_bytes,
+               std::vector<Packet> initial, bool enabled) {
+  feeds_.push_back({dst, in_slot, max_bytes, std::move(initial), enabled});
+}
+
+void Vsa::map_vdp(const Tuple& tuple, int global_thread) {
+  explicit_map_[tuple] = global_thread;
+}
+
+void Vsa::set_default_mapping(std::function<int(const Tuple&)> fn) {
+  default_map_ = std::move(fn);
+}
+
+// ---- wiring -----------------------------------------------------------------
+
+void Vsa::validate_and_wire() {
+  const int total = total_threads();
+
+  // Assign VDPs to threads.
+  int rr = 0;
+  for (Vdp* v : creation_order_) {
+    int t;
+    if (auto it = explicit_map_.find(v->tuple_); it != explicit_map_.end()) {
+      t = it->second;
+    } else if (default_map_) {
+      t = default_map_(v->tuple_);
+    } else {
+      t = rr++ % total;
+    }
+    require(t >= 0 && t < total,
+            "mapping: thread out of range for VDP " + v->tuple_.to_string());
+    v->global_thread_ = t;
+  }
+
+  // Create workers and nodes.
+  workers_.clear();
+  nodes_.clear();
+  for (int n = 0; n < cfg_.nodes; ++n) {
+    auto node = std::make_unique<Node>();
+    node->id = n;
+    nodes_.push_back(std::move(node));
+  }
+  for (int t = 0; t < total; ++t) {
+    auto w = std::make_unique<Worker>();
+    w->global_id = t;
+    w->node_id = t / cfg_.workers_per_node;
+    w->local_id = t % cfg_.workers_per_node;
+    nodes_[w->node_id]->workers.push_back(w.get());
+    workers_.push_back(std::move(w));
+  }
+  for (Vdp* v : creation_order_) {
+    workers_[v->global_thread_]->vdps.push_back(v);
+    workers_[v->global_thread_]->alive += 1;
+  }
+
+  auto find_vdp = [&](const Tuple& t, const char* what) -> Vdp& {
+    auto it = vdps_.find(t);
+    require(it != vdps_.end(),
+            std::string(what) + ": unknown VDP " + t.to_string());
+    return *it->second;
+  };
+
+  // Source feeds become prefilled input channels.
+  for (auto& f : feeds_) {
+    Vdp& dst = find_vdp(f.dst, "feed");
+    require(f.in_slot >= 0 && f.in_slot < dst.num_inputs(),
+            "feed: bad input slot on " + f.dst.to_string());
+    require(dst.inputs_[f.in_slot] == nullptr,
+            "feed: input slot already connected on " + f.dst.to_string());
+    auto ch = std::make_unique<Channel>(f.max_bytes, f.enabled);
+    for (auto& p : f.initial) ch->push(std::move(p));
+    dst.inputs_[f.in_slot] = std::move(ch);
+  }
+
+  // Regular edges.
+  std::map<std::pair<int, int>, int> next_tag;  // per (src node, dst node)
+  for (auto& e : edges_) {
+    Vdp& src = find_vdp(e.src, "connect(src)");
+    Vdp& dst = find_vdp(e.dst, "connect(dst)");
+    require(e.out_slot >= 0 && e.out_slot < src.num_outputs(),
+            "connect: bad output slot on " + e.src.to_string());
+    require(e.in_slot >= 0 && e.in_slot < dst.num_inputs(),
+            "connect: bad input slot on " + e.dst.to_string());
+    require(!src.outputs_[e.out_slot].connected,
+            "connect: output slot already connected on " + e.src.to_string());
+    require(dst.inputs_[e.in_slot] == nullptr,
+            "connect: input slot already connected on " + e.dst.to_string());
+
+    auto ch = std::make_unique<Channel>(e.max_bytes, e.enabled);
+    Channel* chp = ch.get();
+    dst.inputs_[e.in_slot] = std::move(ch);
+
+    OutputRef& out = src.outputs_[e.out_slot];
+    out.connected = true;
+    out.max_bytes = e.max_bytes;
+    const int src_node = src.global_thread_ / cfg_.workers_per_node;
+    const int dst_node = dst.global_thread_ / cfg_.workers_per_node;
+    if (src_node == dst_node) {
+      out.local = chp;  // zero-copy shared-memory path
+    } else {
+      const int tag = next_tag[{src_node, dst_node}]++;
+      out.dst_node = dst_node;
+      out.tag = tag;
+      nodes_[dst_node]->route[route_key(src_node, tag)] = chp;
+      nodes_[src_node]->has_remote = true;
+      nodes_[dst_node]->has_remote = true;
+    }
+  }
+
+  // Every slot must be connected; a dangling slot is a latent deadlock.
+  for (Vdp* v : creation_order_) {
+    for (int s = 0; s < v->num_inputs(); ++s) {
+      require(v->inputs_[s] != nullptr, "run: unconnected input slot " +
+                                            std::to_string(s) + " on VDP " +
+                                            v->tuple_.to_string());
+    }
+    for (int s = 0; s < v->num_outputs(); ++s) {
+      require(v->outputs_[s].connected, "run: unconnected output slot " +
+                                            std::to_string(s) + " on VDP " +
+                                            v->tuple_.to_string());
+    }
+  }
+
+  // Attach wakers now that ownership is final. With the sweep executor a
+  // packet wakes the destination VDP's bound worker; with work stealing
+  // it makes the VDP a fire candidate for its whole node.
+  if (cfg_.work_stealing) {
+    for (Vdp* v : creation_order_) {
+      Node* node = nodes_[v->global_thread_ / cfg_.workers_per_node].get();
+      node->alive.fetch_add(1, std::memory_order_relaxed);
+      auto waker = std::make_unique<PoolWaker>();
+      waker->node = node;
+      waker->vdp = v;
+      for (auto& ch : v->inputs_) ch->set_waker(waker.get());
+      pool_wakers_.push_back(std::move(waker));
+    }
+  } else {
+    for (Vdp* v : creation_order_) {
+      for (auto& ch : v->inputs_) {
+        ch->set_waker(workers_[v->global_thread_].get());
+      }
+    }
+  }
+}
+
+// ---- packet routing ---------------------------------------------------------
+
+void Vsa::push_from(VdpContext& ctx, int slot, Packet p) {
+  Vdp& v = ctx.vdp;
+  PQR_ASSERT(slot >= 0 && slot < v.num_outputs(), "push: bad output slot");
+  OutputRef& out = v.outputs_[slot];
+  PQR_ASSERT(out.connected, "push: unconnected output slot");
+  PQR_ASSERT(p.size() <= out.max_bytes, "push: packet exceeds channel max");
+  if (out.local != nullptr) {
+    out.local->push(std::move(p));
+    return;
+  }
+  // Inter-node: hand the packet to the outgoing queue and wake the
+  // node's proxy through its mailbox (MPI-progress style).
+  if (cfg_.work_stealing) {
+    Node& n = *nodes_[ctx.node];
+    std::lock_guard<std::mutex> lock(n.omu);
+    n.outq.push_back({out.dst_node, out.tag, std::move(p)});
+  } else {
+    Worker& w = *workers_[ctx.global_thread];
+    std::lock_guard<std::mutex> lock(w.omu);
+    w.outq.push_back({out.dst_node, out.tag, std::move(p)});
+  }
+  comm_->interrupt(ctx.node);
+}
+
+void VdpContext::push(int slot, Packet p) {
+  vsa.push_from(*this, slot, std::move(p));
+}
+
+// ---- execution --------------------------------------------------------------
+
+void Vsa::fire(Vdp& v, Worker& w) {
+  const double t0 = recorder_->now();
+  VdpContext ctx{v, *this, w.node_id, w.global_id};
+  v.fn_(ctx);
+  --v.counter_;
+  if (v.counter_ <= 0) {
+    v.dead_.store(true, std::memory_order_release);
+    v.local_.reset();
+  }
+  const double t1 = recorder_->now();
+  w.busy += t1 - t0;
+  recorder_->record(w.global_id, v.color_, v.tuple_, t0, t1);
+  fires_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Vsa::worker_loop(Worker& w) {
+  while (!cancelled_.load(std::memory_order_relaxed) && w.alive > 0) {
+    bool fired = false;
+    for (Vdp* v : w.vdps) {
+      if (v->dead()) continue;
+      while (v->ready()) {
+        fire(*v, w);
+        fired = true;
+        if (v->dead()) {
+          --w.alive;
+          break;
+        }
+        if (cfg_.scheduling == Scheduling::Lazy) break;
+      }
+      if (cancelled_.load(std::memory_order_relaxed)) break;
+    }
+    if (w.alive == 0) break;
+    if (!fired) {
+      std::unique_lock<std::mutex> lock(w.mu);
+      if (!w.pending) w.cv.wait_for(lock, 500us);
+      w.pending = false;
+    }
+  }
+  workers_running_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void Vsa::worker_loop_stealing(Worker& w, Node& n) {
+  while (!cancelled_.load(std::memory_order_relaxed) &&
+         n.alive.load(std::memory_order_acquire) > 0) {
+    Vdp* v = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(n.pool_mu);
+      if (n.pool.empty()) {
+        n.pool_cv.wait_for(lock, 500us);
+        continue;
+      }
+      v = n.pool.front();
+      n.pool.pop_front();
+    }
+    if (v->dead() || !v->ready()) continue;  // stale candidate
+    bool expected = false;
+    if (!v->running_.compare_exchange_strong(expected, true)) {
+      continue;  // another worker holds it; it re-enqueues if still ready
+    }
+    if (v->dead()) {
+      v->running_.store(false);
+      continue;
+    }
+    while (v->ready()) {
+      fire(*v, w);
+      if (v->dead() || cfg_.scheduling == Scheduling::Lazy) break;
+    }
+    const bool died = v->dead();
+    v->running_.store(false, std::memory_order_release);
+    if (died) {
+      if (n.alive.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        n.pool_cv.notify_all();  // node done: release idle workers
+      }
+    } else if (v->ready()) {
+      // Re-check AFTER unclaiming: a packet that arrived while we held
+      // the claim may have had its candidate dropped by another worker
+      // (claim failure), so this VDP's wakeup is now our responsibility.
+      n.enqueue(v);
+    }
+  }
+  workers_running_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void Vsa::proxy_loop(Node& n) {
+  auto deliver = [&](net::Message& m) {
+    auto it = n.route.find(route_key(m.source, m.tag));
+    PQR_ASSERT(it != n.route.end(), "proxy: unroutable message");
+    m.payload.set_meta(m.meta);
+    it->second->push(std::move(m.payload));
+  };
+  for (;;) {
+    bool any = false;
+    // Serve the outgoing queues of this node's workers (and the node
+    // queue used by the work-stealing executor).
+    for (Worker* w : n.workers) {
+      for (;;) {
+        OutMsg m;
+        {
+          std::lock_guard<std::mutex> lock(w->omu);
+          if (w->outq.empty()) break;
+          m = std::move(w->outq.front());
+          w->outq.pop_front();
+        }
+        const int req = comm_->isend(n.id, m.dst_node, m.tag, m.p, m.p.meta());
+        PQR_ASSERT(comm_->test(req), "proxy: isend did not complete");
+        any = true;
+      }
+    }
+    for (;;) {
+      OutMsg m;
+      {
+        std::lock_guard<std::mutex> lock(n.omu);
+        if (n.outq.empty()) break;
+        m = std::move(n.outq.front());
+        n.outq.pop_front();
+      }
+      const int req = comm_->isend(n.id, m.dst_node, m.tag, m.p, m.p.meta());
+      PQR_ASSERT(comm_->test(req), "proxy: isend did not complete");
+      any = true;
+    }
+    // Drain incoming messages.
+    while (auto m = comm_->try_recv(n.id)) {
+      deliver(*m);
+      any = true;
+    }
+    if (done_.load(std::memory_order_acquire) ||
+        cancelled_.load(std::memory_order_acquire)) {
+      if (!any) break;
+      continue;
+    }
+    if (!any) {
+      if (auto m = comm_->recv_wait(n.id, 200)) deliver(*m);
+    }
+  }
+}
+
+Vsa::RunStats Vsa::run() {
+  require(!ran_, "run: VSA already ran");
+  ran_ = true;
+  validate_and_wire();
+
+  comm_ = std::make_unique<net::Comm>(cfg_.nodes);
+  recorder_ = std::make_unique<trace::Recorder>(total_threads(), cfg_.trace);
+  recorder_->start_clock();
+
+  workers_running_.store(static_cast<int>(workers_.size()));
+  const auto t_start = std::chrono::steady_clock::now();
+  if (cfg_.work_stealing) {
+    // Seed every VDP as an initial fire candidate on its node.
+    for (Vdp* v : creation_order_) {
+      nodes_[v->global_thread_ / cfg_.workers_per_node]->enqueue(v);
+    }
+  }
+  for (auto& w : workers_) {
+    w->thread = std::thread([this, wp = w.get()] {
+      if (cfg_.work_stealing) {
+        worker_loop_stealing(*wp, *nodes_[wp->node_id]);
+      } else {
+        worker_loop(*wp);
+      }
+    });
+  }
+  bool any_proxy = false;
+  for (auto& n : nodes_) {
+    if (n->has_remote) {
+      n->proxy = std::thread([this, np = n.get()] { proxy_loop(*np); });
+      any_proxy = true;
+    }
+  }
+
+  // Watchdog: progress is the global fire count.
+  long long last_fires = -1;
+  auto last_progress = std::chrono::steady_clock::now();
+  while (workers_running_.load(std::memory_order_acquire) > 0) {
+    std::this_thread::sleep_for(1ms);
+    const long long f = fires_.load(std::memory_order_relaxed);
+    if (f != last_fires) {
+      last_fires = f;
+      last_progress = std::chrono::steady_clock::now();
+    } else if (cfg_.watchdog_seconds > 0 &&
+               std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             last_progress)
+                       .count() > cfg_.watchdog_seconds) {
+      cancelled_.store(true, std::memory_order_release);
+      break;
+    }
+  }
+
+  // Shut down: wake everything, join workers, then proxies.
+  for (auto& w : workers_) w->wake();
+  for (auto& n : nodes_) n->pool_cv.notify_all();
+  for (auto& w : workers_) w->thread.join();
+  done_.store(true, std::memory_order_release);
+  if (any_proxy) {
+    for (int r = 0; r < cfg_.nodes; ++r) comm_->interrupt(r);
+    for (auto& n : nodes_) {
+      if (n->proxy.joinable()) n->proxy.join();
+    }
+  }
+
+  if (cancelled_.load()) {
+    throw Error("PRT watchdog: no VDP fired for " +
+                std::to_string(cfg_.watchdog_seconds) +
+                "s; the VSA is deadlocked.\n" + stuck_diagnostic());
+  }
+
+  RunStats stats;
+  stats.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
+          .count();
+  stats.fires = fires_.load();
+  stats.remote_messages = comm_->messages_sent();
+  stats.remote_bytes = comm_->bytes_sent();
+  for (auto& w : workers_) stats.busy_per_thread.push_back(w->busy);
+  for (Vdp* v : creation_order_) {
+    for (auto& ch : v->inputs_) stats.leftover_packets += ch->size();
+  }
+  for (int r = 0; r < cfg_.nodes; ++r) {
+    while (comm_->try_recv(r)) ++stats.leftover_packets;
+  }
+  return stats;
+}
+
+std::string Vsa::stuck_diagnostic() const {
+  std::ostringstream os;
+  int shown = 0;
+  int alive = 0;
+  for (const Vdp* v : creation_order_) {
+    if (v->dead()) continue;
+    ++alive;
+    if (shown >= 20) continue;
+    ++shown;
+    os << "  VDP " << v->tuple_.to_string() << " counter=" << v->counter_
+       << " inputs=[";
+    for (int s = 0; s < v->num_inputs(); ++s) {
+      const auto& ch = v->inputs_[s];
+      if (s > 0) os << ' ';
+      os << s << ':' << (ch->enabled() ? "" : "off,") << ch->size();
+    }
+    os << "]\n";
+  }
+  os << "  (" << alive << " VDPs still alive)";
+  return os.str();
+}
+
+}  // namespace pulsarqr::prt

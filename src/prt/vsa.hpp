@@ -1,0 +1,166 @@
+// Virtual Systolic Array + the PULSAR Runtime (PRT) execution engine
+// (Section IV of the paper).
+//
+// The VSA is built once (VDPs + channels + an optional feed of initial
+// packets), then run() maps VDPs onto virtual nodes and worker threads,
+// spawns one proxy thread per node for inter-node traffic (served by the
+// prt::net loopback transport — the MPI substitution), and executes until
+// every VDP's counter reaches zero.
+#pragma once
+
+#include <any>
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "prt/trace.hpp"
+#include "prt/transport.hpp"
+#include "prt/vdp.hpp"
+
+namespace pulsarqr::prt {
+
+/// Lazy fires a ready VDP once then moves on (encourages lookahead; the
+/// paper's best scheme for tree QR); Aggressive re-fires while ready.
+enum class Scheduling { Lazy, Aggressive };
+
+class Vsa {
+ public:
+  struct Config {
+    int nodes = 1;
+    int workers_per_node = 2;
+    Scheduling scheduling = Scheduling::Lazy;
+    /// Alternative execution principle (Section II of the paper invites
+    /// comparing runtimes): ignore the static VDP->thread binding within
+    /// each node and let the node's workers fire any ready VDP from a
+    /// shared pool. The VDP->node placement (and hence all inter-node
+    /// channels) is unchanged — stealing cannot cross address spaces.
+    bool work_stealing = false;
+    bool trace = false;
+    /// Abort the run (with a stuck-VDP diagnostic) if no VDP fires for
+    /// this long. 0 disables the watchdog.
+    double watchdog_seconds = 30.0;
+  };
+
+  struct RunStats {
+    double seconds = 0.0;
+    long long fires = 0;
+    long long remote_messages = 0;
+    long long remote_bytes = 0;
+    int leftover_packets = 0;
+    std::vector<double> busy_per_thread;
+  };
+
+  explicit Vsa(Config cfg);
+  ~Vsa();
+
+  Vsa(const Vsa&) = delete;
+  Vsa& operator=(const Vsa&) = delete;
+
+  const Config& config() const { return cfg_; }
+  int total_threads() const { return cfg_.nodes * cfg_.workers_per_node; }
+
+  /// prt_vdp_new + prt_vsa_vdp_insert: register a VDP. `color` classifies
+  /// firings for tracing (QR: 0 = flat factor, 1 = update, 2 = binary).
+  Vdp& add_vdp(Tuple tuple, int counter, VdpFn fn, int num_inputs,
+               int num_outputs, int color = 0);
+
+  /// prt_channel_new + channel_insert on both endpoints: connect output
+  /// slot `out_slot` of `src` to input slot `in_slot` of `dst`. Channels
+  /// may start disabled and be enabled from VDP code at runtime.
+  void connect(const Tuple& src, int out_slot, const Tuple& dst, int in_slot,
+               std::size_t max_bytes, bool enabled = true);
+
+  /// A source channel: an input channel with no producer VDP, prefilled
+  /// with `initial` packets before the run starts.
+  void feed(const Tuple& dst, int in_slot, std::size_t max_bytes,
+            std::vector<Packet> initial, bool enabled = true);
+
+  /// Explicit VDP -> global worker thread mapping (thread / workers_per_node
+  /// is the node). Unmapped VDPs fall back to the default mapping.
+  void map_vdp(const Tuple& tuple, int global_thread);
+
+  /// Default mapping function; if unset, VDPs are assigned round-robin in
+  /// creation order.
+  void set_default_mapping(std::function<int(const Tuple&)> fn);
+
+  /// Read-only global parameters (paper: "read-only global parameters").
+  template <class T>
+  void set_global(std::shared_ptr<T> g) {
+    global_ = std::move(g);
+  }
+
+  template <class T>
+  T& global() const {
+    auto p = std::any_cast<std::shared_ptr<T>>(&global_);
+    PQR_ASSERT(p != nullptr, "global: type mismatch or not set");
+    return **p;
+  }
+
+  /// Execute the VSA to completion. Throws pulsarqr::Error on watchdog
+  /// expiry (deadlocked VSA) or invalid wiring.
+  RunStats run();
+
+  /// Available after run() when Config::trace is set.
+  const trace::Recorder& recorder() const { return *recorder_; }
+
+  /// Internal: route a packet from a firing VDP (used by VdpContext).
+  void push_from(VdpContext& ctx, int slot, Packet p);
+
+  struct Worker;  ///< implementation detail (vsa.cpp)
+  struct Node;    ///< implementation detail (vsa.cpp)
+
+ private:
+  void validate_and_wire();
+  void worker_loop(Worker& w);
+  void worker_loop_stealing(Worker& w, Node& n);
+  void proxy_loop(Node& n);
+  void fire(Vdp& v, Worker& w);
+  std::string stuck_diagnostic() const;
+
+  Config cfg_;
+  std::unordered_map<Tuple, std::unique_ptr<Vdp>, TupleHash> vdps_;
+  std::vector<Vdp*> creation_order_;
+
+  struct PendingEdge {
+    Tuple src;
+    int out_slot;
+    Tuple dst;
+    int in_slot;
+    std::size_t max_bytes;
+    bool enabled;
+  };
+  struct PendingFeed {
+    Tuple dst;
+    int in_slot;
+    std::size_t max_bytes;
+    std::vector<Packet> initial;
+    bool enabled;
+  };
+  std::vector<PendingEdge> edges_;
+  std::vector<PendingFeed> feeds_;
+  std::unordered_map<Tuple, int, TupleHash> explicit_map_;
+  std::function<int(const Tuple&)> default_map_;
+  std::any global_;
+
+  // Runtime state (valid during run()).
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Waker>> pool_wakers_;
+  std::unique_ptr<net::Comm> comm_;
+  std::unique_ptr<trace::Recorder> recorder_;
+  std::atomic<long long> fires_{0};
+  std::atomic<int> workers_running_{0};
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> done_{false};
+  bool ran_ = false;
+};
+
+template <class T>
+T& VdpContext::global() const {
+  return vsa.global<T>();
+}
+
+}  // namespace pulsarqr::prt

@@ -1,0 +1,81 @@
+#include "ref/apply_q.hpp"
+
+#include "blas/blas.hpp"
+#include "kernels/tile_kernels.hpp"
+
+namespace pulsarqr::ref {
+
+namespace {
+
+// Apply the update corresponding to one factor op to the tiles of B.
+void apply_factor_op(blas::Trans trans, const plan::Op& op,
+                     const TreeQrFactors& f, TileMatrix& b) {
+  using plan::OpKind;
+  const TileMatrix& a = f.a;
+  const int ib = f.ib;
+  for (int l = 0; l < b.nt(); ++l) {
+    switch (op.kind) {
+      case OpKind::Geqrt:
+        kernels::ormqr(trans, a.tile(op.i, op.j), f.tg.t(op.i, op.j), ib,
+                       b.tile(op.i, l));
+        break;
+      case OpKind::Tsqrt:
+        kernels::tsmqr(trans, a.tile(op.k, op.j), f.tt.t(op.k, op.j), ib,
+                       b.tile(op.i, l), b.tile(op.k, l));
+        break;
+      case OpKind::Ttqrt:
+        kernels::ttmqr(trans, a.tile(op.k, op.j), f.tt.t(op.k, op.j), ib,
+                       b.tile(op.i, l), b.tile(op.k, l));
+        break;
+      default:
+        PQR_ASSERT(false, "apply_factor_op: not a factor op");
+    }
+  }
+}
+
+}  // namespace
+
+void apply_q(blas::Trans trans, const TreeQrFactors& f, TileMatrix& b) {
+  require(b.rows() == f.a.rows() && b.nb() == f.a.nb(),
+          "apply_q: B must match the factored matrix rows and tile size");
+  // Q = Q_1 Q_2 ... Q_p in elimination order: Q^T B applies ops forward,
+  // Q B applies them backward.
+  const auto& ops = f.plan.ops();
+  if (trans == blas::Trans::Yes) {
+    for (const auto& op : ops) {
+      if (plan::is_factor_op(op.kind)) apply_factor_op(trans, op, f, b);
+    }
+  } else {
+    for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+      if (plan::is_factor_op(it->kind)) apply_factor_op(trans, *it, f, b);
+    }
+  }
+}
+
+Matrix form_q(const TreeQrFactors& f, int k) {
+  const int m = f.a.rows();
+  require(k >= 0 && k <= m, "form_q: bad column count");
+  TileMatrix q(m, k, f.a.nb());
+  for (int d = 0; d < k; ++d) q.at(d, d) = 1.0;
+  apply_q(blas::Trans::No, f, q);
+  return q.to_dense();
+}
+
+std::vector<double> least_squares(const TreeQrFactors& f,
+                                  const std::vector<double>& b) {
+  const int m = f.a.rows();
+  const int n = f.a.cols();
+  require(m >= n, "least_squares: need m >= n");
+  require(static_cast<int>(b.size()) == m, "least_squares: rhs length");
+  TileMatrix bt(m, 1, f.a.nb());
+  for (int i = 0; i < m; ++i) bt.at(i, 0) = b[i];
+  apply_q(blas::Trans::Yes, f, bt);
+  std::vector<double> x(n);
+  for (int i = 0; i < n; ++i) x[i] = bt.at(i, 0);
+  Matrix r = extract_r(f);
+  blas::trsv(blas::Uplo::Upper, blas::Trans::No, blas::Diag::NonUnit,
+             r.view(), x.data());
+  return x;
+}
+
+}  // namespace pulsarqr::ref

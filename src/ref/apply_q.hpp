@@ -1,0 +1,24 @@
+// Apply the orthogonal factor of a tree QR factorization (or its
+// transpose) to a block of vectors, replaying the plan's transformations.
+// Also provides the tile least-squares driver and explicit Q formation.
+#pragma once
+
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "ref/reference_qr.hpp"
+
+namespace pulsarqr::ref {
+
+/// B := Q^T B (trans == Yes) or B := Q B (trans == No). B must have the
+/// same row count and tile size as the factored matrix.
+void apply_q(blas::Trans trans, const TreeQrFactors& f, TileMatrix& b);
+
+/// Form the leading m-by-k columns of Q explicitly (k <= m).
+Matrix form_q(const TreeQrFactors& f, int k);
+
+/// Solve min_x ||A x - b|| given the factorization of A (m >= n).
+std::vector<double> least_squares(const TreeQrFactors& f,
+                                  const std::vector<double>& b);
+
+}  // namespace pulsarqr::ref

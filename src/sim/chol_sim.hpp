@@ -1,0 +1,14 @@
+// Performance simulation of the PULSAR-mapped Cholesky (src/chol) on the
+// same machine model and DES engine as the QR simulator.
+#pragma once
+
+#include "chol/chol_plan.hpp"
+#include "sim/simulator.hpp"
+
+namespace pulsarqr::sim {
+
+/// Simulate the systolic Cholesky of an n-by-n SPD matrix with tile size
+/// nb on `nodes` nodes of machine `mm`.
+SimResult simulate_cholesky(int n, int nb, const MachineModel& mm, int nodes);
+
+}  // namespace pulsarqr::sim

@@ -1,0 +1,24 @@
+#include "sim/cost_model.hpp"
+
+namespace pulsarqr::sim {
+
+double CostModel::efficiency(plan::OpKind k) const {
+  using plan::OpKind;
+  switch (k) {
+    case OpKind::Geqrt: return mm_.eff_geqrt;
+    case OpKind::Tsqrt: return mm_.eff_tsqrt;
+    case OpKind::Ttqrt: return mm_.eff_ttqrt;
+    case OpKind::Ormqr: return mm_.eff_ormqr;
+    case OpKind::Tsmqr: return mm_.eff_tsmqr;
+    case OpKind::Ttmqr: return mm_.eff_ttmqr;
+  }
+  return 1.0;
+}
+
+double CostModel::task_seconds(const plan::Op& op) const {
+  const double flops = plan::op_flops(op, m_, n_, nb_);
+  const double rate = mm_.core_peak_gflops * 1e9 * efficiency(op.kind);
+  return flops / rate + mm_.task_overhead_s;
+}
+
+}  // namespace pulsarqr::sim

@@ -1,0 +1,42 @@
+// Per-task execution times and per-message communication times derived
+// from the machine model and the kernel flop counts.
+#pragma once
+
+#include "plan/flops.hpp"
+#include "sim/machine.hpp"
+
+namespace pulsarqr::sim {
+
+class CostModel {
+ public:
+  CostModel(const MachineModel& mm, int m, int n, int nb, int ib)
+      : mm_(mm), m_(m), n_(n), nb_(nb), ib_(ib) {}
+
+  /// Wall time of one kernel op on one core, including runtime overhead.
+  double task_seconds(const plan::Op& op) const;
+
+  /// Time for a tile-sized message between two nodes.
+  double tile_message_seconds() const {
+    const double bytes = 8.0 * nb_ * nb_ + 16;
+    return mm_.link_latency_s + bytes / mm_.link_bandwidth_bps;
+  }
+
+  /// Time for a (V,T) transformation message between two nodes.
+  double vt_message_seconds() const {
+    const double bytes = 8.0 * (static_cast<double>(nb_) * nb_ +
+                                static_cast<double>(ib_) * nb_) +
+                         32;
+    return mm_.link_latency_s + bytes / mm_.link_bandwidth_bps;
+  }
+
+  const MachineModel& machine() const { return mm_; }
+  int nb() const { return nb_; }
+
+ private:
+  double efficiency(plan::OpKind k) const;
+
+  MachineModel mm_;
+  int m_, n_, nb_, ib_;
+};
+
+}  // namespace pulsarqr::sim

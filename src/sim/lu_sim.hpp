@@ -1,0 +1,14 @@
+// Performance simulation of the PULSAR-mapped LU (src/lu).
+#pragma once
+
+#include "lu/lu_plan.hpp"
+#include "sim/simulator.hpp"
+
+namespace pulsarqr::sim {
+
+/// Simulate the systolic no-pivot LU of an m-by-n matrix with tile size
+/// nb on `nodes` nodes of machine `mm`.
+SimResult simulate_lu(int m, int n, int nb, const MachineModel& mm,
+                      int nodes);
+
+}  // namespace pulsarqr::sim

@@ -1,0 +1,28 @@
+// Analytic cost model of ScaLAPACK-style pdgeqrf (block Householder QR on
+// a 2D block-cyclic grid) — the established-solver comparator of
+// Section VI-A. The paper reports LibSci/ScaLAPACK lagging tree QR by at
+// least 3x (up to an order of magnitude) on tall-skinny matrices; the gap
+// comes from the column-by-column, latency-bound panel factorization that
+// cannot overlap with the trailing update, which is exactly what this
+// model charges for.
+#pragma once
+
+#include "sim/machine.hpp"
+
+namespace pulsarqr::sim {
+
+struct ScalapackResult {
+  double seconds = 0.0;
+  double useful_gflops = 0.0;
+  double panel_seconds = 0.0;   ///< latency-bound panel factorization
+  double update_seconds = 0.0;  ///< gemm-bound trailing update
+  int pr = 0, pc = 0;           ///< process grid used
+};
+
+/// Model pdgeqrf of an m-by-n matrix with block size nb on `cores`
+/// single-threaded processes of machine `mm` (the classic ScaLAPACK
+/// deployment: one MPI rank per core).
+ScalapackResult scalapack_qr_model(double m, double n, int nb,
+                                   const MachineModel& mm, int cores);
+
+}  // namespace pulsarqr::sim

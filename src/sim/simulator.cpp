@@ -1,0 +1,168 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "common/error.hpp"
+#include "plan/flops.hpp"
+
+namespace pulsarqr::sim {
+
+namespace {
+
+/// Per-thread ready queue ordered by the time a task's inputs are all
+/// available (the moment the VDP becomes fireable).
+struct ReadyTask {
+  double avail;
+  int task;
+  bool operator>(const ReadyTask& o) const {
+    return avail > o.avail || (avail == o.avail && task > o.task);
+  }
+};
+
+struct Completion {
+  double time;
+  int task;
+  bool operator>(const Completion& o) const {
+    return time > o.time || (time == o.time && task > o.task);
+  }
+};
+
+}  // namespace
+
+SimResult simulate_graph(const TaskGraph& g, const CostModel& cost,
+                         double useful_flops, double total_flops) {
+  const int n = g.num_tasks;
+  const int threads = g.num_threads;
+
+  // Successor CSR from the predecessor CSR.
+  std::vector<std::int64_t> soff(n + 1, 0);
+  for (std::int64_t e = 0; e < g.pred_offset[n]; ++e) {
+    ++soff[g.pred_task[e] + 1];
+  }
+  for (int i = 0; i < n; ++i) soff[i + 1] += soff[i];
+  std::vector<std::int32_t> succ(g.pred_offset[n]);
+  std::vector<EdgeKind> succ_kind(g.pred_offset[n]);
+  {
+    std::vector<std::int64_t> fill = soff;
+    for (int x = 0; x < n; ++x) {
+      for (std::int64_t e = g.pred_offset[x]; e < g.pred_offset[x + 1]; ++e) {
+        const int p = g.pred_task[e];
+        succ[fill[p]] = x;
+        succ_kind[fill[p]] = g.pred_kind[e];
+        ++fill[p];
+      }
+    }
+  }
+
+  std::vector<std::int32_t> npred(n);
+  std::vector<double> avail(n, 0.0);
+  for (int x = 0; x < n; ++x) {
+    npred[x] = static_cast<std::int32_t>(g.pred_offset[x + 1] -
+                                         g.pred_offset[x]);
+  }
+
+  std::vector<std::priority_queue<ReadyTask, std::vector<ReadyTask>,
+                                  std::greater<ReadyTask>>>
+      ready(threads);
+  std::vector<double> free_at(threads, 0.0);
+  std::vector<char> busy(threads, 0);
+  std::priority_queue<Completion, std::vector<Completion>,
+                      std::greater<Completion>>
+      events;
+
+  const double tile_msg = cost.tile_message_seconds();
+  const double vt_msg = cost.vt_message_seconds();
+  const double local_edge = cost.machine().intra_node_edge_latency_s;
+  const bool nic_contention = cost.machine().model_nic_contention;
+  const double latency = cost.machine().link_latency_s;
+  // Per-node NIC availability (injection serialization), when modeled.
+  std::vector<double> nic_free(
+      (g.num_threads + g.workers_per_node - 1) / g.workers_per_node, 0.0);
+
+  auto start_task = [&](int th, double now) {
+    // Thread becomes free: run the ready task whose inputs arrive first.
+    if (ready[th].empty()) {
+      busy[th] = 0;
+      return;
+    }
+    const ReadyTask rt = ready[th].top();
+    ready[th].pop();
+    const double start = std::max({now, free_at[th], rt.avail});
+    busy[th] = 1;
+    events.push({start + g.duration[rt.task], rt.task});
+  };
+
+  auto enqueue_ready = [&](int task, double now) {
+    const int th = g.thread[task];
+    ready[th].push({avail[task], task});
+    if (!busy[th]) start_task(th, now);
+  };
+
+  for (int x = 0; x < n; ++x) {
+    if (npred[x] == 0) enqueue_ready(x, 0.0);
+  }
+
+  double makespan = 0.0;
+  long long done = 0;
+  double busy_time = 0.0;
+  while (!events.empty()) {
+    const Completion c = events.top();
+    events.pop();
+    const int x = c.task;
+    const int th = g.thread[x];
+    free_at[th] = c.time;
+    makespan = std::max(makespan, c.time);
+    busy_time += g.duration[x];
+    ++done;
+    for (std::int64_t e = soff[x]; e < soff[x + 1]; ++e) {
+      const int s = succ[e];
+      double arrive = c.time;
+      if (succ_kind[e] != EdgeKind::Serial) {
+        if (g.node_of(x) != g.node_of(s)) {
+          const double msg = succ_kind[e] == EdgeKind::Vt ? vt_msg : tile_msg;
+          if (nic_contention) {
+            // Serialize the transfer through the source node's NIC; the
+            // wire latency is paid after injection completes.
+            const double xfer = msg - latency;
+            double& nf = nic_free[g.node_of(x)];
+            nf = std::max(nf, c.time) + xfer;
+            arrive = nf + latency;
+          } else {
+            arrive = c.time + msg;
+          }
+        } else {
+          arrive = c.time + local_edge;
+        }
+      }
+      avail[s] = std::max(avail[s], arrive);
+      if (--npred[s] == 0) enqueue_ready(s, c.time);
+    }
+    start_task(th, c.time);
+  }
+  require(done == n, "simulate_graph: task graph has a cycle");
+
+  SimResult r;
+  r.seconds = makespan;
+  r.tasks = n;
+  r.total_flops = total_flops;
+  r.useful_gflops = useful_flops / makespan / 1e9;
+  r.actual_gflops = total_flops / makespan / 1e9;
+  r.busy_fraction = busy_time / (makespan * threads);
+  return r;
+}
+
+SimResult simulate_tree_qr(int m, int n, int nb, int ib,
+                           const plan::PlanConfig& cfg,
+                           const MachineModel& mm, int nodes) {
+  const int mt = (m + nb - 1) / nb;
+  const int nt = (n + nb - 1) / nb;
+  plan::ReductionPlan plan(mt, nt, cfg);
+  CostModel cost(mm, m, n, nb, ib);
+  TaskGraph g = build_task_graph(plan, cost, nodes);
+  return simulate_graph(g, cost, plan::qr_useful_flops(m, n),
+                        plan::plan_flops(plan, m, n, nb));
+}
+
+}  // namespace pulsarqr::sim

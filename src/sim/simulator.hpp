@@ -1,0 +1,29 @@
+// Discrete-event simulator: executes a task graph on the machine model
+// and reports the metrics the paper's figures plot.
+#pragma once
+
+#include "plan/reduction_plan.hpp"
+#include "sim/task_graph.hpp"
+
+namespace pulsarqr::sim {
+
+struct SimResult {
+  double seconds = 0.0;        ///< simulated makespan
+  double useful_gflops = 0.0;  ///< 2n^2(m - n/3) / time — the paper's metric
+  double actual_gflops = 0.0;  ///< flops actually executed / time
+  double busy_fraction = 0.0;  ///< worker utilization
+  long long tasks = 0;
+  double total_flops = 0.0;
+};
+
+/// Simulate one tree-QR factorization of an m-by-n matrix with tile size
+/// nb / inner block ib on `nodes` nodes of machine `mm`.
+SimResult simulate_tree_qr(int m, int n, int nb, int ib,
+                           const plan::PlanConfig& cfg,
+                           const MachineModel& mm, int nodes);
+
+/// Lower-level entry point when the plan/graph are reused.
+SimResult simulate_graph(const TaskGraph& g, const CostModel& cost,
+                         double useful_flops, double total_flops);
+
+}  // namespace pulsarqr::sim

@@ -1,0 +1,85 @@
+// Packet encodings for the QR VSA.
+//
+// Two payload kinds flow through the array:
+//   Tile packet — [rows, cols | column-major tile data]; meta = global tile
+//                 row index (used for wiring assertions only).
+//   VT packet   — [vrows, vcols, trows, tcols | V tile | T tile]; one
+//                 Householder-transformation broadcast unit (the paper's
+//                 "matrix transformations generated during the QR").
+// Headers are stored as doubles so the payload stays homogeneous and
+// aligned; dimensions are small integers represented exactly.
+#pragma once
+
+#include "common/view.hpp"
+#include "prt/packet.hpp"
+
+namespace pulsarqr::vsaqr {
+
+inline std::size_t tile_packet_bytes(int max_rows, int max_cols) {
+  return (2 + static_cast<std::size_t>(max_rows) * max_cols) * sizeof(double);
+}
+
+inline prt::Packet encode_tile(ConstMatrixView v, int meta) {
+  prt::Packet p = prt::Packet::make(tile_packet_bytes(v.rows, v.cols), meta);
+  double* d = p.doubles();
+  d[0] = v.rows;
+  d[1] = v.cols;
+  for (int j = 0; j < v.cols; ++j) {
+    for (int i = 0; i < v.rows; ++i) d[2 + i + j * v.rows] = v(i, j);
+  }
+  return p;
+}
+
+/// Mutable view of a tile packet's payload (ld == rows).
+inline MatrixView tile_view(prt::Packet& p) {
+  double* d = p.doubles();
+  const int rows = static_cast<int>(d[0]);
+  const int cols = static_cast<int>(d[1]);
+  return MatrixView(d + 2, rows, cols, rows);
+}
+
+inline std::size_t vt_packet_bytes(int max_vrows, int max_vcols, int ib) {
+  return (4 + static_cast<std::size_t>(max_vrows) * max_vcols +
+          static_cast<std::size_t>(ib) * max_vcols) *
+         sizeof(double);
+}
+
+inline prt::Packet encode_vt(ConstMatrixView v, ConstMatrixView t, int meta) {
+  prt::Packet p =
+      prt::Packet::make((4 + static_cast<std::size_t>(v.rows) * v.cols +
+                         static_cast<std::size_t>(t.rows) * t.cols) *
+                            sizeof(double),
+                        meta);
+  double* d = p.doubles();
+  d[0] = v.rows;
+  d[1] = v.cols;
+  d[2] = t.rows;
+  d[3] = t.cols;
+  double* vd = d + 4;
+  for (int j = 0; j < v.cols; ++j) {
+    for (int i = 0; i < v.rows; ++i) vd[i + j * v.rows] = v(i, j);
+  }
+  double* td = vd + static_cast<std::size_t>(v.rows) * v.cols;
+  for (int j = 0; j < t.cols; ++j) {
+    for (int i = 0; i < t.rows; ++i) td[i + j * t.rows] = t(i, j);
+  }
+  return p;
+}
+
+struct VtView {
+  ConstMatrixView v;
+  ConstMatrixView t;
+};
+
+inline VtView vt_view(const prt::Packet& p) {
+  const double* d = p.doubles();
+  const int vr = static_cast<int>(d[0]);
+  const int vc = static_cast<int>(d[1]);
+  const int tr = static_cast<int>(d[2]);
+  const int tc = static_cast<int>(d[3]);
+  const double* vd = d + 4;
+  const double* td = vd + static_cast<std::size_t>(vr) * vc;
+  return {ConstMatrixView(vd, vr, vc, vr), ConstMatrixView(td, tr, tc, tr)};
+}
+
+}  // namespace pulsarqr::vsaqr

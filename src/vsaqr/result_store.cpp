@@ -1,0 +1,55 @@
+#include "vsaqr/result_store.hpp"
+
+#include "blas/blas.hpp"
+
+namespace pulsarqr::vsaqr {
+
+ResultStore::ResultStore(int m, int n, int nb, int ib)
+    : a_(m, n, nb),
+      tg_(a_.mt(), a_.nt(), ib, nb, n),
+      tt_(a_.mt(), a_.nt(), ib, nb, n),
+      ib_(ib),
+      tile_written_(static_cast<std::size_t>(a_.mt()) * a_.nt()) {
+  // Pre-touch every T slot so concurrent put_tg/put_tt never allocate the
+  // same lazily-created buffer from two threads.
+  for (int j = 0; j < a_.nt(); ++j) {
+    for (int i = 0; i < a_.mt(); ++i) {
+      (void)tg_.t(i, j);
+      (void)tt_.t(i, j);
+    }
+  }
+}
+
+void ResultStore::put_tile(int i, int j, ConstMatrixView tile) {
+  const bool was =
+      tile_written_[i + static_cast<std::size_t>(j) * a_.mt()].exchange(true);
+  PQR_ASSERT(!was, "ResultStore: tile deposited twice");
+  MatrixView dst = a_.tile(i, j);
+  PQR_ASSERT(dst.rows == tile.rows && dst.cols == tile.cols,
+             "ResultStore: tile shape mismatch");
+  blas::lacpy_all(tile, dst);
+}
+
+void ResultStore::put_tg(int i, int j, ConstMatrixView t) {
+  MatrixView dst = tg_.t(i, j);
+  blas::lacpy_all(t.block(0, 0, dst.rows, dst.cols), dst);
+}
+
+void ResultStore::put_tt(int i, int j, ConstMatrixView t) {
+  MatrixView dst = tt_.t(i, j);
+  blas::lacpy_all(t.block(0, 0, dst.rows, dst.cols), dst);
+}
+
+ref::TreeQrFactors ResultStore::finish(plan::ReductionPlan plan, int ib) {
+  for (int j = 0; j < a_.nt(); ++j) {
+    for (int i = 0; i < a_.mt(); ++i) {
+      require(tile_written_[i + static_cast<std::size_t>(j) * a_.mt()].load(),
+              "ResultStore: tile (" + std::to_string(i) + "," +
+                  std::to_string(j) + ") was never deposited");
+    }
+  }
+  return ref::TreeQrFactors{std::move(a_), std::move(tg_), std::move(tt_),
+                            std::move(plan), ib};
+}
+
+}  // namespace pulsarqr::vsaqr

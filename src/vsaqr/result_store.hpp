@@ -1,0 +1,45 @@
+// Thread-safe collection point for the factorization's outputs.
+//
+// Tiles leave the systolic array when they become final (eliminated V
+// tiles, binary losers, and the R tiles of each step's survivor row); the
+// VDP that finalizes a tile deposits it here together with its T factors.
+// Every (i, j) slot is written exactly once, by exactly one VDP, so writes
+// are lock-free; atomic flags catch double writes and missing tiles.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "ref/reference_qr.hpp"
+#include "tile/tile_matrix.hpp"
+
+namespace pulsarqr::vsaqr {
+
+class ResultStore {
+ public:
+  ResultStore(int m, int n, int nb, int ib);
+
+  int mt() const { return a_.mt(); }
+  int nt() const { return a_.nt(); }
+
+  /// Deposit the final content of factor tile (i, j).
+  void put_tile(int i, int j, ConstMatrixView tile);
+  /// Deposit the geqrt T factors of tile (i, j).
+  void put_tg(int i, int j, ConstMatrixView t);
+  /// Deposit the tsqrt/ttqrt T factors of eliminated row i at panel j.
+  void put_tt(int i, int j, ConstMatrixView t);
+
+  /// Verify completeness (every tile deposited) and move the collected
+  /// factors out. `plan` must describe the run that filled the store.
+  ref::TreeQrFactors finish(plan::ReductionPlan plan, int ib);
+
+ private:
+  TileMatrix a_;
+  ref::TStore tg_;
+  ref::TStore tt_;
+  int ib_;
+  std::vector<std::atomic<bool>> tile_written_;
+};
+
+}  // namespace pulsarqr::vsaqr

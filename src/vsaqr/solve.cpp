@@ -1,0 +1,55 @@
+// Least squares on the systolic array: factorize the augmented matrix
+// [A | B] with the elimination stopped at A's columns. The array then
+// delivers R (in A's tile columns) and Q^T B (in B's) in one pass; only
+// the final n-by-n triangular solve runs on the host.
+#include "vsaqr/tree_qr.hpp"
+
+#include "blas/blas.hpp"
+
+namespace pulsarqr::vsaqr {
+
+Matrix tree_qr_solve(const TileMatrix& a, ConstMatrixView b,
+                     TreeQrOptions opt) {
+  const int m = a.rows();
+  const int n = a.cols();
+  const int nb = a.nb();
+  const int nrhs = b.cols;
+  require(m >= n, "tree_qr_solve: need m >= n");
+  require(b.rows == m, "tree_qr_solve: B row count mismatch");
+  require(nrhs >= 1, "tree_qr_solve: need at least one right-hand side");
+
+  // Augment: A's columns, zero padding to a full tile boundary (padded
+  // columns factor to zero R columns beyond the leading n-by-n block and
+  // do not disturb it), then B.
+  const int npad = a.nt() * nb;
+  TileMatrix aug(m, npad + nrhs, nb);
+  for (int j = 0; j < a.nt(); ++j) {
+    for (int i = 0; i < a.mt(); ++i) {
+      ConstMatrixView src = a.tile(i, j);
+      // A's last tile column may be ragged; the augmented tile is full
+      // width with zero padding.
+      blas::lacpy_all(src, aug.tile(i, j).block(0, 0, src.rows, src.cols));
+    }
+  }
+  for (int j = 0; j < nrhs; ++j) {
+    for (int i = 0; i < m; ++i) aug.at(i, npad + j) = b(i, j);
+  }
+
+  opt.panel_columns = a.nt();
+  auto run = tree_qr(aug, opt);
+
+  // X = R^{-1} (Q^T B)(0:n, :).
+  Matrix r(n, n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i <= j; ++i) r(i, j) = run.factors.a.at(i, j);
+  }
+  Matrix x(n, nrhs);
+  for (int j = 0; j < nrhs; ++j) {
+    for (int i = 0; i < n; ++i) x(i, j) = run.factors.a.at(i, npad + j);
+  }
+  blas::trsm(blas::Side::Left, blas::Uplo::Upper, blas::Trans::No,
+             blas::Diag::NonUnit, 1.0, r.view(), x.view());
+  return x;
+}
+
+}  // namespace pulsarqr::vsaqr

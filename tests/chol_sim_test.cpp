@@ -1,0 +1,96 @@
+// Tests for the Cholesky and LU performance simulations.
+#include <gtest/gtest.h>
+
+#include "sim/chol_sim.hpp"
+#include "sim/lu_sim.hpp"
+
+namespace pulsarqr::sim {
+namespace {
+
+TEST(CholSim, SingleWorkerMatchesSerialWork) {
+  MachineModel mm = MachineModel::kraken();
+  mm.cores_per_node = 2;  // one worker
+  const auto r = simulate_cholesky(8 * 64, 64, mm, 1);
+  EXPECT_NEAR(r.busy_fraction, 1.0, 1e-9);
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+TEST(CholSim, ScalesWithNodes) {
+  const MachineModel mm = MachineModel::kraken();
+  double prev = 1e300;
+  for (int nodes : {1, 2, 4, 8}) {
+    const auto r = simulate_cholesky(64 * 192, 192, mm, nodes);
+    EXPECT_LT(r.seconds, prev * 1.02) << nodes;
+    prev = r.seconds;
+  }
+}
+
+TEST(CholSim, ActualExceedsUsefulSlightly) {
+  // The tile Cholesky does (to leading order) exactly n^3/3 work, so the
+  // two rates agree within the tile fringe.
+  const auto r = simulate_cholesky(32 * 128, 128, MachineModel::kraken(), 4);
+  EXPECT_GE(r.actual_gflops, r.useful_gflops * 0.95);
+  EXPECT_LE(r.actual_gflops, r.useful_gflops * 1.6);
+}
+
+TEST(CholSim, TaskCountMatchesPlan) {
+  const int mt = 20;
+  chol::CholPlan plan(mt);
+  const auto r = simulate_cholesky(mt * 64, 64, MachineModel::kraken(), 2);
+  EXPECT_EQ(r.tasks, static_cast<long long>(plan.ops().size()));
+}
+
+TEST(CholSim, UtilizationDecaysUnderStrongScaling) {
+  // Fixed problem, growing machine: utilization must fall monotonically
+  // (the signature of strong scaling saturation).
+  const MachineModel mm = MachineModel::kraken();
+  double prev = 1.1;
+  for (int nodes : {10, 40, 160}) {
+    const auto r = simulate_cholesky(120 * 192, 192, mm, nodes);
+    EXPECT_LT(r.busy_fraction, prev);
+    prev = r.busy_fraction;
+  }
+}
+
+TEST(LuSim, ScalesWithNodes) {
+  const MachineModel mm = MachineModel::kraken();
+  double prev = 1e300;
+  for (int nodes : {1, 2, 4, 8}) {
+    const auto r = simulate_lu(48 * 192, 48 * 192, 192, mm, nodes);
+    EXPECT_LT(r.seconds, prev * 1.02) << nodes;
+    prev = r.seconds;
+  }
+}
+
+TEST(LuSim, TaskCountMatchesPlan) {
+  lu::LuPlan plan(12, 12);
+  const auto r = simulate_lu(12 * 64, 12 * 64, 64, MachineModel::kraken(), 2);
+  EXPECT_EQ(r.tasks, static_cast<long long>(plan.ops().size()));
+}
+
+TEST(LuSim, RectangularShapesWork) {
+  const MachineModel mm = MachineModel::kraken();
+  const auto tall = simulate_lu(64 * 128, 8 * 128, 128, mm, 4);
+  const auto wide = simulate_lu(8 * 128, 64 * 128, 128, mm, 4);
+  EXPECT_GT(tall.seconds, 0.0);
+  EXPECT_GT(wide.seconds, 0.0);
+  // Same flop totals to leading order (LU of A and A^T differ only in
+  // trsm/gemm shapes), so the times should be within a small factor.
+  EXPECT_LT(tall.seconds / wide.seconds, 4.0);
+  EXPECT_GT(tall.seconds / wide.seconds, 0.25);
+}
+
+TEST(LuSim, SquareLuCostsMoreThanCholesky) {
+  // 2n^3/3 vs n^3/3 flops at similar kernel efficiencies; both are partly
+  // pipeline-bound at this scale, so the measured ratio sits between 1
+  // and the flop ratio of 2.
+  const MachineModel mm = MachineModel::kraken();
+  const auto l = simulate_lu(64 * 192, 64 * 192, 192, mm, 16);
+  const auto c = simulate_cholesky(64 * 192, 192, mm, 16);
+  const double ratio = l.seconds / c.seconds;
+  EXPECT_GT(ratio, 1.1);
+  EXPECT_LT(ratio, 3.5);
+}
+
+}  // namespace
+}  // namespace pulsarqr::sim

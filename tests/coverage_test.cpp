@@ -1,0 +1,188 @@
+// Additional coverage: plan slicing APIs, flop-count properties, thread
+// map edges, rectangular kernel operands, degenerate tile shapes, and
+// runtime statistics accounting.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "kernels/tile_kernels.hpp"
+#include "plan/flops.hpp"
+#include "plan/reduction_plan.hpp"
+#include "prt/vsa.hpp"
+#include "sim/task_graph.hpp"
+#include "tile/tile_matrix.hpp"
+
+namespace pulsarqr {
+namespace {
+
+using plan::BoundaryMode;
+using plan::OpKind;
+using plan::PlanConfig;
+using plan::TreeKind;
+
+TEST(PlanSlicing, PanelRangesPartitionTheOps) {
+  plan::ReductionPlan p(9, 5, {TreeKind::BinaryOnFlat, 2,
+                               BoundaryMode::Shifted});
+  std::size_t expect_begin = 0;
+  for (int j = 0; j < p.panels(); ++j) {
+    const auto [b, e] = p.panel_range(j);
+    EXPECT_EQ(b, expect_begin);
+    EXPECT_GT(e, b);
+    for (std::size_t i = b; i < e; ++i) EXPECT_EQ(p.ops()[i].j, j);
+    expect_begin = e;
+  }
+  EXPECT_EQ(expect_begin, p.ops().size());
+}
+
+TEST(PlanSlicing, FactorOpsAreTheEliminations) {
+  plan::ReductionPlan p(6, 3, {TreeKind::Binary, 1, BoundaryMode::Shifted});
+  for (int j = 0; j < 3; ++j) {
+    const auto f = p.factor_ops(j);
+    // One geqrt per row plus one elimination per non-survivor.
+    int geqrt = 0, elim = 0;
+    for (const auto& op : f) {
+      EXPECT_TRUE(plan::is_factor_op(op.kind));
+      if (op.kind == OpKind::Geqrt) ++geqrt;
+      if (op.kind == OpKind::Ttqrt || op.kind == OpKind::Tsqrt) ++elim;
+    }
+    EXPECT_EQ(geqrt, 6 - j);
+    EXPECT_EQ(elim, 6 - j - 1);
+  }
+}
+
+TEST(Flops, AllOpKindsPositiveAndAdditive) {
+  plan::ReductionPlan p(7, 4, {TreeKind::BinaryOnFlat, 3,
+                               BoundaryMode::Fixed});
+  const int m = 7 * 16;
+  const int n = 4 * 16;
+  double sum = 0.0;
+  for (const auto& op : p.ops()) {
+    const double f = plan::op_flops(op, m, n, 16);
+    EXPECT_GT(f, 0.0);
+    sum += f;
+  }
+  EXPECT_DOUBLE_EQ(sum, plan::plan_flops(p, m, n, 16));
+}
+
+TEST(Flops, TreeOverheadOrdering) {
+  // Binary does more flops than hierarchical which does more than flat
+  // (more TT kernels as domains shrink).
+  const int m = 64 * 16;
+  const int n = 4 * 16;
+  auto total = [&](TreeKind t, int h) {
+    plan::ReductionPlan p(64, 4, {t, h, BoundaryMode::Shifted});
+    return plan::plan_flops(p, m, n, 16);
+  };
+  const double flat = total(TreeKind::Flat, 1);
+  const double hier = total(TreeKind::BinaryOnFlat, 8);
+  const double bin = total(TreeKind::Binary, 1);
+  EXPECT_LT(flat, hier);
+  EXPECT_LT(hier, bin);
+}
+
+TEST(TaskGraphEdges, VtEdgesExist) {
+  plan::ReductionPlan p(6, 3, {TreeKind::BinaryOnFlat, 2,
+                               BoundaryMode::Shifted});
+  sim::MachineModel mm = sim::MachineModel::kraken();
+  sim::CostModel cost(mm, 6 * 32, 3 * 32, 32, 8);
+  const auto g = sim::build_task_graph(p, cost, 2);
+  int serial = 0, tile = 0, vt = 0;
+  for (const auto k : g.pred_kind) {
+    if (k == sim::EdgeKind::Serial) ++serial;
+    if (k == sim::EdgeKind::Tile) ++tile;
+    if (k == sim::EdgeKind::Vt) ++vt;
+  }
+  EXPECT_GT(serial, 0);
+  EXPECT_GT(tile, 0);
+  EXPECT_GT(vt, 0);
+}
+
+TEST(Kernels, RectangularTrailingTiles) {
+  // tsqrt/tsmqr with C tiles narrower than the panel (ragged last column).
+  const int n = 6;
+  const int m2 = 9;
+  const int nc = 2;  // narrow trailing tile
+  Matrix r1(n, n);
+  fill_random(r1.view(), 1);
+  for (int j = 0; j < n; ++j) {
+    for (int i = j + 1; i < n; ++i) r1(i, j) = 0.0;
+  }
+  Matrix a2(m2, n);
+  fill_random(a2.view(), 2);
+  Matrix t(3, n);
+  kernels::tsqrt(r1.view(), a2.view(), 3, t.view());
+  Matrix c1(n, nc);
+  Matrix c2(m2, nc);
+  fill_random(c1.view(), 3);
+  fill_random(c2.view(), 4);
+  Matrix c1_0 = c1;
+  Matrix c2_0 = c2;
+  kernels::tsmqr(blas::Trans::Yes, a2.view(), t.view(), 3, c1.view(),
+                 c2.view());
+  kernels::tsmqr(blas::Trans::No, a2.view(), t.view(), 3, c1.view(),
+                 c2.view());
+  for (int j = 0; j < nc; ++j) {
+    for (int i = 0; i < n; ++i) EXPECT_NEAR(c1(i, j), c1_0(i, j), 1e-12);
+    for (int i = 0; i < m2; ++i) EXPECT_NEAR(c2(i, j), c2_0(i, j), 1e-12);
+  }
+}
+
+TEST(TileMatrixEdge, TileLargerThanMatrix) {
+  TileMatrix t(3, 2, 64);
+  EXPECT_EQ(t.mt(), 1);
+  EXPECT_EQ(t.nt(), 1);
+  EXPECT_EQ(t.tile_rows(0), 3);
+  EXPECT_EQ(t.tile_cols(0), 2);
+}
+
+TEST(RunStats, AccountsBusyTimeAndRemoteBytes) {
+  prt::Vsa::Config cfg;
+  cfg.nodes = 2;
+  cfg.workers_per_node = 1;
+  prt::Vsa vsa(cfg);
+  const std::size_t bytes = 1000;
+  vsa.add_vdp(
+      prt::tuple2(0, 0), 4,
+      [bytes](prt::VdpContext& ctx) {
+        (void)ctx.pop(0);
+        ctx.push(0, prt::Packet::make(bytes));
+      },
+      1, 1);
+  vsa.add_vdp(
+      prt::tuple2(0, 1), 4, [](prt::VdpContext& ctx) { (void)ctx.pop(0); },
+      1, 0);
+  vsa.map_vdp(prt::tuple2(0, 0), 0);
+  vsa.map_vdp(prt::tuple2(0, 1), 1);  // forces the proxy path
+  std::vector<prt::Packet> init;
+  for (int i = 0; i < 4; ++i) init.push_back(prt::Packet::make(8));
+  vsa.feed(prt::tuple2(0, 0), 0, bytes, std::move(init));
+  vsa.connect(prt::tuple2(0, 0), 0, prt::tuple2(0, 1), 0, bytes);
+  const auto stats = vsa.run();
+  EXPECT_EQ(stats.remote_messages, 4);
+  EXPECT_EQ(stats.remote_bytes, 4 * static_cast<long long>(bytes));
+  ASSERT_EQ(stats.busy_per_thread.size(), 2u);
+  const double total =
+      std::accumulate(stats.busy_per_thread.begin(),
+                      stats.busy_per_thread.end(), 0.0);
+  EXPECT_GT(total, 0.0);
+  EXPECT_LT(total, stats.seconds * 2.0 + 1.0);
+}
+
+TEST(ThreadMapEdge, WrapsAroundThreadCount) {
+  sim::VdpThreadMap map(100, 4, {TreeKind::Binary, 1, BoundaryMode::Shifted},
+                        7);
+  // All values must be in range for a large sweep.
+  for (int k = 0; k < 4; ++k) {
+    for (int d = 0; d < 100 - k; ++d) {
+      for (int l = k; l < 4; ++l) {
+        const int t = map.flat_thread(k, d, l);
+        ASSERT_GE(t, 0);
+        ASSERT_LT(t, 7);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pulsarqr

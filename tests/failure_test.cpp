@@ -1,0 +1,118 @@
+// Failure-injection tests: internal invariants must detect misuse loudly
+// (PQR_ASSERT aborts) and API misuse must throw pulsarqr::Error with an
+// actionable message.
+#include <gtest/gtest.h>
+
+#include "prt/channel.hpp"
+#include "prt/vsa.hpp"
+#include "tile/tile_matrix.hpp"
+#include "vsaqr/tree_qr.hpp"
+
+namespace pulsarqr {
+namespace {
+
+using prt::Channel;
+using prt::Packet;
+
+using FailureDeathTest = ::testing::Test;
+
+TEST(FailureDeathTest, OversizedPacketAborts) {
+  EXPECT_DEATH(
+      {
+        Channel ch(16, true);
+        ch.push(Packet::make(64));
+      },
+      "exceeds the declared maximum");
+}
+
+TEST(FailureDeathTest, PopFromEmptyChannelAborts) {
+  EXPECT_DEATH(
+      {
+        Channel ch(16, true);
+        (void)ch.pop();
+      },
+      "pop from empty");
+}
+
+TEST(FailureDeathTest, BadSlotInVdpFunctionAborts) {
+  EXPECT_DEATH(
+      {
+        prt::Vsa::Config cfg;
+        cfg.workers_per_node = 1;
+        prt::Vsa vsa(cfg);
+        vsa.add_vdp(prt::tuple2(0, 0), 1,
+                    [](prt::VdpContext& ctx) { (void)ctx.pop(3); }, 1, 0);
+        std::vector<Packet> init;
+        init.push_back(Packet::make(8));
+        vsa.feed(prt::tuple2(0, 0), 0, 8, std::move(init));
+        vsa.run();
+      },
+      "bad input slot");
+}
+
+TEST(Failure, WatchdogMessageNamesTheStuckVdp) {
+  prt::Vsa::Config cfg;
+  cfg.workers_per_node = 1;
+  cfg.watchdog_seconds = 0.2;
+  prt::Vsa vsa(cfg);
+  // Two VDPs; the second waits forever on a channel fed by a VDP that
+  // never pushes.
+  vsa.add_vdp(prt::tuple2(1, 1), 1, [](prt::VdpContext&) {}, 1, 0);
+  vsa.add_vdp(
+      prt::tuple2(1, 0), 1, [](prt::VdpContext& ctx) { (void)ctx; }, 0, 1);
+  vsa.connect(prt::tuple2(1, 0), 0, prt::tuple2(1, 1), 0, 8);
+  try {
+    vsa.run();
+    FAIL() << "expected watchdog";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("(1,1)"), std::string::npos) << what;
+    EXPECT_NE(what.find("counter=1"), std::string::npos) << what;
+    EXPECT_NE(what.find("VDPs still alive"), std::string::npos) << what;
+  }
+}
+
+TEST(Failure, ErrorsCarryTupleNamesForWiringMistakes) {
+  prt::Vsa::Config cfg;
+  prt::Vsa vsa(cfg);
+  vsa.add_vdp(prt::tuple2(2, 5), 1, [](prt::VdpContext&) {}, 1, 0);
+  try {
+    vsa.run();
+    FAIL() << "expected wiring error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("(2,5)"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("unconnected input"),
+              std::string::npos);
+  }
+}
+
+TEST(Failure, TreeQrValidatesOptions) {
+  TileMatrix a(16, 8, 4);
+  vsaqr::TreeQrOptions opt;
+  opt.ib = 0;
+  EXPECT_THROW(vsaqr::tree_qr(a, opt), Error);
+  opt.ib = 4;
+  opt.tree.domain_size = 0;
+  opt.tree.tree = plan::TreeKind::BinaryOnFlat;
+  EXPECT_THROW(vsaqr::tree_qr(a, opt), Error);
+}
+
+TEST(Failure, VsaConfigValidated) {
+  prt::Vsa::Config cfg;
+  cfg.nodes = 0;
+  EXPECT_THROW(prt::Vsa vsa(cfg), Error);
+  cfg.nodes = 1;
+  cfg.workers_per_node = 0;
+  EXPECT_THROW(prt::Vsa vsa2(cfg), Error);
+}
+
+TEST(Failure, AddVdpRejectsNonPositiveCounter) {
+  prt::Vsa::Config cfg;
+  prt::Vsa vsa(cfg);
+  EXPECT_THROW(
+      vsa.add_vdp(prt::tuple2(3, 0), 0, [](prt::VdpContext&) {}, 0, 0),
+      Error);
+}
+
+}  // namespace
+}  // namespace pulsarqr

@@ -1,0 +1,191 @@
+// Tests for the six tile kernels: each factor kernel is checked by
+// reconstructing the input from its output via the matching apply kernel,
+// plus structural and orthogonality properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "common/rng.hpp"
+#include "kernels/tile_kernels.hpp"
+
+namespace pulsarqr {
+namespace {
+
+using blas::Trans;
+
+Matrix random_matrix(int m, int n, std::uint64_t seed) {
+  Matrix a(m, n);
+  fill_random(a.view(), seed);
+  return a;
+}
+
+Matrix upper_square(const Matrix& a, int n) {
+  Matrix r(n, n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i <= j && i < a.rows(); ++i) r(i, j) = a(i, j);
+  }
+  return r;
+}
+
+double max_diff(ConstMatrixView a, ConstMatrixView b) {
+  double d = 0.0;
+  for (int j = 0; j < a.cols; ++j) {
+    for (int i = 0; i < a.rows; ++i) {
+      d = std::fmax(d, std::fabs(a(i, j) - b(i, j)));
+    }
+  }
+  return d;
+}
+
+// ---- TS kernels ------------------------------------------------------------
+
+class TsParam : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+// tsqrt on [R1; A2] then tsmqr(NoTrans) applied to [R1'; 0] must rebuild the
+// stacked input: Q * [R_new; 0] = [R1; A2].
+TEST_P(TsParam, TsqrtReconstructsStackedInput) {
+  const auto [n, m2, ib] = GetParam();
+  // Build R1 as the R factor shape: upper triangular n-by-n.
+  Matrix r1 = upper_square(random_matrix(n, n, 301), n);
+  Matrix a2 = random_matrix(m2, n, 302);
+  Matrix r1_0 = r1;
+  Matrix a2_0 = a2;
+  Matrix t(std::min(ib, n), n);
+  kernels::tsqrt(r1.view(), a2.view(), ib, t.view());
+  // R1 must remain upper triangular.
+  for (int j = 0; j < n; ++j) {
+    for (int i = j + 1; i < n; ++i) EXPECT_DOUBLE_EQ(r1(i, j), 0.0);
+  }
+  // Reconstruct: C1 = R_new, C2 = 0; apply Q (NoTrans).
+  Matrix c1 = r1;
+  Matrix c2(m2, n);
+  kernels::tsmqr(Trans::No, a2.view(), t.view(), ib, c1.view(), c2.view());
+  EXPECT_LT(max_diff(c1.view(), r1_0.view()), 1e-12 * (1 + n));
+  EXPECT_LT(max_diff(c2.view(), a2_0.view()), 1e-12 * (1 + n));
+}
+
+// Q^T then Q must be the identity on arbitrary stacked data.
+TEST_P(TsParam, TsmqrRoundTrip) {
+  const auto [n, m2, ib] = GetParam();
+  Matrix r1 = upper_square(random_matrix(n, n, 303), n);
+  Matrix a2 = random_matrix(m2, n, 304);
+  Matrix t(std::min(ib, n), n);
+  kernels::tsqrt(r1.view(), a2.view(), ib, t.view());
+  const int nc = 5;
+  Matrix c1 = random_matrix(n + 2, nc, 305);  // taller than n: extra rows inert
+  Matrix c2 = random_matrix(m2, nc, 306);
+  Matrix c1_0 = c1;
+  Matrix c2_0 = c2;
+  kernels::tsmqr(Trans::Yes, a2.view(), t.view(), ib, c1.view(), c2.view());
+  kernels::tsmqr(Trans::No, a2.view(), t.view(), ib, c1.view(), c2.view());
+  EXPECT_LT(max_diff(c1.view(), c1_0.view()), 1e-12);
+  EXPECT_LT(max_diff(c2.view(), c2_0.view()), 1e-12);
+  // Rows of C1 beyond n must never be touched.
+  kernels::tsmqr(Trans::Yes, a2.view(), t.view(), ib, c1.view(), c2.view());
+  for (int j = 0; j < nc; ++j) {
+    for (int i = n; i < n + 2; ++i) EXPECT_DOUBLE_EQ(c1(i, j), c1_0(i, j));
+  }
+}
+
+// The transformation must preserve the Frobenius norm of stacked data
+// (orthogonality property).
+TEST_P(TsParam, TsmqrPreservesNorm) {
+  const auto [n, m2, ib] = GetParam();
+  Matrix r1 = upper_square(random_matrix(n, n, 307), n);
+  Matrix a2 = random_matrix(m2, n, 308);
+  Matrix t(std::min(ib, n), n);
+  kernels::tsqrt(r1.view(), a2.view(), ib, t.view());
+  Matrix c1 = random_matrix(n, 4, 309);
+  Matrix c2 = random_matrix(m2, 4, 310);
+  const double before = std::hypot(blas::norm_fro(c1.view()),
+                                   blas::norm_fro(c2.view()));
+  kernels::tsmqr(Trans::Yes, a2.view(), t.view(), ib, c1.view(), c2.view());
+  const double after = std::hypot(blas::norm_fro(c1.view()),
+                                  blas::norm_fro(c2.view()));
+  EXPECT_NEAR(before, after, 1e-11 * before);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TsParam,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(4, 4, 2),
+                      std::make_tuple(8, 8, 8), std::make_tuple(8, 8, 3),
+                      std::make_tuple(6, 2, 2),   // short A2 (m2 < n)
+                      std::make_tuple(5, 17, 2),  // tall A2
+                      std::make_tuple(16, 16, 4)));
+
+// ---- TT kernels ------------------------------------------------------------
+
+class TtParam : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(TtParam, TtqrtReconstructsStackedTriangles) {
+  const auto [n, m2, ib] = GetParam();
+  Matrix r1 = upper_square(random_matrix(n, n, 311), n);
+  // Loser tile: upper triangular content in the top m2 rows, garbage below
+  // the diagonal (simulating Householder vectors from the flat phase).
+  Matrix a2 = random_matrix(m2, n, 312);
+  Matrix a2_upper(m2, n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i <= j && i < m2; ++i) a2_upper(i, j) = a2(i, j);
+  }
+  Matrix r1_0 = r1;
+  Matrix a2_0 = a2;  // full tile, including the "V junk"
+  Matrix t(std::min(ib, n), n);
+  kernels::ttqrt(r1.view(), a2.view(), ib, t.view());
+  // Strict-lower part of A2 (old Householder vectors) must be untouched.
+  for (int j = 0; j < n; ++j) {
+    for (int i = j + 1; i < m2; ++i) EXPECT_DOUBLE_EQ(a2(i, j), a2_0(i, j));
+  }
+  // Reconstruct [R1_old; triu(A2_old)] = Q [R_new; 0].
+  Matrix c1 = r1;
+  Matrix c2(m2, n);
+  kernels::ttmqr(Trans::No, a2.view(), t.view(), ib, c1.view(), c2.view());
+  EXPECT_LT(max_diff(c1.view(), r1_0.view()), 1e-12 * (1 + n));
+  EXPECT_LT(max_diff(c2.view(), a2_upper.view()), 1e-12 * (1 + n));
+}
+
+TEST_P(TtParam, TtmqrRoundTrip) {
+  const auto [n, m2, ib] = GetParam();
+  Matrix r1 = upper_square(random_matrix(n, n, 313), n);
+  Matrix a2 = random_matrix(m2, n, 314);
+  Matrix t(std::min(ib, n), n);
+  kernels::ttqrt(r1.view(), a2.view(), ib, t.view());
+  Matrix c1 = random_matrix(n, 3, 315);
+  Matrix c2 = random_matrix(m2, 3, 316);
+  Matrix c1_0 = c1;
+  Matrix c2_0 = c2;
+  kernels::ttmqr(Trans::Yes, a2.view(), t.view(), ib, c1.view(), c2.view());
+  kernels::ttmqr(Trans::No, a2.view(), t.view(), ib, c1.view(), c2.view());
+  EXPECT_LT(max_diff(c1.view(), c1_0.view()), 1e-12);
+  EXPECT_LT(max_diff(c2.view(), c2_0.view()), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TtParam,
+                         ::testing::Values(std::make_tuple(1, 1, 1),
+                                           std::make_tuple(4, 4, 2),
+                                           std::make_tuple(8, 8, 3),
+                                           std::make_tuple(6, 3, 2),  // short loser
+                                           std::make_tuple(12, 12, 4)));
+
+// ---- geqrt/ormqr as tile kernels -------------------------------------------
+
+TEST(GeqrtTile, ApplyTransposeYieldsR) {
+  const int m = 12;
+  const int n = 6;
+  const int ib = 2;
+  Matrix a = random_matrix(m, n, 321);
+  Matrix a0 = a;
+  Matrix t(ib, n);
+  kernels::geqrt(a.view(), ib, t.view());
+  // Applying Q^T to the original tile must reproduce [R; 0].
+  Matrix c = a0;
+  kernels::ormqr(Trans::Yes, a.view(), t.view(), ib, c.view());
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i <= j; ++i) EXPECT_NEAR(c(i, j), a(i, j), 1e-12);
+    for (int i = j + 1; i < m; ++i) EXPECT_NEAR(c(i, j), 0.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace pulsarqr

@@ -1,0 +1,110 @@
+// Tests for the foundation layer: views, owning matrices, the PRNG, and
+// error plumbing.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/view.hpp"
+
+namespace pulsarqr {
+namespace {
+
+TEST(MatrixView, BlockArithmetic) {
+  Matrix a(6, 5);
+  fill_random(a.view(), 1);
+  MatrixView b = a.block(2, 1, 3, 2);
+  EXPECT_EQ(b.rows, 3);
+  EXPECT_EQ(b.cols, 2);
+  EXPECT_EQ(b.ld, 6);
+  EXPECT_DOUBLE_EQ(b(0, 0), a(2, 1));
+  EXPECT_DOUBLE_EQ(b(2, 1), a(4, 2));
+  b(1, 1) = 42.0;
+  EXPECT_DOUBLE_EQ(a(3, 2), 42.0);
+  EXPECT_EQ(b.col(1), &a(2, 2));
+}
+
+TEST(MatrixView, NestedBlocks) {
+  Matrix a(8, 8);
+  a(5, 6) = 3.5;
+  ConstMatrixView v = a.view().block(2, 3, 6, 5).block(3, 3, 2, 2);
+  EXPECT_DOUBLE_EQ(v(0, 0), 3.5);
+}
+
+using ViewDeathTest = ::testing::Test;
+
+TEST(ViewDeathTest, OutOfRangeBlockAborts) {
+  EXPECT_DEATH(
+      {
+        Matrix a(3, 3);
+        (void)a.view().block(1, 1, 3, 3);
+      },
+      "out of range");
+}
+
+TEST(ViewDeathTest, BadShapeAborts) {
+  EXPECT_DEATH(
+      {
+        double d[4];
+        MatrixView v(d, 4, 1, 2);  // ld < rows
+        (void)v;
+      },
+      "bad MatrixView shape");
+}
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix a(3, 2);
+  for (int j = 0; j < 2; ++j) {
+    for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(a(i, j), 0.0);
+  }
+  EXPECT_THROW(Matrix(-1, 2), Error);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  Rng c(124);
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, UnitRangeAndCoverage) {
+  Rng rng(5);
+  double lo = 1.0;
+  double hi = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.next_unit();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+  double mean = 0.0;
+  Rng rng2(6);
+  for (int i = 0; i < 10000; ++i) mean += rng2.next_symmetric();
+  EXPECT_LT(std::abs(mean / 10000), 0.05);
+}
+
+TEST(Rng, FillRandomIsSeedStable) {
+  Matrix a(4, 4);
+  Matrix b(4, 4);
+  fill_random(a.view(), 9);
+  fill_random(b.view(), 9);
+  for (int j = 0; j < 4; ++j) {
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(a(i, j), b(i, j));
+  }
+}
+
+TEST(Error, RequireThrowsWithMessage) {
+  try {
+    require(false, "the message");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "the message");
+  }
+  EXPECT_NO_THROW(require(true, "x"));
+}
+
+}  // namespace
+}  // namespace pulsarqr

@@ -1,0 +1,210 @@
+// Tests for the domain partitioning (Figure 6) and the reduction plan
+// (Figure 5 pseudocode): structural invariants that must hold for every
+// tree configuration.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "plan/flops.hpp"
+#include "plan/reduction_plan.hpp"
+
+namespace pulsarqr::plan {
+namespace {
+
+TEST(Domains, FlatIsOneDomain) {
+  PlanConfig cfg{TreeKind::Flat, 6, BoundaryMode::Shifted};
+  const auto d = domains_for_panel(10, 3, cfg);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].begin, 3);
+  EXPECT_EQ(d[0].end, 10);
+}
+
+TEST(Domains, BinaryIsSingletons) {
+  PlanConfig cfg{TreeKind::Binary, 6, BoundaryMode::Shifted};
+  const auto d = domains_for_panel(5, 2, cfg);
+  ASSERT_EQ(d.size(), 3u);
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_EQ(d[k].begin, 2 + k);
+    EXPECT_EQ(d[k].size(), 1);
+  }
+}
+
+TEST(Domains, ShiftedBoundariesMoveWithPanel) {
+  PlanConfig cfg{TreeKind::BinaryOnFlat, 3, BoundaryMode::Shifted};
+  const auto d0 = domains_for_panel(10, 0, cfg);
+  ASSERT_EQ(d0.size(), 4u);
+  EXPECT_EQ(d0[0].begin, 0);
+  EXPECT_EQ(d0[1].begin, 3);
+  EXPECT_EQ(d0[3].begin, 9);
+  EXPECT_EQ(d0[3].end, 10);
+  const auto d1 = domains_for_panel(10, 1, cfg);
+  EXPECT_EQ(d1[0].begin, 1);
+  EXPECT_EQ(d1[1].begin, 4);  // boundary shifted by one
+}
+
+TEST(Domains, FixedBoundariesStayAbsolute) {
+  PlanConfig cfg{TreeKind::BinaryOnFlat, 3, BoundaryMode::Fixed};
+  const auto d1 = domains_for_panel(10, 1, cfg);
+  ASSERT_EQ(d1.size(), 4u);
+  EXPECT_EQ(d1[0].begin, 1);
+  EXPECT_EQ(d1[0].end, 3);  // truncated first domain
+  EXPECT_EQ(d1[1].begin, 3);
+  EXPECT_EQ(d1[2].begin, 6);
+  const auto d4 = domains_for_panel(10, 4, cfg);
+  EXPECT_EQ(d4[0].begin, 4);
+  EXPECT_EQ(d4[0].end, 6);
+  EXPECT_EQ(d4[1].begin, 6);  // same absolute boundary as at panel 1
+}
+
+TEST(Domains, CoverEveryRowExactlyOnce) {
+  for (auto tree : {TreeKind::Flat, TreeKind::Binary, TreeKind::BinaryOnFlat}) {
+    for (auto bm : {BoundaryMode::Fixed, BoundaryMode::Shifted}) {
+      for (int h : {1, 2, 5}) {
+        PlanConfig cfg{tree, h, bm};
+        for (int mt : {1, 4, 13}) {
+          for (int j = 0; j < mt; ++j) {
+            const auto doms = domains_for_panel(mt, j, cfg);
+            int expect = j;
+            for (const auto& d : doms) {
+              EXPECT_EQ(d.begin, expect);
+              EXPECT_LT(d.begin, d.end);
+              expect = d.end;
+            }
+            EXPECT_EQ(expect, mt);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BinaryLevel, PairsAdjacentLowerSurvives) {
+  std::vector<int> heads = {2, 5, 8, 11, 14};
+  auto pairs = binary_level(heads);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0], std::make_pair(2, 5));
+  EXPECT_EQ(pairs[1], std::make_pair(8, 11));
+  EXPECT_EQ(heads, (std::vector<int>{2, 8, 14}));
+  pairs = binary_level(heads);
+  EXPECT_EQ(heads, (std::vector<int>{2, 14}));
+  pairs = binary_level(heads);
+  EXPECT_EQ(heads, (std::vector<int>{2}));
+}
+
+// Every plan, regardless of tree, must eliminate each below-diagonal tile
+// row exactly once per panel and finish with the diagonal as survivor.
+class PlanParam
+    : public ::testing::TestWithParam<std::tuple<TreeKind, BoundaryMode, int,
+                                                 int, int>> {};
+
+TEST_P(PlanParam, EliminatesEachRowOncePerPanel) {
+  const auto [tree, bm, h, mt, nt] = GetParam();
+  ReductionPlan plan(mt, nt, PlanConfig{tree, h, bm});
+  for (int j = 0; j < plan.panels(); ++j) {
+    std::set<int> eliminated;
+    std::set<int> geqrted;
+    const auto [b, e] = plan.panel_range(j);
+    for (std::size_t idx = b; idx < e; ++idx) {
+      const Op& op = plan.ops()[idx];
+      EXPECT_EQ(op.j, j);
+      if (op.kind == OpKind::Geqrt) {
+        EXPECT_TRUE(geqrted.insert(op.i).second) << "double geqrt";
+      } else if (op.kind == OpKind::Tsqrt || op.kind == OpKind::Ttqrt) {
+        EXPECT_GE(op.k, j);
+        EXPECT_LT(op.i, op.k) << "survivor must be the lower row index";
+        EXPECT_TRUE(eliminated.insert(op.k).second)
+            << "row " << op.k << " eliminated twice in panel " << j;
+      }
+    }
+    // Rows j+1..mt-1 eliminated exactly once; row j never eliminated.
+    EXPECT_EQ(static_cast<int>(eliminated.size()), mt - j - 1);
+    EXPECT_EQ(eliminated.count(j), 0u);
+    // Every domain head was geqrt'd, and heads that lose a ttqrt were
+    // geqrt'd before being eliminated (structural sanity).
+    EXPECT_GE(geqrted.count(j), 1u);
+  }
+}
+
+TEST_P(PlanParam, UpdatesCoverAllTrailingColumns) {
+  const auto [tree, bm, h, mt, nt] = GetParam();
+  ReductionPlan plan(mt, nt, PlanConfig{tree, h, bm});
+  for (const auto& op : plan.ops()) {
+    const bool factor = is_factor_op(op.kind);
+    if (factor) {
+      EXPECT_EQ(op.l, -1);
+    } else {
+      EXPECT_GT(op.l, op.j);
+      EXPECT_LT(op.l, nt);
+    }
+  }
+  // Count updates: each factor op must be followed by nt-1-j updates.
+  for (int j = 0; j < plan.panels(); ++j) {
+    int factors = 0;
+    int updates = 0;
+    const auto [b, e] = plan.panel_range(j);
+    for (std::size_t idx = b; idx < e; ++idx) {
+      if (is_factor_op(plan.ops()[idx].kind)) {
+        ++factors;
+      } else {
+        ++updates;
+      }
+    }
+    EXPECT_EQ(updates, factors * (nt - 1 - j));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlanParam,
+    ::testing::Combine(
+        ::testing::Values(TreeKind::Flat, TreeKind::Binary,
+                          TreeKind::BinaryOnFlat),
+        ::testing::Values(BoundaryMode::Fixed, BoundaryMode::Shifted),
+        ::testing::Values(1, 2, 3, 7),
+        ::testing::Values(1, 5, 12),
+        ::testing::Values(1, 3, 12)));
+
+TEST(Flops, FlatPlanMatchesUsefulFlopsLeadingOrder) {
+  // For the flat tree the tile algorithm performs (to leading order, with
+  // small ib/nb overheads) the classical 2n^2(m - n/3) flops.
+  const int nb = 8;
+  const int m = 32 * nb;
+  const int n = 4 * nb;
+  ReductionPlan plan(m / nb, n / nb, PlanConfig{TreeKind::Flat, 1,
+                                                BoundaryMode::Shifted});
+  const double got = plan_flops(plan, m, n, nb);
+  const double expect = qr_useful_flops(m, n);
+  EXPECT_GT(got, expect);            // tile algorithm does extra work
+  EXPECT_LT(got, 2.0 * expect);      // but bounded overhead
+}
+
+TEST(Flops, BinaryCostsMoreThanFlat) {
+  const int nb = 8;
+  const int m = 64 * nb;
+  const int n = 4 * nb;
+  ReductionPlan flat(m / nb, n / nb,
+                     PlanConfig{TreeKind::Flat, 1, BoundaryMode::Shifted});
+  ReductionPlan bin(m / nb, n / nb,
+                    PlanConfig{TreeKind::Binary, 1, BoundaryMode::Shifted});
+  // The paper: the hierarchical/binary trees increase computational cost.
+  EXPECT_GT(plan_flops(bin, m, n, nb) / plan_flops(flat, m, n, nb), 0.5);
+}
+
+TEST(Plan, OpCountFormula) {
+  // Each panel has D_j geqrts (one per domain) plus mt-j-1 eliminations,
+  // and each factor op fans out into nt-1-j updates. Trees with more
+  // domains therefore do strictly more kernel calls (the paper's "albeit
+  // increasing the computational cost").
+  for (auto tree : {TreeKind::Flat, TreeKind::Binary, TreeKind::BinaryOnFlat}) {
+    PlanConfig cfg{tree, 3, BoundaryMode::Shifted};
+    ReductionPlan plan(7, 4, cfg);
+    std::size_t expect = 0;
+    for (int j = 0; j < 4; ++j) {
+      const auto d = domains_for_panel(7, j, cfg).size();
+      expect += (d + (7 - j - 1)) * (4 - j);
+    }
+    EXPECT_EQ(plan.ops().size(), expect);
+  }
+}
+
+}  // namespace
+}  // namespace pulsarqr::plan

@@ -1,0 +1,169 @@
+// Unit tests for the PRT primitives: tuples, packets, channels and the
+// loopback message-passing transport.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "prt/channel.hpp"
+#include "prt/packet.hpp"
+#include "prt/transport.hpp"
+#include "prt/tuple.hpp"
+
+namespace pulsarqr::prt {
+namespace {
+
+TEST(Tuple, EqualityAndHash) {
+  Tuple a{1, 2, 3};
+  Tuple b = tuple3(1, 2, 3);
+  Tuple c{1, 2, 4};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_LT(a, c);
+  EXPECT_EQ(a.to_string(), "(1,2,3)");
+  EXPECT_EQ(Tuple{}.to_string(), "()");
+}
+
+TEST(Tuple, DifferentLengthsDiffer) {
+  EXPECT_NE(tuple2(1, 2), tuple3(1, 2, 0));
+  EXPECT_NE(Tuple{0}, Tuple{});
+}
+
+TEST(Packet, SharesBufferOnCopy) {
+  Packet p = Packet::make(8 * sizeof(double), 7);
+  p.doubles()[3] = 42.0;
+  Packet alias = p;  // zero-copy aliasing
+  alias.doubles()[3] = 43.0;
+  EXPECT_DOUBLE_EQ(p.doubles()[3], 43.0);
+  EXPECT_EQ(alias.meta(), 7);
+}
+
+TEST(Packet, CloneIsIndependent) {
+  Packet p = Packet::make(4 * sizeof(double), 1);
+  p.doubles()[0] = 1.5;
+  Packet c = p.clone();
+  c.doubles()[0] = 2.5;
+  EXPECT_DOUBLE_EQ(p.doubles()[0], 1.5);
+  EXPECT_EQ(c.meta(), 1);
+  EXPECT_EQ(c.size(), p.size());
+}
+
+TEST(Packet, EmptyByDefault) {
+  Packet p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.size(), 0u);
+}
+
+TEST(Channel, FifoOrder) {
+  Channel ch(64, true);
+  for (int i = 0; i < 5; ++i) {
+    ch.push(Packet::make(8, i));
+  }
+  EXPECT_EQ(ch.size(), 5);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(ch.pop().meta(), i);
+  }
+  EXPECT_EQ(ch.size(), 0);
+}
+
+TEST(Channel, EnableDisable) {
+  Channel ch(64, false);
+  EXPECT_FALSE(ch.enabled());
+  ch.set_enabled(true);
+  EXPECT_TRUE(ch.enabled());
+}
+
+TEST(Channel, DestroyDropsPacketsAndFutureOnes) {
+  Channel ch(64, true);
+  ch.push(Packet::make(8));
+  ch.destroy();
+  EXPECT_EQ(ch.size(), 0);
+  ch.push(Packet::make(8));
+  EXPECT_EQ(ch.size(), 0);
+  EXPECT_TRUE(ch.destroyed());
+}
+
+struct TestWaker : Waker {
+  std::atomic<int> wakes{0};
+  void wake() override { ++wakes; }
+};
+
+TEST(Channel, PushWakesOwner) {
+  Channel ch(64, true);
+  TestWaker w;
+  ch.set_waker(&w);
+  ch.push(Packet::make(8));
+  EXPECT_EQ(w.wakes.load(), 1);
+  ch.set_enabled(true);  // enabling also wakes
+  EXPECT_EQ(w.wakes.load(), 2);
+}
+
+TEST(Comm, DeliversWithDeepCopy) {
+  net::Comm comm(2);
+  Packet p = Packet::make(2 * sizeof(double), 9);
+  p.doubles()[0] = 3.25;
+  comm.isend(0, 1, 5, p, p.meta());
+  p.doubles()[0] = -1.0;  // mutating after send must not affect the message
+  auto m = comm.try_recv(1);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->source, 0);
+  EXPECT_EQ(m->tag, 5);
+  EXPECT_EQ(m->meta, 9);
+  EXPECT_DOUBLE_EQ(m->payload.doubles()[0], 3.25);
+  EXPECT_EQ(net::Comm::get_count(*m), 2 * sizeof(double));
+  EXPECT_FALSE(comm.try_recv(1).has_value());
+  EXPECT_FALSE(comm.try_recv(0).has_value());
+}
+
+TEST(Comm, FifoPerSenderAndCounts) {
+  net::Comm comm(2);
+  for (int i = 0; i < 10; ++i) comm.isend(0, 1, i, Packet::make(8), i);
+  for (int i = 0; i < 10; ++i) {
+    auto m = comm.try_recv(1);
+    ASSERT_TRUE(m);
+    EXPECT_EQ(m->tag, i);
+  }
+  EXPECT_EQ(comm.messages_sent(), 10);
+  EXPECT_EQ(comm.bytes_sent(), 80);
+}
+
+TEST(Comm, RecvWaitTimesOutAndWakes) {
+  net::Comm comm(1);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto m = comm.recv_wait(0, 2000);
+  EXPECT_FALSE(m.has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0,
+            std::chrono::microseconds(1000));
+  // A sender unblocks a waiting receiver.
+  std::thread t([&] { comm.isend(0, 0, 1, Packet::make(8), 0); });
+  auto m2 = comm.recv_wait(0, 1000000);
+  EXPECT_TRUE(m2.has_value());
+  t.join();
+}
+
+TEST(Comm, BarrierSynchronizesRanks) {
+  net::Comm comm(3);
+  std::atomic<int> before{0};
+  std::vector<std::thread> threads;
+  std::atomic<bool> ok{true};
+  for (int r = 0; r < 3; ++r) {
+    threads.emplace_back([&, r] {
+      (void)r;
+      ++before;
+      comm.barrier();
+      if (before.load() != 3) ok = false;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Comm, CancelDropsQueued) {
+  net::Comm comm(2);
+  comm.isend(0, 1, 0, Packet::make(8), 0);
+  comm.cancel(1);
+  EXPECT_FALSE(comm.try_recv(1).has_value());
+}
+
+}  // namespace
+}  // namespace pulsarqr::prt

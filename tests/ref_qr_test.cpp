@@ -1,0 +1,164 @@
+// End-to-end correctness of the sequential tree QR executor across all
+// tree configurations: R validity, Q orthogonality, A = QR reconstruction,
+// agreement with the dense LAPACK-style QR, and the least-squares driver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blas/blas.hpp"
+#include "common/rng.hpp"
+#include "lapack/qr.hpp"
+#include "lapack/solve.hpp"
+#include "ref/apply_q.hpp"
+#include "ref/reference_qr.hpp"
+
+namespace pulsarqr {
+namespace {
+
+using blas::Trans;
+using plan::BoundaryMode;
+using plan::PlanConfig;
+using plan::TreeKind;
+
+struct Case {
+  int m, n, nb, ib;
+  PlanConfig cfg;
+};
+
+std::string tree_name(TreeKind t) {
+  switch (t) {
+    case TreeKind::Flat: return "Flat";
+    case TreeKind::Binary: return "Binary";
+    case TreeKind::BinaryOnFlat: return "BinaryOnFlat";
+  }
+  return "?";
+}
+
+class TreeQrParam : public ::testing::TestWithParam<Case> {};
+
+TEST_P(TreeQrParam, FactorizationIsValidQR) {
+  const Case& c = GetParam();
+  Matrix a0(c.m, c.n);
+  fill_random(a0.view(), 1000 + c.m + c.n);
+  TileMatrix a = TileMatrix::from_dense(a0.view(), c.nb);
+  auto f = ref::tree_qr(std::move(a), c.ib, c.cfg);
+
+  // R upper triangular with the right values: Q R == A.
+  Matrix q = ref::form_q(f, c.m);
+  // Q orthogonal.
+  Matrix g(c.m, c.m);
+  blas::gemm(Trans::Yes, Trans::No, 1.0, q.view(), q.view(), 0.0, g.view());
+  for (int j = 0; j < c.m; ++j) g(j, j) -= 1.0;
+  EXPECT_LT(blas::norm_max(g.view()), 1e-12 * c.m)
+      << tree_name(c.cfg.tree);
+
+  Matrix r = ref::extract_r(f);
+  Matrix qr(c.m, c.n);
+  blas::gemm(Trans::No, Trans::No, 1.0, q.block(0, 0, c.m, c.n), r.view(),
+             0.0, qr.view());
+  double err = 0.0;
+  for (int j = 0; j < c.n; ++j) {
+    for (int i = 0; i < c.m; ++i) {
+      err = std::fmax(err, std::fabs(qr(i, j) - a0(i, j)));
+    }
+  }
+  EXPECT_LT(err / (1.0 + blas::norm_max(a0.view())), 1e-12 * c.m)
+      << tree_name(c.cfg.tree);
+}
+
+TEST_P(TreeQrParam, RMatchesDenseQrUpToColumnSigns) {
+  const Case& c = GetParam();
+  Matrix a0(c.m, c.n);
+  fill_random(a0.view(), 2000 + c.m * 31 + c.n);
+  TileMatrix a = TileMatrix::from_dense(a0.view(), c.nb);
+  auto f = ref::tree_qr(std::move(a), c.ib, c.cfg);
+  Matrix r_tree = ref::extract_r(f);
+
+  Matrix adense = a0;
+  std::vector<double> tau(c.n);
+  lapack::geqrf(adense.view(), tau.data());
+  // |R| must agree row-wise up to sign: compare absolute values.
+  for (int j = 0; j < c.n; ++j) {
+    for (int i = 0; i <= j; ++i) {
+      EXPECT_NEAR(std::fabs(r_tree(i, j)), std::fabs(adense(i, j)),
+                  1e-10 * (1.0 + std::fabs(adense(i, j))))
+          << "at (" << i << "," << j << ") tree=" << tree_name(c.cfg.tree);
+    }
+  }
+}
+
+TEST_P(TreeQrParam, ApplyQTransposeGivesR) {
+  const Case& c = GetParam();
+  Matrix a0(c.m, c.n);
+  fill_random(a0.view(), 3000 + c.m + 7 * c.n);
+  TileMatrix a = TileMatrix::from_dense(a0.view(), c.nb);
+  auto f = ref::tree_qr(std::move(a), c.ib, c.cfg);
+  // Q^T A must equal [R; 0].
+  TileMatrix b = TileMatrix::from_dense(a0.view(), c.nb);
+  ref::apply_q(Trans::Yes, f, b);
+  Matrix qta = b.to_dense();
+  Matrix r = ref::extract_r(f);
+  for (int j = 0; j < c.n; ++j) {
+    for (int i = 0; i < c.m; ++i) {
+      const double expect = i <= j && i < c.n ? r(i, j) : 0.0;
+      EXPECT_NEAR(qta(i, j), expect, 1e-10 * (1.0 + c.m));
+    }
+  }
+}
+
+TEST_P(TreeQrParam, LeastSquaresMatchesDense) {
+  const Case& c = GetParam();
+  if (c.m < c.n) GTEST_SKIP();
+  Matrix a0(c.m, c.n);
+  fill_random_well_conditioned(a0.view(), 4000 + c.m + c.n);
+  Rng rng(99);
+  std::vector<double> b(c.m);
+  for (auto& v : b) v = rng.next_symmetric();
+
+  TileMatrix a = TileMatrix::from_dense(a0.view(), c.nb);
+  auto f = ref::tree_qr(std::move(a), c.ib, c.cfg);
+  const auto x_tree = ref::least_squares(f, b);
+
+  Matrix adense = a0;
+  const auto x_dense = lapack::least_squares(adense.view(), b);
+  for (int i = 0; i < c.n; ++i) {
+    EXPECT_NEAR(x_tree[i], x_dense[i], 1e-9 * (1.0 + std::fabs(x_dense[i])));
+  }
+}
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  const std::vector<std::pair<TreeKind, int>> trees = {
+      {TreeKind::Flat, 1},        {TreeKind::Binary, 1},
+      {TreeKind::BinaryOnFlat, 2}, {TreeKind::BinaryOnFlat, 3}};
+  for (auto bm : {BoundaryMode::Fixed, BoundaryMode::Shifted}) {
+    for (const auto& [tree, h] : trees) {
+      // Tall-skinny, exact tiles.
+      cases.push_back({40, 10, 5, 2, {tree, h, bm}});
+      // Ragged rows and columns.
+      cases.push_back({33, 9, 5, 3, {tree, h, bm}});
+      // Square.
+      cases.push_back({20, 20, 5, 5, {tree, h, bm}});
+      // Single tile column.
+      cases.push_back({25, 4, 4, 2, {tree, h, bm}});
+    }
+  }
+  // Extreme shapes (independent of boundary mode, run once).
+  cases.push_back({7, 3, 3, 1, {TreeKind::BinaryOnFlat, 2, BoundaryMode::Shifted}});
+  cases.push_back({3, 3, 3, 3, {TreeKind::Flat, 1, BoundaryMode::Shifted}});
+  cases.push_back({64, 8, 8, 4, {TreeKind::Binary, 1, BoundaryMode::Shifted}});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TreeQrParam, ::testing::ValuesIn(all_cases()));
+
+TEST(TreeQr, RejectsBadIb) {
+  TileMatrix a(8, 4, 4);
+  EXPECT_THROW(ref::tree_qr(std::move(a), 0,
+                            PlanConfig{TreeKind::Flat, 1,
+                                       BoundaryMode::Shifted}),
+               Error);
+}
+
+}  // namespace
+}  // namespace pulsarqr

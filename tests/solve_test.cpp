@@ -1,0 +1,145 @@
+// Tests for least squares on the array (augmented [A | B] factorization
+// with panel-limited plans).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blas/blas.hpp"
+#include "common/rng.hpp"
+#include "lapack/solve.hpp"
+#include "plan/reduction_plan.hpp"
+#include "vsaqr/tree_qr.hpp"
+
+namespace pulsarqr {
+namespace {
+
+using plan::BoundaryMode;
+using plan::PlanConfig;
+using plan::TreeKind;
+
+TEST(PanelLimitedPlan, StopsEliminationEarly) {
+  plan::ReductionPlan plan(10, 6, {TreeKind::Flat, 1, BoundaryMode::Shifted},
+                           3);
+  EXPECT_EQ(plan.panels(), 3);
+  for (const auto& op : plan.ops()) {
+    EXPECT_LT(op.j, 3);
+    if (!plan::is_factor_op(op.kind)) {
+      EXPECT_LT(op.l, 6);
+    }
+  }
+  // Updates of the last panel must still sweep columns 3..5.
+  bool saw_last_col = false;
+  for (const auto& op : plan.ops()) {
+    if (op.kind == plan::OpKind::Tsmqr && op.j == 2 && op.l == 5) {
+      saw_last_col = true;
+    }
+  }
+  EXPECT_TRUE(saw_last_col);
+}
+
+TEST(PanelLimitedPlan, DefaultIsFullFactorization) {
+  plan::ReductionPlan a(8, 4, {TreeKind::Flat, 1, BoundaryMode::Shifted});
+  plan::ReductionPlan b(8, 4, {TreeKind::Flat, 1, BoundaryMode::Shifted}, 99);
+  EXPECT_EQ(a.panels(), 4);
+  EXPECT_EQ(b.panels(), 4);
+}
+
+struct SolveCase {
+  int m, n, nb, ib, nrhs;
+  PlanConfig cfg;
+  int nodes, workers;
+};
+
+class TreeQrSolveParam : public ::testing::TestWithParam<SolveCase> {};
+
+TEST_P(TreeQrSolveParam, MatchesDenseLeastSquares) {
+  const SolveCase& c = GetParam();
+  Matrix a0(c.m, c.n);
+  fill_random_well_conditioned(a0.view(), 900 + c.m + c.n);
+  Matrix b0(c.m, c.nrhs);
+  fill_random(b0.view(), 901);
+
+  TileMatrix a = TileMatrix::from_dense(a0.view(), c.nb);
+  vsaqr::TreeQrOptions opt;
+  opt.tree = c.cfg;
+  opt.ib = c.ib;
+  opt.nodes = c.nodes;
+  opt.workers_per_node = c.workers;
+  Matrix x = vsaqr::tree_qr_solve(a, b0.view(), opt);
+
+  ASSERT_EQ(x.rows(), c.n);
+  ASSERT_EQ(x.cols(), c.nrhs);
+  for (int r = 0; r < c.nrhs; ++r) {
+    Matrix awork = a0;
+    std::vector<double> rhs(c.m);
+    for (int i = 0; i < c.m; ++i) rhs[i] = b0(i, r);
+    const auto xd = lapack::least_squares(awork.view(), rhs);
+    for (int i = 0; i < c.n; ++i) {
+      EXPECT_NEAR(x(i, r), xd[i], 1e-9 * (1.0 + std::fabs(xd[i])))
+          << "rhs " << r << " row " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TreeQrSolveParam,
+    ::testing::Values(
+        // Exact tiles, one rhs.
+        SolveCase{40, 10, 5, 2,
+                  1, {TreeKind::BinaryOnFlat, 2, BoundaryMode::Shifted}, 1, 2},
+        // Multiple right-hand sides.
+        SolveCase{40, 10, 5, 2,
+                  4, {TreeKind::BinaryOnFlat, 3, BoundaryMode::Shifted}, 2, 2},
+        // Ragged A columns (padding path).
+        SolveCase{33, 7, 5, 3,
+                  2, {TreeKind::Binary, 1, BoundaryMode::Shifted}, 1, 2},
+        // Flat tree, fixed boundary.
+        SolveCase{30, 10, 5, 5, 2, {TreeKind::Flat, 1, BoundaryMode::Fixed},
+                  2, 1},
+        // nrhs spanning multiple tile columns.
+        SolveCase{48, 8, 4, 4,
+                  9, {TreeKind::BinaryOnFlat, 2, BoundaryMode::Shifted}, 2,
+                  2},
+        // Large-ish stress.
+        SolveCase{96, 12, 6, 3,
+                  3, {TreeKind::BinaryOnFlat, 4, BoundaryMode::Shifted}, 3,
+                  2}));
+
+TEST(TreeQrSolve, SolvesPlantedSystemExactly) {
+  const int m = 60;
+  const int n = 12;
+  Matrix a0(m, n);
+  fill_random_well_conditioned(a0.view(), 31);
+  Rng rng(32);
+  Matrix xtrue(n, 2);
+  fill_random(xtrue.view(), 33);
+  Matrix b(m, 2);
+  blas::gemm(blas::Trans::No, blas::Trans::No, 1.0, a0.view(), xtrue.view(),
+             0.0, b.view());
+
+  TileMatrix a = TileMatrix::from_dense(a0.view(), 6);
+  vsaqr::TreeQrOptions opt;
+  opt.tree = {TreeKind::BinaryOnFlat, 3, BoundaryMode::Shifted};
+  opt.ib = 3;
+  Matrix x = vsaqr::tree_qr_solve(a, b.view(), opt);
+  for (int j = 0; j < 2; ++j) {
+    for (int i = 0; i < n; ++i) {
+      EXPECT_NEAR(x(i, j), xtrue(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(TreeQrSolve, RejectsBadShapes) {
+  TileMatrix a(8, 12, 4);  // m < n
+  Matrix b(8, 1);
+  vsaqr::TreeQrOptions opt;
+  EXPECT_THROW(vsaqr::tree_qr_solve(a, b.view(), opt), Error);
+  TileMatrix a2(12, 8, 4);
+  Matrix b2(10, 1);  // wrong row count
+  EXPECT_THROW(vsaqr::tree_qr_solve(a2, b2.view(), opt), Error);
+  Matrix b3(12, 0);  // no rhs
+  EXPECT_THROW(vsaqr::tree_qr_solve(a2, b3.view(), opt), Error);
+}
+
+}  // namespace
+}  // namespace pulsarqr

@@ -1,0 +1,64 @@
+// Unit tests for the tile layout.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tile/tile_matrix.hpp"
+
+namespace pulsarqr {
+namespace {
+
+TEST(TileMatrix, ExactMultipleShape) {
+  TileMatrix t(12, 8, 4);
+  EXPECT_EQ(t.mt(), 3);
+  EXPECT_EQ(t.nt(), 2);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(t.tile_rows(i), 4);
+  for (int j = 0; j < 2; ++j) EXPECT_EQ(t.tile_cols(j), 4);
+}
+
+TEST(TileMatrix, RaggedBorders) {
+  TileMatrix t(10, 7, 4);
+  EXPECT_EQ(t.mt(), 3);
+  EXPECT_EQ(t.nt(), 2);
+  EXPECT_EQ(t.tile_rows(2), 2);
+  EXPECT_EQ(t.tile_cols(1), 3);
+  auto v = t.tile(2, 1);
+  EXPECT_EQ(v.rows, 2);
+  EXPECT_EQ(v.cols, 3);
+  EXPECT_EQ(v.ld, 2);
+}
+
+TEST(TileMatrix, RoundTripDense) {
+  Matrix a(13, 9);
+  fill_random(a.view(), 77);
+  TileMatrix t = TileMatrix::from_dense(a.view(), 5);
+  Matrix b = t.to_dense();
+  for (int j = 0; j < 9; ++j) {
+    for (int i = 0; i < 13; ++i) EXPECT_DOUBLE_EQ(a(i, j), b(i, j));
+  }
+}
+
+TEST(TileMatrix, ElementAccessMatchesDense) {
+  Matrix a(7, 6);
+  fill_random(a.view(), 78);
+  TileMatrix t = TileMatrix::from_dense(a.view(), 3);
+  for (int j = 0; j < 6; ++j) {
+    for (int i = 0; i < 7; ++i) EXPECT_DOUBLE_EQ(t.at(i, j), a(i, j));
+  }
+  t.at(6, 5) = 42.0;
+  EXPECT_DOUBLE_EQ(t.tile(2, 1)(0, 2), 42.0);
+}
+
+TEST(TileMatrix, TilesAreContiguousColumnMajor) {
+  TileMatrix t(6, 6, 3);
+  t.at(4, 2) = 9.0;  // tile (1, 0), local (1, 2)
+  const double* d = t.tile_data(1, 0);
+  EXPECT_DOUBLE_EQ(d[1 + 2 * 3], 9.0);
+}
+
+TEST(TileMatrix, RejectsBadArgs) {
+  EXPECT_THROW(TileMatrix(-1, 2, 3), Error);
+  EXPECT_THROW(TileMatrix(2, 2, 0), Error);
+}
+
+}  // namespace
+}  // namespace pulsarqr

@@ -1,0 +1,149 @@
+// Unit tests for the trace recorder and its statistics (the measurements
+// behind the Figure 7 reproduction) using synthetic event streams with
+// hand-computable answers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "prt/trace.hpp"
+
+namespace pulsarqr::prt::trace {
+namespace {
+
+Event ev(int thread, int color, double t0, double t1) {
+  return Event{thread, color, Tuple{thread, color}, t0, t1};
+}
+
+TEST(TraceStats, EmptyEventsGiveZeroes) {
+  const auto s = compute_stats({}, 4, 0);
+  EXPECT_EQ(s.span, 0.0);
+  EXPECT_EQ(s.busy, 0.0);
+  EXPECT_EQ(s.overlap_fraction, 0.0);
+}
+
+TEST(TraceStats, SpanBusyUtilization) {
+  // Two threads: thread 0 busy [0,2], thread 1 busy [1,3]. Span = 3,
+  // busy = 4, utilization = 4 / (3*2).
+  std::vector<Event> events = {ev(0, 0, 0.0, 2.0), ev(1, 0, 1.0, 3.0)};
+  const auto s = compute_stats(events, 2, 1);
+  EXPECT_DOUBLE_EQ(s.span, 3.0);
+  EXPECT_DOUBLE_EQ(s.busy, 4.0);
+  EXPECT_DOUBLE_EQ(s.utilization, 4.0 / 6.0);
+}
+
+TEST(TraceStats, BusyByColor) {
+  std::vector<Event> events = {ev(0, 0, 0.0, 1.0), ev(0, 2, 1.0, 4.0),
+                               ev(1, 0, 0.0, 0.5)};
+  const auto s = compute_stats(events, 2, 2);
+  ASSERT_EQ(s.busy_by_color.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.busy_by_color[0], 1.5);
+  EXPECT_DOUBLE_EQ(s.busy_by_color[1], 0.0);
+  EXPECT_DOUBLE_EQ(s.busy_by_color[2], 3.0);
+}
+
+TEST(TraceStats, OverlapFractionExact) {
+  // Color 2 runs [2,6]; color 0 runs [0,4]: both in flight during [2,4],
+  // span [0,6] => overlap fraction = 2/6.
+  std::vector<Event> events = {ev(0, 0, 0.0, 4.0), ev(1, 2, 2.0, 6.0)};
+  const auto s = compute_stats(events, 2, 2);
+  EXPECT_NEAR(s.overlap_fraction, 2.0 / 6.0, 1e-12);
+}
+
+TEST(TraceStats, NoOverlapWhenPhasesAreSequential) {
+  std::vector<Event> events = {ev(0, 0, 0.0, 2.0), ev(0, 2, 2.0, 4.0)};
+  const auto s = compute_stats(events, 1, 2);
+  EXPECT_DOUBLE_EQ(s.overlap_fraction, 0.0);
+}
+
+TEST(TraceStats, OverlapNeedsBothKinds) {
+  // Only overlap-color tasks: no "other" tasks in flight, so zero overlap.
+  std::vector<Event> events = {ev(0, 2, 0.0, 2.0), ev(1, 2, 1.0, 3.0)};
+  const auto s = compute_stats(events, 2, 2);
+  EXPECT_DOUBLE_EQ(s.overlap_fraction, 0.0);
+}
+
+TEST(PipelineDepth, SerializedStagesGiveOne) {
+  // Stage windows [0,1], [1,2], [2,3]: total 3 over span 3 -> depth 1.
+  std::vector<Event> events;
+  for (int k = 0; k < 3; ++k) {
+    events.push_back({0, 0, Tuple{0, k}, static_cast<double>(k), k + 1.0});
+  }
+  EXPECT_NEAR(pipeline_depth(events), 1.0, 1e-12);
+}
+
+TEST(PipelineDepth, FullyOverlappedStages) {
+  // Three stages all spanning [0,1]: total 3 over span 1 -> depth 3.
+  std::vector<Event> events;
+  for (int k = 0; k < 3; ++k) {
+    events.push_back({0, 0, Tuple{0, k}, 0.0, 1.0});
+  }
+  EXPECT_NEAR(pipeline_depth(events), 3.0, 1e-12);
+}
+
+TEST(PipelineDepth, UsesTheRequestedTupleElement) {
+  // Key at index 0: two stages, half overlapped.
+  std::vector<Event> events = {{0, 0, Tuple{7}, 0.0, 2.0},
+                               {0, 0, Tuple{8}, 1.0, 3.0}};
+  EXPECT_NEAR(pipeline_depth(events, 0), 4.0 / 3.0, 1e-12);
+  // Default key index 1 does not exist on these tuples -> no stages.
+  EXPECT_DOUBLE_EQ(pipeline_depth(events, 1), 0.0);
+}
+
+TEST(PipelineDepth, MultipleEventsPerStageMergeIntoOneWindow) {
+  std::vector<Event> events = {{0, 0, Tuple{0, 5}, 0.0, 0.5},
+                               {1, 1, Tuple{1, 5}, 1.5, 2.0},
+                               {0, 2, Tuple{2, 6}, 0.0, 2.0}};
+  // Stage 5 window [0,2], stage 6 window [0,2]: depth 2.
+  EXPECT_NEAR(pipeline_depth(events), 2.0, 1e-12);
+}
+
+TEST(PipelineDepth, EmptyGivesZero) {
+  EXPECT_DOUBLE_EQ(pipeline_depth({}), 0.0);
+}
+
+TEST(Recorder, CollectsSortedByStart) {
+  Recorder rec(2, true);
+  rec.record(1, 0, Tuple{1}, 2.0, 3.0);
+  rec.record(0, 1, Tuple{0}, 1.0, 2.0);
+  rec.record(0, 0, Tuple{2}, 0.5, 0.6);
+  const auto events = rec.collect();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_DOUBLE_EQ(events[0].t0, 0.5);
+  EXPECT_DOUBLE_EQ(events[1].t0, 1.0);
+  EXPECT_DOUBLE_EQ(events[2].t0, 2.0);
+}
+
+TEST(Recorder, DisabledRecordsNothing) {
+  Recorder rec(1, false);
+  rec.record(0, 0, Tuple{1}, 0.0, 1.0);
+  EXPECT_TRUE(rec.collect().empty());
+}
+
+TEST(TraceOutput, CsvFormat) {
+  std::ostringstream os;
+  write_csv(os, {ev(0, 1, 0.25, 0.5)});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("thread,color,tuple,t0,t1"), std::string::npos);
+  EXPECT_NE(out.find("0,1,\"(0,1)\",0.25,0.5"), std::string::npos);
+}
+
+TEST(TraceOutput, AsciiGanttMarksBusyCells) {
+  std::ostringstream os;
+  write_ascii_gantt(os, {ev(0, 0, 0.0, 1.0), ev(1, 2, 0.5, 1.0)}, 2, 10,
+                    {"f", "u", "b"});
+  const std::string out = os.str();
+  // Thread 0 busy the whole span with color 0 ('F'), thread 1 idle then
+  // color 2 ('B').
+  EXPECT_NE(out.find("FFFFFFFFFF"), std::string::npos);
+  EXPECT_NE(out.find(".....BBBBB"), std::string::npos);
+  EXPECT_NE(out.find("legend"), std::string::npos);
+}
+
+TEST(TraceOutput, GanttHandlesEmpty) {
+  std::ostringstream os;
+  write_ascii_gantt(os, {}, 2, 10, {});
+  EXPECT_TRUE(os.str().empty());
+}
+
+}  // namespace
+}  // namespace pulsarqr::prt::trace

@@ -1,0 +1,92 @@
+// trace_gantt — render a trace CSV (written by `pqr factor --trace` or
+// the fig07 harness) as an ASCII Gantt chart plus summary statistics.
+//
+//   trace_gantt <trace.csv> [width] [overlap_color]
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "prt/trace.hpp"
+
+using namespace pulsarqr;
+
+namespace {
+
+// Parse one CSV row: thread,color,"(t,u,p,l,e)",t0,t1
+bool parse_row(const std::string& line, prt::trace::Event& ev) {
+  std::istringstream ss(line);
+  std::string field;
+  if (!std::getline(ss, field, ',')) return false;
+  ev.thread = std::atoi(field.c_str());
+  if (!std::getline(ss, field, ',')) return false;
+  ev.color = std::atoi(field.c_str());
+  // Quoted tuple field (may contain commas).
+  if (ss.peek() == '"') {
+    ss.get();
+    std::getline(ss, field, '"');
+    ss.get();  // trailing comma
+    std::vector<int> vals;
+    std::istringstream ts(field.substr(1, field.size() - 2));
+    std::string v;
+    while (std::getline(ts, v, ',')) vals.push_back(std::atoi(v.c_str()));
+    ev.tuple = prt::Tuple(std::move(vals));
+  } else {
+    std::getline(ss, field, ',');
+  }
+  if (!std::getline(ss, field, ',')) return false;
+  ev.t0 = std::atof(field.c_str());
+  if (!std::getline(ss, field, ',')) return false;
+  ev.t1 = std::atof(field.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: trace_gantt <trace.csv> [width] "
+                         "[overlap_color]\n");
+    return 2;
+  }
+  const int width = argc > 2 ? std::atoi(argv[2]) : 120;
+  const int overlap_color = argc > 3 ? std::atoi(argv[3]) : 2;
+
+  std::ifstream is(argv[1]);
+  if (!is) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::string line;
+  std::getline(is, line);  // header
+  std::vector<prt::trace::Event> events;
+  int max_thread = 0;
+  while (std::getline(is, line)) {
+    prt::trace::Event ev;
+    if (parse_row(line, ev)) {
+      max_thread = std::max(max_thread, ev.thread);
+      events.push_back(std::move(ev));
+    }
+  }
+  if (events.empty()) {
+    std::fprintf(stderr, "no events in %s\n", argv[1]);
+    return 1;
+  }
+  const int threads = max_thread + 1;
+  prt::trace::write_ascii_gantt(std::cout, events, threads, width,
+                                {"flat-factor", "update", "binary"});
+  const auto stats =
+      prt::trace::compute_stats(events, threads, overlap_color);
+  std::printf("\n%zu firings on %d threads | span %.4f s | busy %.4f s | "
+              "utilization %.1f%% | overlap(color %d) %.1f%%\n",
+              events.size(), threads, stats.span, stats.busy,
+              stats.utilization * 100, overlap_color,
+              stats.overlap_fraction * 100);
+  for (std::size_t c = 0; c < stats.busy_by_color.size(); ++c) {
+    std::printf("  color %zu busy: %.4f s\n", c, stats.busy_by_color[c]);
+  }
+  return 0;
+}
