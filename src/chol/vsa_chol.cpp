@@ -109,7 +109,7 @@ class Builder {
     bytes_ = vsaqr::tile_packet_bytes(a.nb(), a.nb());
   }
 
-  VsaCholRun run() {
+  void build() {
     const int mt = a_.mt();
     const int threads = opt_.nodes * opt_.workers_per_node;
     int rr = 0;
@@ -124,6 +124,8 @@ class Builder {
           p_tuple(k), mt - k,
           [pcfg](VdpContext& ctx) { panel_fire(ctx, *pcfg); }, 1,
           has_chain ? 1 : 0, kCholPanel);
+      // The first firing factorizes L_kk and pushes nothing on the chain.
+      if (has_chain) vsa_.declare_output_packets(p_tuple(k), 0, mt - k - 1);
       vsa_.map_vdp(p_tuple(k), rr++ % threads);
       ++vdp_count_;
       wire_tiles(p_tuple(k), k, k, /*enabled=*/true);
@@ -140,6 +142,10 @@ class Builder {
             s_tuple(k, j), mt - k - 1,
             [ucfg](VdpContext& ctx) { update_fire(ctx, *ucfg); }, 2,
             (j + 1 < mt ? 2 : 1), kCholUpdate);
+        // Drain-only firings (i < j) touch neither the tile stream nor the
+        // solid output: both carry mt - j packets, not one per firing.
+        vsa_.declare_input_packets(s_tuple(k, j), 0, mt - j);
+        vsa_.declare_output_packets(s_tuple(k, j), ucfg->solid_out, mt - j);
         vsa_.map_vdp(s_tuple(k, j), rr++ % threads);
         ++vdp_count_;
         // The tile stream is consumed only from the (j-k)-th firing on;
@@ -160,6 +166,15 @@ class Builder {
         ++channel_count_;
       }
     }
+  }
+
+  prt::GraphReport lint() {
+    build();
+    return prt::GraphCheck::check(vsa_);
+  }
+
+  VsaCholRun run() {
+    build();
     auto stats = vsa_.run();
     VsaCholRun out{std::move(store_->l), stats, {}, vdp_count_,
                    channel_count_};
@@ -176,6 +191,7 @@ class Builder {
     c.work_stealing = opt.work_stealing;
     c.trace = opt.trace;
     c.watchdog_seconds = opt.watchdog_seconds;
+    c.graph_check = opt.graph_check;
     return c;
   }
 
@@ -209,6 +225,12 @@ class Builder {
 VsaCholRun vsa_cholesky(const TileMatrix& a, const VsaCholOptions& opt) {
   Builder b(a, opt);
   return b.run();
+}
+
+prt::GraphReport lint_vsa_cholesky(const TileMatrix& a,
+                                   const VsaCholOptions& opt) {
+  Builder b(a, opt);
+  return b.lint();
 }
 
 }  // namespace pulsarqr::chol

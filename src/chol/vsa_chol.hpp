@@ -18,6 +18,7 @@
 #pragma once
 
 #include "chol/reference_chol.hpp"
+#include "prt/graph_check.hpp"
 #include "prt/vsa.hpp"
 
 namespace pulsarqr::chol {
@@ -29,6 +30,9 @@ struct VsaCholOptions {
   bool work_stealing = false;
   bool trace = false;
   double watchdog_seconds = 60.0;
+  /// Statically verify the constructed array with prt::GraphCheck before
+  /// executing it (see prt::Vsa::Config::graph_check).
+  bool graph_check = true;
 };
 
 struct VsaCholRun {
@@ -42,6 +46,11 @@ struct VsaCholRun {
 /// Factorize an SPD tile matrix on the systolic array. Only the lower
 /// triangle of `a` is read.
 VsaCholRun vsa_cholesky(const TileMatrix& a, const VsaCholOptions& opt);
+
+/// Build the Cholesky array for `a` and statically verify it with
+/// prt::GraphCheck, without executing it (see the vsa_lint tool).
+prt::GraphReport lint_vsa_cholesky(const TileMatrix& a,
+                                   const VsaCholOptions& opt);
 
 enum CholTraceColor { kCholPanel = 0, kCholUpdate = 1 };
 

@@ -116,7 +116,7 @@ class Builder {
     bytes_ = vsaqr::tile_packet_bytes(a.nb(), a.nb());
   }
 
-  VsaLuRun run() {
+  void build() {
     const int mt = a_.mt();
     const int nt = a_.nt();
     const int panels = std::min(mt, nt);
@@ -149,6 +149,11 @@ class Builder {
             s_tuple(k, j), mt - k,
             [ucfg](VdpContext& ctx) { update_fire(ctx, *ucfg); }, 2,
             next_out, kLuUpdate);
+        // The first firing keeps U(k,j) instead of streaming it onward.
+        if (has_stream) {
+          vsa_.declare_output_packets(s_tuple(k, j), ucfg->solid_out,
+                                      mt - k - 1);
+        }
         vsa_.map_vdp(s_tuple(k, j), rr++ % threads);
         ++vdp_count_;
         feed_if_first_step(s_tuple(k, j), k, j);
@@ -164,6 +169,15 @@ class Builder {
         }
       }
     }
+  }
+
+  prt::GraphReport lint() {
+    build();
+    return prt::GraphCheck::check(vsa_);
+  }
+
+  VsaLuRun run() {
+    build();
     auto stats = vsa_.run();
     VsaLuRun out{std::move(store_->f), stats, {}, vdp_count_, channel_count_};
     if (opt_.trace) out.events = vsa_.recorder().collect();
@@ -179,6 +193,7 @@ class Builder {
     c.work_stealing = opt.work_stealing;
     c.trace = opt.trace;
     c.watchdog_seconds = opt.watchdog_seconds;
+    c.graph_check = opt.graph_check;
     return c;
   }
 
@@ -206,6 +221,11 @@ class Builder {
 VsaLuRun vsa_lu(const TileMatrix& a, const VsaLuOptions& opt) {
   Builder b(a, opt);
   return b.run();
+}
+
+prt::GraphReport lint_vsa_lu(const TileMatrix& a, const VsaLuOptions& opt) {
+  Builder b(a, opt);
+  return b.lint();
 }
 
 }  // namespace pulsarqr::lu

@@ -17,6 +17,7 @@
 #pragma once
 
 #include "lu/reference_lu.hpp"
+#include "prt/graph_check.hpp"
 #include "prt/vsa.hpp"
 
 namespace pulsarqr::lu {
@@ -28,6 +29,9 @@ struct VsaLuOptions {
   bool work_stealing = false;
   bool trace = false;
   double watchdog_seconds = 60.0;
+  /// Statically verify the constructed array with prt::GraphCheck before
+  /// executing it (see prt::Vsa::Config::graph_check).
+  bool graph_check = true;
 };
 
 struct VsaLuRun {
@@ -41,6 +45,10 @@ struct VsaLuRun {
 /// Factorize a tile matrix (no pivoting — the input must be safe for it,
 /// e.g. diagonally dominant) on the systolic array.
 VsaLuRun vsa_lu(const TileMatrix& a, const VsaLuOptions& opt);
+
+/// Build the LU array for `a` and statically verify it with
+/// prt::GraphCheck, without executing it (see the vsa_lint tool).
+prt::GraphReport lint_vsa_lu(const TileMatrix& a, const VsaLuOptions& opt);
 
 enum LuTraceColor { kLuPanel = 0, kLuUpdate = 1 };
 

@@ -1,0 +1,99 @@
+// Static analysis of a constructed (not yet running) VSA graph.
+//
+// The VSA programming model makes correctness hinge on invariants the
+// runtime itself never checks: every input channel must eventually receive
+// as many packets as its VDP will pop, every declared slot must be wired,
+// and no set of initially-enabled empty channels may form a cycle. Today a
+// mis-wired tree only surfaces as a watchdog abort after the full timeout;
+// GraphCheck proves (or refutes) well-formedness before the first firing.
+//
+// Checks performed:
+//   * wiring    — declared output slots never connected, declared input
+//                 slots neither connected nor fed, duplicate producers on
+//                 one input slot, duplicate connections from one output
+//                 slot, unknown endpoint tuples, out-of-range slots;
+//   * blocked   — VDPs with inputs that are all unconnected, or whose
+//                 input channels all start disabled (permanently un-ready:
+//                 only a VDP's own firing code can enable its inputs);
+//   * balance   — feed counts and declared per-slot production totals are
+//                 propagated through the graph; a channel that receives
+//                 fewer packets than its consumer's firing counter demands
+//                 is starvation (guaranteed watchdog deadlock), more is a
+//                 packet leak (residual packets after the run);
+//   * cycles    — a strongly connected component of initially-enabled,
+//                 initially-empty channels can never fire (each member
+//                 waits on another: certain deadlock);
+//   * capacity  — fed packets larger than the channel's max_bytes;
+//   * reachability — every VDP must be reachable from some source (a
+//                 zero-input VDP or a fed channel).
+//
+// Production totals default to one packet per output slot per firing
+// (`outputs_per_fire` on add_vdp scales all slots); consumption defaults
+// to one packet per input slot per firing. Builders whose VDPs push or
+// pop non-uniformly declare exact lifetime totals with
+// Vsa::declare_output_packets / Vsa::declare_input_packets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "prt/tuple.hpp"
+
+namespace pulsarqr::prt {
+
+class Vsa;
+class Vdp;
+
+enum class Severity { Warning, Error };
+
+enum class CheckKind {
+  UnknownVdp,         ///< connect/feed endpoint names no registered VDP
+  BadSlot,            ///< slot index outside the VDP's declared range
+  DanglingOutput,     ///< declared output slot with no destination
+  UnfedInput,         ///< declared input slot neither connected nor fed
+  DuplicateProducer,  ///< two producers (connects/feeds) on one slot
+  BlockedVdp,         ///< all inputs unconnected or all start disabled
+  Starvation,         ///< channel receives fewer packets than popped
+  PacketLeak,         ///< channel receives more packets than popped
+  EnabledCycle,       ///< cycle of enabled empty channels: sure deadlock
+  OversizeFeed,       ///< fed packet exceeds the channel's max_bytes
+  Unreachable,        ///< no path from any source reaches the VDP
+};
+
+const char* to_string(CheckKind kind);
+
+/// One finding: severity, kind, the VDP it anchors to, the slot (or -1
+/// when the finding is not slot-specific) and a human-readable message
+/// that already embeds tuple and slot.
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  CheckKind kind = CheckKind::UnknownVdp;
+  Tuple vdp;
+  int slot = -1;
+  std::string message;
+};
+
+struct GraphReport {
+  std::vector<Diagnostic> diagnostics;
+
+  int errors() const;
+  int warnings() const;
+  bool ok() const { return errors() == 0; }
+
+  /// Multi-line rendering, one "severity kind: message" line per finding.
+  std::string to_string() const;
+};
+
+class GraphCheck {
+ public:
+  /// Analyze a built-but-not-run VSA. Does not modify the VSA and may be
+  /// called any number of times before run().
+  static GraphReport check(const Vsa& vsa);
+};
+
+/// Formatter shared by GraphCheck and the runtime watchdog: per-slot input
+/// state of a wired VDP, e.g. "[0:empty 1:off(3) 2:destroyed]". Only
+/// meaningful once channels exist (inside run()).
+std::string describe_input_slots(const Vdp& vdp);
+
+}  // namespace pulsarqr::prt

@@ -32,13 +32,16 @@ struct OutputRef {
 class Vdp {
  public:
   Vdp(Tuple tuple, int counter, VdpFn fn, int num_inputs, int num_outputs,
-      int color)
+      int color, int outputs_per_fire = 1)
       : tuple_(std::move(tuple)),
         counter_(counter),
         fn_(std::move(fn)),
         color_(color),
+        outputs_per_fire_(outputs_per_fire),
         inputs_(num_inputs),
-        outputs_(num_outputs) {}
+        outputs_(num_outputs),
+        declared_in_(num_inputs, -1),
+        declared_out_(num_outputs, -1) {}
 
   const Tuple& tuple() const { return tuple_; }
   int color() const { return color_; }
@@ -46,6 +49,24 @@ class Vdp {
   bool dead() const { return dead_.load(std::memory_order_acquire); }
   int num_inputs() const { return static_cast<int>(inputs_.size()); }
   int num_outputs() const { return static_cast<int>(outputs_.size()); }
+
+  /// Packet-balance declarations used by prt::GraphCheck: the total number
+  /// of packets this VDP will push on an output slot / pop from an input
+  /// slot over its whole lifetime. Undeclared slots default to one packet
+  /// per firing (scaled by the add_vdp outputs_per_fire hint for outputs).
+  long long expected_output_packets(int slot) const {
+    const long long d = declared_out_[slot];
+    return d >= 0 ? d
+                  : static_cast<long long>(counter_) * outputs_per_fire_;
+  }
+  long long expected_input_packets(int slot) const {
+    const long long d = declared_in_[slot];
+    return d >= 0 ? d : counter_;
+  }
+
+  /// The wired input channel of a slot; nullptr until run() wires the
+  /// graph (used by the stuck-VDP diagnostic formatter).
+  const Channel* input_channel(int slot) const { return inputs_[slot].get(); }
 
   /// Firing rule: every enabled input channel holds a packet, and at least
   /// one input is enabled (a VDP declared with zero inputs is always ready
@@ -69,8 +90,11 @@ class Vdp {
   int counter_;
   VdpFn fn_;
   int color_;
+  int outputs_per_fire_;
   std::vector<std::unique_ptr<Channel>> inputs_;  ///< owned by destination
   std::vector<OutputRef> outputs_;
+  std::vector<long long> declared_in_;   ///< -1 = default (see accessors)
+  std::vector<long long> declared_out_;
   std::any local_;
   /// Written by the worker holding the firing claim, read by any worker
   /// scanning for candidates (work stealing) — hence atomic.

@@ -1,6 +1,8 @@
 #include "prt/vsa.hpp"
 
 #include <algorithm>
+
+#include "prt/graph_check.hpp"
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -108,15 +110,42 @@ Vsa::Vsa(Config cfg) : cfg_(cfg) {
 Vsa::~Vsa() = default;
 
 Vdp& Vsa::add_vdp(Tuple tuple, int counter, VdpFn fn, int num_inputs,
-                  int num_outputs, int color) {
+                  int num_outputs, int color, int outputs_per_fire) {
   require(counter >= 1, "add_vdp: counter must be positive");
+  require(outputs_per_fire >= 0, "add_vdp: outputs_per_fire must be >= 0");
   require(!ran_, "add_vdp: VSA already ran");
   auto vdp = std::make_unique<Vdp>(tuple, counter, std::move(fn), num_inputs,
-                                   num_outputs, color);
+                                   num_outputs, color, outputs_per_fire);
   auto [it, inserted] = vdps_.emplace(std::move(tuple), std::move(vdp));
   require(inserted, "add_vdp: duplicate tuple " + it->first.to_string());
   creation_order_.push_back(it->second.get());
   return *it->second;
+}
+
+void Vsa::declare_output_packets(const Tuple& vdp, int out_slot,
+                                 long long total_packets) {
+  auto it = vdps_.find(vdp);
+  require(it != vdps_.end(),
+          "declare_output_packets: unknown VDP " + vdp.to_string());
+  Vdp& v = *it->second;
+  require(out_slot >= 0 && out_slot < v.num_outputs(),
+          "declare_output_packets: bad output slot on " + vdp.to_string());
+  require(total_packets >= 0,
+          "declare_output_packets: total must be >= 0 on " + vdp.to_string());
+  v.declared_out_[out_slot] = total_packets;
+}
+
+void Vsa::declare_input_packets(const Tuple& vdp, int in_slot,
+                                long long total_packets) {
+  auto it = vdps_.find(vdp);
+  require(it != vdps_.end(),
+          "declare_input_packets: unknown VDP " + vdp.to_string());
+  Vdp& v = *it->second;
+  require(in_slot >= 0 && in_slot < v.num_inputs(),
+          "declare_input_packets: bad input slot on " + vdp.to_string());
+  require(total_packets >= 0,
+          "declare_input_packets: total must be >= 0 on " + vdp.to_string());
+  v.declared_in_[in_slot] = total_packets;
 }
 
 void Vsa::connect(const Tuple& src, int out_slot, const Tuple& dst,
@@ -244,6 +273,17 @@ void Vsa::validate_and_wire() {
       require(v->outputs_[s].connected, "run: unconnected output slot " +
                                             std::to_string(s) + " on VDP " +
                                             v->tuple_.to_string());
+    }
+    // Fail fast on a silently-blocked VDP: with every input channel
+    // disabled from the start it is permanently un-ready (only its own
+    // firing code could enable an input), yet it counts as alive and
+    // would burn the whole watchdog timeout.
+    if (v->num_inputs() > 0) {
+      bool any_enabled = false;
+      for (const auto& ch : v->inputs_) any_enabled |= ch->enabled();
+      require(any_enabled, "run: every input channel of VDP " +
+                               v->tuple_.to_string() +
+                               " starts disabled; it can never fire");
     }
   }
 
@@ -440,6 +480,15 @@ void Vsa::proxy_loop(Node& n) {
 Vsa::RunStats Vsa::run() {
   require(!ran_, "run: VSA already ran");
   ran_ = true;
+  if (cfg_.graph_check) {
+    const GraphReport report = GraphCheck::check(*this);
+    if (!report.ok()) {
+      throw Error(
+          "GraphCheck: the VSA graph is malformed; aborting before "
+          "execution (set Config::graph_check = false to bypass).\n" +
+          report.to_string());
+    }
+  }
   validate_and_wire();
 
   comm_ = std::make_unique<net::Comm>(cfg_.nodes);
@@ -534,13 +583,7 @@ std::string Vsa::stuck_diagnostic() const {
     if (shown >= 20) continue;
     ++shown;
     os << "  VDP " << v->tuple_.to_string() << " counter=" << v->counter_
-       << " inputs=[";
-    for (int s = 0; s < v->num_inputs(); ++s) {
-      const auto& ch = v->inputs_[s];
-      if (s > 0) os << ' ';
-      os << s << ':' << (ch->enabled() ? "" : "off,") << ch->size();
-    }
-    os << "]\n";
+       << " inputs=" << describe_input_slots(*v) << '\n';
   }
   os << "  (" << alive << " VDPs still alive)";
   return os.str();

@@ -42,6 +42,13 @@ class Vsa {
     /// Abort the run (with a stuck-VDP diagnostic) if no VDP fires for
     /// this long. 0 disables the watchdog.
     double watchdog_seconds = 30.0;
+    /// Run prt::GraphCheck over the constructed graph at the top of
+    /// run() and throw (before spawning any thread) if it finds an
+    /// error-severity diagnostic — turning wiring and packet-balance bugs
+    /// from watchdog timeouts into immediate, named failures. Opt out for
+    /// graphs that intentionally violate the static model (e.g. VDPs
+    /// whose packet flow cannot be declared).
+    bool graph_check = true;
   };
 
   struct RunStats {
@@ -64,8 +71,19 @@ class Vsa {
 
   /// prt_vdp_new + prt_vsa_vdp_insert: register a VDP. `color` classifies
   /// firings for tracing (QR: 0 = flat factor, 1 = update, 2 = binary).
+  /// `outputs_per_fire` is a packet-balance hint for GraphCheck: how many
+  /// packets each connected output slot emits per firing (uniform across
+  /// slots; use declare_output_packets for per-slot totals).
   Vdp& add_vdp(Tuple tuple, int counter, VdpFn fn, int num_inputs,
-               int num_outputs, int color = 0);
+               int num_outputs, int color = 0, int outputs_per_fire = 1);
+
+  /// GraphCheck balance declarations for VDPs whose packet flow is not
+  /// one-per-firing: the total number of packets the VDP will push on
+  /// `out_slot` (resp. pop from `in_slot`) over its whole lifetime.
+  void declare_output_packets(const Tuple& vdp, int out_slot,
+                              long long total_packets);
+  void declare_input_packets(const Tuple& vdp, int in_slot,
+                             long long total_packets);
 
   /// prt_channel_new + channel_insert on both endpoints: connect output
   /// slot `out_slot` of `src` to input slot `in_slot` of `dst`. Channels
@@ -113,6 +131,8 @@ class Vsa {
   struct Node;    ///< implementation detail (vsa.cpp)
 
  private:
+  friend class GraphCheck;  ///< read-only static analysis of the graph
+
   void validate_and_wire();
   void worker_loop(Worker& w);
   void worker_loop_stealing(Worker& w, Node& n);

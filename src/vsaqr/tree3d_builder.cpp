@@ -35,6 +35,7 @@
 
 #include "kernels/tile_kernels.hpp"
 #include "plan/domains.hpp"
+#include "prt/graph_check.hpp"
 #include "vsaqr/codec.hpp"
 #include "vsaqr/result_store.hpp"
 #include "vsaqr/tree_qr.hpp"
@@ -233,6 +234,27 @@ struct BinaryStructure {
   std::map<int, std::vector<int>> pairs_of;
 };
 
+// GraphCheck balance declarations shared by the factorization and apply
+// builders. Tile-input slots consume one packet per row routed to them
+// (not one per firing once channels are grouped), top_out emits a single
+// packet at the last firing, and solid_out skips the held head row.
+void declare_flat_balance(prt::Vsa& vsa, const Tuple& tup,
+                          const FlatCfg& cfg) {
+  std::vector<long long> per_slot;
+  for (int s : cfg.row_slot) {
+    if (s >= static_cast<int>(per_slot.size())) per_slot.resize(s + 1, 0);
+    ++per_slot[s];
+  }
+  for (std::size_t s = 0; s < per_slot.size(); ++s) {
+    vsa.declare_input_packets(tup, static_cast<int>(s), per_slot[s]);
+  }
+  if (cfg.top_out >= 0) vsa.declare_output_packets(tup, cfg.top_out, 1);
+  if (cfg.solid_out >= 0) {
+    vsa.declare_output_packets(tup, cfg.solid_out,
+                               static_cast<long long>(cfg.rows.size()) - 1);
+  }
+}
+
 BinaryStructure make_binary(const std::vector<plan::Domain>& domains) {
   BinaryStructure bs;
   std::vector<int> heads;
@@ -264,10 +286,20 @@ class Builder {
     vt_bytes_ = vt_packet_bytes(a.nb(), a.nb(), opt.ib);
   }
 
-  TreeQrRun run() {
+  void build() {
     panels_ = std::min(a_.mt(), a_.nt());
     if (opt_.panel_columns > 0) panels_ = std::min(panels_, opt_.panel_columns);
     for (int k = 0; k < panels_; ++k) build_step(k);
+  }
+
+  /// Static analysis of the constructed graph without executing it.
+  prt::GraphReport lint() {
+    build();
+    return prt::GraphCheck::check(vsa_);
+  }
+
+  TreeQrRun run() {
+    build();
     auto stats = vsa_.run();
     TreeQrRun out{
         store_->finish(plan::ReductionPlan(a_.mt(), a_.nt(), opt_.tree,
@@ -290,6 +322,7 @@ class Builder {
     c.work_stealing = opt.work_stealing;
     c.trace = opt.trace;
     c.watchdog_seconds = opt.watchdog_seconds;
+    c.graph_check = opt.graph_check;
     return c;
   }
 
@@ -391,6 +424,7 @@ class Builder {
         vsa_.add_vdp(tup, static_cast<int>(rows.size()), std::move(fn),
                      num_inputs, next_out,
                      is_factor ? kColorFactor : kColorUpdate);
+        declare_flat_balance(vsa_, tup, *cfg);
         ++vdp_count_;
         const int thread = rr_thread_++ % total_threads_;
         vsa_.map_vdp(tup, thread);
@@ -563,6 +597,7 @@ class ApplyBuilder {
     c.work_stealing = opt.work_stealing;
     c.trace = opt.trace;
     c.watchdog_seconds = opt.watchdog_seconds;
+    c.graph_check = opt.graph_check;
     return c;
   }
 
@@ -647,6 +682,7 @@ class ApplyBuilder {
             tup, static_cast<int>(rows.size()),
             [cfg](VdpContext& ctx) { update_fire(ctx, *cfg); }, num_inputs,
             next_out, kColorUpdate);
+        declare_flat_balance(vsa_, tup, *cfg);
         const int thread = rr_thread_++ % total_threads_;
         vsa_.map_vdp(tup, thread);
         thread_of_[{static_cast<int>(d), c}] = thread;
@@ -749,6 +785,12 @@ TreeQrRun tree_qr(const TileMatrix& a, const TreeQrOptions& opt) {
   require(opt.ib >= 1 && opt.ib <= a.nb(), "tree_qr: need 1 <= ib <= nb");
   Builder b(a, opt);
   return b.run();
+}
+
+prt::GraphReport lint_tree_qr(const TileMatrix& a, const TreeQrOptions& opt) {
+  require(opt.ib >= 1 && opt.ib <= a.nb(), "lint_tree_qr: need 1 <= ib <= nb");
+  Builder b(a, opt);
+  return b.lint();
 }
 
 TreeQrRun domino_qr(const TileMatrix& a, TreeQrOptions opt) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "plan/reduction_plan.hpp"
+#include "prt/graph_check.hpp"
 #include "prt/vsa.hpp"
 #include "ref/reference_qr.hpp"
 #include "tile/tile_matrix.hpp"
@@ -32,6 +33,9 @@ struct TreeQrOptions {
   /// are swept by the updates only and come out as Q^T applied to them.
   /// Used by tree_qr_solve to factorize [A | B] in one pass.
   int panel_columns = -1;
+  /// Statically verify the constructed array with prt::GraphCheck before
+  /// executing it (see prt::Vsa::Config::graph_check).
+  bool graph_check = true;
 };
 
 struct TreeQrRun {
@@ -45,6 +49,11 @@ struct TreeQrRun {
 /// Factorize a tile matrix on the virtual systolic array. The input matrix
 /// is read-only; its tiles are fed into the array as packets.
 TreeQrRun tree_qr(const TileMatrix& a, const TreeQrOptions& opt);
+
+/// Build the factorization array for `a` and statically verify it with
+/// prt::GraphCheck, without executing a single firing. A well-formed plan
+/// yields a report with no diagnostics; used by the vsa_lint tool.
+prt::GraphReport lint_tree_qr(const TileMatrix& a, const TreeQrOptions& opt);
 
 /// The 2013 "domino QR" (the paper's predecessor [4]): the flat-tree
 /// special case of the same array.

@@ -2,7 +2,7 @@
 //
 //   pqr factor   --m 4096 --n 512 [--nb 128 --ib 32 --tree hier --h 6
 //                 --boundary shifted --nodes 2 --workers 2 --sched lazy
-//                 --trace trace.csv --check --seed 1]
+//                 --trace trace.csv --check --seed 1 --graph-check 0]
 //   pqr solve    --m 4096 --n 512 [--nrhs 1 ...]
 //   pqr chol     --n 1024 [--nb 128 --nodes 2 --workers 2]
 //   pqr lu       --n 1024 [--nb 128 --nodes 2 --workers 2]
@@ -104,6 +104,7 @@ vsaqr::TreeQrOptions qr_options(const Args& a) {
                        ? prt::Scheduling::Aggressive
                        : prt::Scheduling::Lazy;
   opt.trace = a.has("trace");
+  opt.graph_check = a.geti("graph-check", 1) != 0;
   return opt;
 }
 
@@ -179,6 +180,7 @@ int cmd_chol(const Args& a) {
   chol::VsaCholOptions opt;
   opt.nodes = a.geti("nodes", 1);
   opt.workers_per_node = a.geti("workers", 2);
+  opt.graph_check = a.geti("graph-check", 1) != 0;
   auto run = chol::vsa_cholesky(TileMatrix::from_dense(spd.view(), nb), opt);
   Matrix l = chol::extract_l(run.l);
   Matrix llt(n, n);
@@ -204,6 +206,7 @@ int cmd_lu(const Args& a) {
   lu::VsaLuOptions opt;
   opt.nodes = a.geti("nodes", 1);
   opt.workers_per_node = a.geti("workers", 2);
+  opt.graph_check = a.geti("graph-check", 1) != 0;
   auto run = lu::vsa_lu(TileMatrix::from_dense(m.view(), nb), opt);
   // Verify by solving a planted system through the factors.
   Rng rng(a.geti("seed", 1) + 7);
