@@ -3,24 +3,100 @@
 // These quantify the "minimal scheduling overheads" claim of Section IV-B.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <thread>
+
+#include "common/rng.hpp"
 #include "prt/vsa.hpp"
+#include "vsaqr/tree_qr.hpp"
 
 namespace {
 
 using namespace pulsarqr;
+using prt::ChannelImpl;
 using prt::Packet;
 using prt::Scheduling;
 using prt::Tuple;
 using prt::Vsa;
 
+ChannelImpl impl_arg(const benchmark::State& state) {
+  return state.range(0) == 0 ? ChannelImpl::Spsc : ChannelImpl::Mutex;
+}
+
+void set_impl_label(benchmark::State& state) {
+  state.SetLabel(state.range(0) == 0 ? "spsc" : "mutex");
+}
+
+// Same-thread push/pop round trip: the per-packet bookkeeping floor.
 void BM_channel_push_pop(benchmark::State& state) {
-  prt::Channel ch(64, true);
+  prt::Channel ch(64, true, impl_arg(state));
   Packet p = Packet::make(64);
   for (auto _ : state) {
     ch.push(p);
     benchmark::DoNotOptimize(ch.pop());
   }
   state.SetItemsProcessed(state.iterations());
+  set_impl_label(state);
+}
+
+// Single-channel ping throughput: one producer thread streams packets
+// through one channel to a consuming thread — exactly the SPSC regime
+// GraphCheck proves for every VSA channel. This is the tentpole
+// comparison: the lock-free path must beat the mutex path.
+void BM_channel_ping(benchmark::State& state) {
+  const int packets = 1 << 14;
+  // Cap the in-flight count at a realistic channel occupancy: VSA
+  // channels stay short, which is what keeps the SPSC node cache in
+  // recycle mode. Unbounded build-up would measure malloc instead.
+  const int max_queue = 1024;
+  prt::Channel ch(64, true, impl_arg(state));
+  Packet p = Packet::make(64);
+  for (auto _ : state) {
+    std::thread producer([&] {
+      for (int i = 0; i < packets; ++i) {
+        while (ch.size() >= max_queue) std::this_thread::yield();
+        ch.push(p);
+      }
+    });
+    int consumed = 0;
+    while (consumed < packets) {
+      if (ch.size() == 0) {
+        // Yield rather than busy-poll: on few-core machines a spinning
+        // consumer starves the producer for a whole timeslice and the
+        // bench measures the scheduler instead of the queue.
+        std::this_thread::yield();
+        continue;
+      }
+      benchmark::DoNotOptimize(ch.pop());
+      ++consumed;
+    }
+    producer.join();
+  }
+  state.SetItemsProcessed(state.iterations() * packets);
+  set_impl_label(state);
+}
+
+// End-to-end tree QR at small tiles, where per-packet runtime overhead —
+// channel ops and wakeups — is the limiter (the regime of arXiv:1110.1553
+// / arXiv:0809.2407). A/B of the channel implementations.
+void BM_qr_small_nb(benchmark::State& state) {
+  const int n = 768;
+  const int nb = 64;
+  Matrix a0(n, n);
+  fill_random(a0.view(), 42);
+  const TileMatrix tiled = TileMatrix::from_dense(a0.view(), nb);
+  vsaqr::TreeQrOptions opt;
+  opt.tree = {plan::TreeKind::BinaryOnFlat, 6, plan::BoundaryMode::Shifted};
+  opt.ib = 16;
+  opt.nodes = 1;
+  opt.workers_per_node = 4;
+  opt.channel_impl = impl_arg(state);
+  for (auto _ : state) {
+    auto run = vsaqr::tree_qr(tiled, opt);
+    benchmark::DoNotOptimize(run.stats.fires);
+  }
+  state.SetItemsProcessed(state.iterations());
+  set_impl_label(state);
 }
 
 void BM_packet_alloc(benchmark::State& state) {
@@ -119,7 +195,10 @@ void BM_bypass_chain(benchmark::State& state) {
 
 }  // namespace
 
-BENCHMARK(BM_channel_push_pop);
+BENCHMARK(BM_channel_push_pop)->Arg(0)->Arg(1);
+BENCHMARK(BM_channel_ping)->Arg(0)->Arg(1)->UseRealTime();
+BENCHMARK(BM_qr_small_nb)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 BENCHMARK(BM_packet_alloc)->Arg(64)->Arg(192 * 192 * 8);
 BENCHMARK(BM_packet_clone)->Arg(64)->Arg(192 * 192 * 8);
 BENCHMARK(BM_vdp_fire_local)->Arg(1)->Arg(2)->Arg(4)

@@ -2,6 +2,13 @@
 // (Section IV-A). A channel object lives with its destination VDP; the
 // source holds a reference that is either a direct pointer (intra-node) or
 // a (node, tag) address served by the proxy (inter-node).
+//
+// Concurrency contract (enforced statically by prt::GraphCheck): every
+// channel has exactly ONE producer — either the source VDP (whose firings
+// are serialized by the worker binding or the work-stealing claim flag) or
+// the destination node's proxy thread — and exactly ONE consumer, the
+// destination VDP. That single-producer/single-consumer invariant is what
+// legitimizes the default lock-free implementation below.
 #pragma once
 
 #include <atomic>
@@ -21,41 +28,88 @@ class Waker {
   virtual void wake() = 0;
 };
 
+/// Queue implementation behind a Channel.
+///   Spsc  — lock-free single-producer/single-consumer linked-node queue
+///           with a producer-side node cache (Vyukov style); the default.
+///   Mutex — the legacy mutex-protected deque; kept as a fallback and as
+///           the baseline for the channel microbenchmark.
+enum class ChannelImpl { Spsc, Mutex };
+
 class Channel {
  public:
-  Channel(std::size_t max_bytes, bool enabled)
-      : max_bytes_(max_bytes), enabled_(enabled) {}
+  Channel(std::size_t max_bytes, bool enabled,
+          ChannelImpl impl = ChannelImpl::Spsc);
+  ~Channel();
 
-  /// Producer side (any thread, or the proxy). Wakes the owner if set.
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Producer side (the single producer thread, or the proxy). Wakes the
+  /// owner if set. Pushes to a destroyed channel are dropped.
   void push(Packet p);
 
-  /// Consumer side (owner VDP's thread only).
+  /// Consumer side (owner VDP's thread only). The channel must be
+  /// non-empty, i.e. size() returned > 0 on this thread.
   Packet pop();
 
   /// Number of queued packets (approximate under concurrency; exact for
   /// the owning thread's ready check once it holds the packet).
-  int size() const { return size_.load(std::memory_order_acquire); }
+  int size() const;
 
   bool enabled() const { return enabled_.load(std::memory_order_acquire); }
   void set_enabled(bool e);
 
   /// A disabled-and-cleared channel; packets pushed after destruction are
-  /// dropped (mirrors prt's channel-destroy option).
+  /// dropped (mirrors prt's channel-destroy option). Consumer-side
+  /// operation: must not race with pop() (the runtime only calls it from
+  /// the destination VDP's firing code). A push racing with destroy()
+  /// either observes the destroyed flag and drops the packet itself, or
+  /// its node is drained here or held invisibly (size() pins to zero)
+  /// until the destructor — a packet never resurfaces on a destroyed
+  /// channel, and the push fast path needs no fence to guarantee it.
   void destroy();
   bool destroyed() const { return destroyed_.load(std::memory_order_acquire); }
 
   std::size_t max_bytes() const { return max_bytes_; }
+  ChannelImpl impl() const { return impl_; }
 
   void set_waker(Waker* w) { waker_ = w; }
 
  private:
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    Packet p;
+  };
+
+  Node* alloc_node();
+  void push_spsc(Packet p);
+  Packet pop_spsc();
+  void drain_spsc();
+
   std::size_t max_bytes_;
+  ChannelImpl impl_;
   std::atomic<bool> enabled_;
   std::atomic<bool> destroyed_{false};
-  std::atomic<int> size_{0};
   Waker* waker_ = nullptr;
+
+  // ---- SPSC state. The queue is a singly linked list from first_ to
+  // tail_; [first_, head_) are consumed nodes awaiting recycling, head_ is
+  // the consumer's dummy, (head_, tail_] hold live packets.
+
+  // Consumer-owned half.
+  alignas(64) std::atomic<Node*> head_{nullptr};
+  std::atomic<long long> popped_{0};  ///< single writer: the consumer
+
+  // Producer-owned half.
+  alignas(64) Node* tail_ = nullptr;
+  Node* first_ = nullptr;      ///< oldest node not yet recycled
+  Node* head_copy_ = nullptr;  ///< producer's cached copy of head_
+  std::atomic<long long> pushed_{0};  ///< single writer: the producer
+
+  // ---- Mutex-impl state.
   mutable std::mutex mu_;
   std::deque<Packet> q_;
+  std::atomic<int> mutex_size_{0};
 };
 
 }  // namespace pulsarqr::prt

@@ -36,6 +36,14 @@ std::optional<Message> Comm::try_recv(int rank) {
   return m;
 }
 
+std::deque<Message> Comm::drain(int rank) {
+  auto& box = *boxes_[rank];
+  std::deque<Message> out;
+  std::lock_guard<std::mutex> lock(box.mu);
+  out.swap(box.q);
+  return out;
+}
+
 std::optional<Message> Comm::recv_wait(int rank, int timeout_us) {
   auto& box = *boxes_[rank];
   std::unique_lock<std::mutex> lock(box.mu);

@@ -47,6 +47,11 @@ class Comm {
   /// rank's mailbox. Empty optional when nothing has arrived.
   std::optional<Message> try_recv(int rank);
 
+  /// Batch receive: every queued message for the rank in arrival order,
+  /// taken in a single mailbox swap (one lock round-trip total — the
+  /// proxy's bulk path). Empty deque when nothing has arrived.
+  std::deque<Message> drain(int rank);
+
   /// Blocking receive with a deadline; used by proxies to idle efficiently.
   std::optional<Message> recv_wait(int rank, int timeout_us);
 

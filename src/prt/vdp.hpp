@@ -118,6 +118,9 @@ struct VdpContext {
   /// Remaining firings including the current one.
   int counter() const { return vdp.counter_; }
 
+  /// Consumer side of the channel's SPSC contract: only the firing code
+  /// of the destination VDP pops, and firings are serialized (worker
+  /// binding or the stealing claim), so pop needs no lock.
   Packet pop(int slot) {
     PQR_ASSERT(slot >= 0 && slot < vdp.num_inputs() &&
                    vdp.inputs_[slot] != nullptr,
@@ -140,7 +143,10 @@ struct VdpContext {
 
   /// Destroy an input channel (paper: channels can be destroyed during
   /// execution): queued packets are dropped, later pushes are ignored and
-  /// the slot no longer participates in the firing rule.
+  /// the slot no longer participates in the firing rule. A consumer-side
+  /// operation like pop(): Channel::destroy() handles a concurrent
+  /// producer push, but must never race with pop() itself — calling it
+  /// from the owning VDP's firing code (as here) guarantees that.
   void destroy_input(int slot) {
     PQR_ASSERT(slot >= 0 && slot < vdp.num_inputs() &&
                    vdp.inputs_[slot] != nullptr,

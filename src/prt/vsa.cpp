@@ -21,6 +21,16 @@ std::uint64_t route_key(int src_node, int tag) {
           << 32) |
          static_cast<std::uint32_t>(tag);
 }
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
 }  // namespace
 
 // ---- runtime structures -----------------------------------------------------
@@ -39,10 +49,19 @@ struct Vsa::Worker : Waker {
   int alive = 0;
   double busy = 0.0;
 
-  // Wake state: producers set pending and notify; the worker clears it.
+  // Wake state: a generation counter bumped by every wake(), plus a
+  // parked flag so producers skip the mutex entirely while the worker is
+  // running or spinning (the common case). Dekker pairing: the waiter
+  // publishes parked then re-reads the epoch, the waker publishes the
+  // epoch then reads parked — both seq_cst, so no wake is ever lost.
+  std::atomic<std::uint64_t> wake_epoch{0};
+  std::atomic<bool> parked{false};
   std::mutex mu;
   std::condition_variable cv;
-  bool pending = false;
+
+  // Heartbeat for the watchdog: incremented entering AND leaving fire(),
+  // so an odd value means "a firing is in flight on this worker".
+  std::atomic<std::uint64_t> fire_epoch{0};
 
   // Outgoing inter-node packets (one queue per worker, as in Figure 4).
   std::mutex omu;
@@ -51,11 +70,39 @@ struct Vsa::Worker : Waker {
   std::thread thread;
 
   void wake() override {
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      pending = true;
+    wake_epoch.fetch_add(1, std::memory_order_seq_cst);
+    if (parked.load(std::memory_order_seq_cst)) {
+      std::lock_guard<std::mutex> lock(mu);  // pairs with the parked wait
+      cv.notify_one();
     }
-    cv.notify_one();
+  }
+
+  /// Spin-then-park until the wake epoch moves past `seen` (a value read
+  /// BEFORE the caller's last scan, so any wake during the scan returns
+  /// immediately), `stop()` turns true, or a backstop timeout expires.
+  template <class Stop>
+  void wait_for_wake(std::uint64_t seen, int spin_us, Stop stop) {
+    if (spin_us > 0) {
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::microseconds(spin_us);
+      int iter = 0;
+      while (wake_epoch.load(std::memory_order_acquire) == seen) {
+        cpu_relax();
+        if ((++iter & 63) == 0 &&
+            (stop() || std::chrono::steady_clock::now() >= deadline)) {
+          break;
+        }
+      }
+      if (wake_epoch.load(std::memory_order_acquire) != seen || stop()) return;
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    parked.store(true, std::memory_order_seq_cst);
+    // The 10ms wait_for is a liveness backstop only; the epoch/parked
+    // protocol makes real wakeups prompt.
+    cv.wait_for(lock, 10ms, [&] {
+      return wake_epoch.load(std::memory_order_seq_cst) != seen || stop();
+    });
+    parked.store(false, std::memory_order_relaxed);
   }
 };
 
@@ -67,10 +114,13 @@ struct Vsa::Node {
   std::thread proxy;
 
   // Work-stealing executor state: a shared pool of fire candidates for
-  // this node's workers.
+  // this node's workers. pool_epoch/parked mirror the Worker wake
+  // protocol so idle workers can spin outside the lock before parking.
   std::mutex pool_mu;
   std::condition_variable pool_cv;
   std::deque<Vdp*> pool;
+  std::atomic<std::uint64_t> pool_epoch{0};
+  std::atomic<int> parked{0};
   std::atomic<int> alive{0};
 
   // Outgoing inter-node queue used in work-stealing mode. Consecutive
@@ -86,7 +136,10 @@ struct Vsa::Node {
       std::lock_guard<std::mutex> lock(pool_mu);
       pool.push_back(v);
     }
-    pool_cv.notify_one();
+    pool_epoch.fetch_add(1, std::memory_order_seq_cst);
+    if (parked.load(std::memory_order_seq_cst) > 0) {
+      pool_cv.notify_one();
+    }
   }
 };
 
@@ -222,7 +275,8 @@ void Vsa::validate_and_wire() {
             "feed: bad input slot on " + f.dst.to_string());
     require(dst.inputs_[f.in_slot] == nullptr,
             "feed: input slot already connected on " + f.dst.to_string());
-    auto ch = std::make_unique<Channel>(f.max_bytes, f.enabled);
+    auto ch = std::make_unique<Channel>(f.max_bytes, f.enabled,
+                                        cfg_.channel_impl);
     for (auto& p : f.initial) ch->push(std::move(p));
     dst.inputs_[f.in_slot] = std::move(ch);
   }
@@ -241,7 +295,8 @@ void Vsa::validate_and_wire() {
     require(dst.inputs_[e.in_slot] == nullptr,
             "connect: input slot already connected on " + e.dst.to_string());
 
-    auto ch = std::make_unique<Channel>(e.max_bytes, e.enabled);
+    auto ch = std::make_unique<Channel>(e.max_bytes, e.enabled,
+                                        cfg_.channel_impl);
     Channel* chp = ch.get();
     dst.inputs_[e.in_slot] = std::move(ch);
 
@@ -342,6 +397,10 @@ void VdpContext::push(int slot, Packet p) {
 // ---- execution --------------------------------------------------------------
 
 void Vsa::fire(Vdp& v, Worker& w) {
+  // Heartbeat -> odd: tells the watchdog a firing STARTED (and is still
+  // in flight), so one kernel outliving watchdog_seconds is progress, not
+  // a deadlock.
+  w.fire_epoch.fetch_add(1, std::memory_order_relaxed);
   const double t0 = recorder_->now();
   VdpContext ctx{v, *this, w.node_id, w.global_id};
   v.fn_(ctx);
@@ -353,11 +412,15 @@ void Vsa::fire(Vdp& v, Worker& w) {
   const double t1 = recorder_->now();
   w.busy += t1 - t0;
   recorder_->record(w.global_id, v.color_, v.tuple_, t0, t1);
+  w.fire_epoch.fetch_add(1, std::memory_order_relaxed);  // back to even
   fires_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Vsa::worker_loop(Worker& w) {
   while (!cancelled_.load(std::memory_order_relaxed) && w.alive > 0) {
+    // Sample the wake epoch BEFORE the scan: a packet arriving for a VDP
+    // the scan already passed bumps the epoch and voids the wait below.
+    const std::uint64_t seen = w.wake_epoch.load(std::memory_order_acquire);
     bool fired = false;
     for (Vdp* v : w.vdps) {
       if (v->dead()) continue;
@@ -374,9 +437,9 @@ void Vsa::worker_loop(Worker& w) {
     }
     if (w.alive == 0) break;
     if (!fired) {
-      std::unique_lock<std::mutex> lock(w.mu);
-      if (!w.pending) w.cv.wait_for(lock, 500us);
-      w.pending = false;
+      w.wait_for_wake(seen, spin_us_, [this] {
+        return cancelled_.load(std::memory_order_relaxed);
+      });
     }
   }
   workers_running_.fetch_sub(1, std::memory_order_acq_rel);
@@ -385,15 +448,45 @@ void Vsa::worker_loop(Worker& w) {
 void Vsa::worker_loop_stealing(Worker& w, Node& n) {
   while (!cancelled_.load(std::memory_order_relaxed) &&
          n.alive.load(std::memory_order_acquire) > 0) {
+    // Sampled before the pool check so an enqueue racing with an empty
+    // verdict cuts the wait short (same protocol as Worker::wait_for_wake).
+    const std::uint64_t seen = n.pool_epoch.load(std::memory_order_acquire);
     Vdp* v = nullptr;
     {
       std::unique_lock<std::mutex> lock(n.pool_mu);
-      if (n.pool.empty()) {
-        n.pool_cv.wait_for(lock, 500us);
-        continue;
+      if (!n.pool.empty()) {
+        v = n.pool.front();
+        n.pool.pop_front();
       }
-      v = n.pool.front();
-      n.pool.pop_front();
+    }
+    if (v == nullptr) {
+      auto stop = [&] {
+        return cancelled_.load(std::memory_order_relaxed) ||
+               n.alive.load(std::memory_order_acquire) <= 0;
+      };
+      if (spin_us_ > 0) {
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::microseconds(spin_us_);
+        int iter = 0;
+        while (n.pool_epoch.load(std::memory_order_acquire) == seen) {
+          cpu_relax();
+          if ((++iter & 63) == 0 &&
+              (stop() || std::chrono::steady_clock::now() >= deadline)) {
+            break;
+          }
+        }
+      }
+      if (n.pool_epoch.load(std::memory_order_acquire) == seen && !stop()) {
+        std::unique_lock<std::mutex> lock(n.pool_mu);
+        n.parked.fetch_add(1, std::memory_order_seq_cst);
+        n.pool_cv.wait_for(lock, 10ms, [&] {
+          return !n.pool.empty() ||
+                 n.pool_epoch.load(std::memory_order_seq_cst) != seen ||
+                 stop();
+        });
+        n.parked.fetch_sub(1, std::memory_order_relaxed);
+      }
+      continue;
     }
     if (v->dead() || !v->ready()) continue;  // stale candidate
     bool expected = false;
@@ -412,7 +505,11 @@ void Vsa::worker_loop_stealing(Worker& w, Node& n) {
     v->running_.store(false, std::memory_order_release);
     if (died) {
       if (n.alive.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        n.pool_cv.notify_all();  // node done: release idle workers
+        // Node done: release idle workers. Locking pairs with the parked
+        // predicate so the last notification cannot slip between its
+        // evaluation and the park.
+        std::lock_guard<std::mutex> lock(n.pool_mu);
+        n.pool_cv.notify_all();
       }
     } else if (v->ready()) {
       // Re-check AFTER unclaiming: a packet that arrived while we held
@@ -431,39 +528,32 @@ void Vsa::proxy_loop(Node& n) {
     m.payload.set_meta(m.meta);
     it->second->push(std::move(m.payload));
   };
+  // Batched outgoing drain: swap the whole queue out under one lock
+  // instead of one lock round-trip per message, then send lock-free.
+  std::deque<OutMsg> batch;
+  auto send_all = [&](std::mutex& mu, std::deque<OutMsg>& q) {
+    batch.clear();
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      batch.swap(q);
+    }
+    for (OutMsg& m : batch) {
+      const int req = comm_->isend(n.id, m.dst_node, m.tag, m.p, m.p.meta());
+      PQR_ASSERT(comm_->test(req), "proxy: isend did not complete");
+    }
+    return !batch.empty();
+  };
   for (;;) {
     bool any = false;
     // Serve the outgoing queues of this node's workers (and the node
     // queue used by the work-stealing executor).
     for (Worker* w : n.workers) {
-      for (;;) {
-        OutMsg m;
-        {
-          std::lock_guard<std::mutex> lock(w->omu);
-          if (w->outq.empty()) break;
-          m = std::move(w->outq.front());
-          w->outq.pop_front();
-        }
-        const int req = comm_->isend(n.id, m.dst_node, m.tag, m.p, m.p.meta());
-        PQR_ASSERT(comm_->test(req), "proxy: isend did not complete");
-        any = true;
-      }
+      any |= send_all(w->omu, w->outq);
     }
-    for (;;) {
-      OutMsg m;
-      {
-        std::lock_guard<std::mutex> lock(n.omu);
-        if (n.outq.empty()) break;
-        m = std::move(n.outq.front());
-        n.outq.pop_front();
-      }
-      const int req = comm_->isend(n.id, m.dst_node, m.tag, m.p, m.p.meta());
-      PQR_ASSERT(comm_->test(req), "proxy: isend did not complete");
-      any = true;
-    }
-    // Drain incoming messages.
-    while (auto m = comm_->try_recv(n.id)) {
-      deliver(*m);
+    any |= send_all(n.omu, n.outq);
+    // Drain all queued incoming messages in one mailbox swap.
+    for (auto& m : comm_->drain(n.id)) {
+      deliver(m);
       any = true;
     }
     if (done_.load(std::memory_order_acquire) ||
@@ -479,7 +569,6 @@ void Vsa::proxy_loop(Node& n) {
 
 Vsa::RunStats Vsa::run() {
   require(!ran_, "run: VSA already ran");
-  ran_ = true;
   if (cfg_.graph_check) {
     const GraphReport report = GraphCheck::check(*this);
     if (!report.ok()) {
@@ -489,7 +578,19 @@ Vsa::RunStats Vsa::run() {
           report.to_string());
     }
   }
+  // Marked only after the graph passes the check: a lint failure leaves
+  // the object reporting the graph error again on retry, not a
+  // misleading "already ran".
+  ran_ = true;
   validate_and_wire();
+  spin_us_ = cfg_.spin_us;
+  if (spin_us_ < 0) {
+    // Auto: spin only when every worker can have its own hardware thread;
+    // on an oversubscribed machine an idle spinner just steals the core
+    // from the worker that has the packet.
+    const unsigned hw = std::thread::hardware_concurrency();
+    spin_us_ = (hw != 0 && workers_.size() <= hw) ? 50 : 0;
+  }
 
   comm_ = std::make_unique<net::Comm>(cfg_.nodes);
   recorder_ = std::make_unique<trace::Recorder>(total_threads(), cfg_.trace);
@@ -520,14 +621,32 @@ Vsa::RunStats Vsa::run() {
     }
   }
 
-  // Watchdog: progress is the global fire count.
+  // Watchdog: progress is any completed fire, any fire START since the
+  // last check, or a firing currently in flight (odd per-worker
+  // heartbeat). A single kernel outliving watchdog_seconds is therefore
+  // never a false deadlock; only "no VDP can fire anywhere" trips it.
   long long last_fires = -1;
+  std::vector<std::uint64_t> last_heartbeat(workers_.size(), 0);
   auto last_progress = std::chrono::steady_clock::now();
   while (workers_running_.load(std::memory_order_acquire) > 0) {
     std::this_thread::sleep_for(1ms);
+    bool progress = false;
     const long long f = fires_.load(std::memory_order_relaxed);
     if (f != last_fires) {
       last_fires = f;
+      progress = true;
+    }
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      const std::uint64_t hb =
+          workers_[i]->fire_epoch.load(std::memory_order_relaxed);
+      if (hb != last_heartbeat[i]) {
+        last_heartbeat[i] = hb;
+        progress = true;
+      } else if ((hb & 1u) != 0) {
+        progress = true;  // long-running firing still in flight
+      }
+    }
+    if (progress) {
       last_progress = std::chrono::steady_clock::now();
     } else if (cfg_.watchdog_seconds > 0 &&
                std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -540,7 +659,10 @@ Vsa::RunStats Vsa::run() {
 
   // Shut down: wake everything, join workers, then proxies.
   for (auto& w : workers_) w->wake();
-  for (auto& n : nodes_) n->pool_cv.notify_all();
+  for (auto& n : nodes_) {
+    std::lock_guard<std::mutex> lock(n->pool_mu);
+    n->pool_cv.notify_all();
+  }
   for (auto& w : workers_) w->thread.join();
   done_.store(true, std::memory_order_release);
   if (any_proxy) {

@@ -42,6 +42,19 @@ class Vsa {
     /// Abort the run (with a stuck-VDP diagnostic) if no VDP fires for
     /// this long. 0 disables the watchdog.
     double watchdog_seconds = 30.0;
+    /// Microseconds an idle worker spins on its atomic wake flag before
+    /// parking on the condition variable (adaptive spin-then-park). The
+    /// spin keeps fine-grained small-nb pipelines out of the kernel; the
+    /// park keeps idle workers off the CPU. 0 parks immediately; negative
+    /// selects automatically — 50 when the machine has a hardware thread
+    /// per worker, 0 when oversubscribed (spinning on a shared core only
+    /// steals time from the worker holding the packet).
+    int spin_us = -1;
+    /// Queue implementation behind every channel. The lock-free SPSC
+    /// default is legitimized by the GraphCheck-enforced one-producer-per-
+    /// input-slot invariant (the producer is either the source VDP's
+    /// serialized firings or the node proxy — never both).
+    ChannelImpl channel_impl = ChannelImpl::Spsc;
     /// Run prt::GraphCheck over the constructed graph at the top of
     /// run() and throw (before spawning any thread) if it finds an
     /// error-severity diagnostic — turning wiring and packet-balance bugs
@@ -176,6 +189,8 @@ class Vsa {
   std::atomic<bool> cancelled_{false};
   std::atomic<bool> done_{false};
   bool ran_ = false;
+  int spin_us_ = 0;  ///< Config::spin_us with the auto default resolved
+
 };
 
 template <class T>

@@ -322,6 +322,8 @@ class Builder {
     c.work_stealing = opt.work_stealing;
     c.trace = opt.trace;
     c.watchdog_seconds = opt.watchdog_seconds;
+    c.channel_impl = opt.channel_impl;
+    c.spin_us = opt.spin_us;
     c.graph_check = opt.graph_check;
     return c;
   }
@@ -597,6 +599,8 @@ class ApplyBuilder {
     c.work_stealing = opt.work_stealing;
     c.trace = opt.trace;
     c.watchdog_seconds = opt.watchdog_seconds;
+    c.channel_impl = opt.channel_impl;
+    c.spin_us = opt.spin_us;
     c.graph_check = opt.graph_check;
     return c;
   }

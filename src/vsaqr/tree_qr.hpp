@@ -29,6 +29,12 @@ struct TreeQrOptions {
   bool work_stealing = false;
   bool trace = false;
   double watchdog_seconds = 60.0;
+  /// Channel queue implementation (see prt::Vsa::Config::channel_impl);
+  /// the mutex fallback exists mainly for A/B measurement.
+  prt::ChannelImpl channel_impl = prt::ChannelImpl::Spsc;
+  /// Idle-worker spin before parking, in microseconds; negative = auto
+  /// (see prt::Vsa::Config::spin_us).
+  int spin_us = -1;
   /// Eliminate only this many tile columns (> 0); the remaining columns
   /// are swept by the updates only and come out as Q^T applied to them.
   /// Used by tree_qr_solve to factorize [A | B] in one pass.

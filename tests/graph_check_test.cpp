@@ -202,6 +202,27 @@ TEST(GraphCheck, RunFailsFastOnMalformedGraph) {
   }
 }
 
+// Regression: run() used to set ran_ BEFORE the graph check, so a retry
+// after a lint failure reported the misleading "already ran" instead of
+// the actual graph problem. Every retry must re-report the real error.
+TEST(GraphCheck, RetryAfterLintFailureReportsTheGraphError) {
+  Vsa vsa(quiet_cfg());
+  vsa.add_vdp(tuple2(16, 0), 3, nop(), 1, 0);
+  vsa.feed(tuple2(16, 0), 0, 64, {bytes_packet(8)});  // starved
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    try {
+      vsa.run();
+      FAIL() << "expected GraphCheck error on attempt " << attempt;
+    } catch (const Error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("GraphCheck"), std::string::npos)
+          << "attempt " << attempt << ": " << what;
+      EXPECT_EQ(what.find("already ran"), std::string::npos)
+          << "attempt " << attempt << ": " << what;
+    }
+  }
+}
+
 TEST(GraphCheck, ConfigKnobBypassesTheCheck) {
   Vsa::Config c = quiet_cfg();
   c.graph_check = false;

@@ -54,8 +54,18 @@ TEST(Packet, EmptyByDefault) {
   EXPECT_EQ(p.size(), 0u);
 }
 
-TEST(Channel, FifoOrder) {
-  Channel ch(64, true);
+class ChannelImplParam : public ::testing::TestWithParam<ChannelImpl> {};
+
+INSTANTIATE_TEST_SUITE_P(Impls, ChannelImplParam,
+                         ::testing::Values(ChannelImpl::Spsc,
+                                           ChannelImpl::Mutex),
+                         [](const auto& info) {
+                           return info.param == ChannelImpl::Spsc ? "Spsc"
+                                                                  : "Mutex";
+                         });
+
+TEST_P(ChannelImplParam, FifoOrder) {
+  Channel ch(64, true, GetParam());
   for (int i = 0; i < 5; ++i) {
     ch.push(Packet::make(8, i));
   }
@@ -64,6 +74,54 @@ TEST(Channel, FifoOrder) {
     EXPECT_EQ(ch.pop().meta(), i);
   }
   EXPECT_EQ(ch.size(), 0);
+}
+
+// The SPSC regime proper: a producer thread streams sequence-numbered
+// packets while the consumer pops concurrently; order must be exact and
+// no packet lost. (TSan covers the memory-ordering claims.)
+TEST_P(ChannelImplParam, CrossThreadStrictFifo) {
+  const int packets = 20000;
+  Channel ch(8, true, GetParam());
+  std::thread producer([&] {
+    for (int i = 0; i < packets; ++i) ch.push(Packet::make(8, i));
+  });
+  for (int i = 0; i < packets; ++i) {
+    while (ch.size() == 0) std::this_thread::yield();
+    ASSERT_EQ(ch.pop().meta(), i);
+  }
+  producer.join();
+  EXPECT_EQ(ch.size(), 0);
+}
+
+// Regression for the destroy-vs-push race: push used to check destroyed_
+// BEFORE the synchronization guarding the queue, so a racing producer
+// could re-enqueue a packet after destroy() cleared the queue,
+// resurrecting data on a destroyed channel. Hammered here so TSan sees
+// the interleavings; after destroy() + producer exit the channel must be
+// empty no matter how the race resolved.
+TEST_P(ChannelImplParam, DestroyVsPushRace) {
+  const int rounds = 300;
+  for (int round = 0; round < rounds; ++round) {
+    Channel ch(8, true, GetParam());
+    std::atomic<bool> start{false};
+    std::thread producer([&] {
+      while (!start.load(std::memory_order_acquire)) {
+      }
+      for (int i = 0; i < 64; ++i) ch.push(Packet::make(8, i));
+    });
+    start.store(true, std::memory_order_release);
+    // Destroy somewhere inside the producer's stream.
+    while (ch.size() == 0 && !ch.destroyed()) std::this_thread::yield();
+    ch.destroy();
+    producer.join();
+    ASSERT_TRUE(ch.destroyed());
+    ASSERT_FALSE(ch.enabled());
+    ASSERT_EQ(ch.size(), 0) << "packet resurrected on a destroyed channel "
+                               "(round "
+                            << round << ")";
+    ch.push(Packet::make(8, 99));  // late push: still dropped
+    ASSERT_EQ(ch.size(), 0);
+  }
 }
 
 TEST(Channel, EnableDisable) {
@@ -125,6 +183,19 @@ TEST(Comm, FifoPerSenderAndCounts) {
   }
   EXPECT_EQ(comm.messages_sent(), 10);
   EXPECT_EQ(comm.bytes_sent(), 80);
+}
+
+TEST(Comm, DrainTakesEverythingInOrder) {
+  net::Comm comm(2);
+  for (int i = 0; i < 6; ++i) comm.isend(0, 1, i, Packet::make(8), i);
+  auto batch = comm.drain(1);
+  ASSERT_EQ(batch.size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(batch[static_cast<std::size_t>(i)].tag, i);
+    EXPECT_EQ(batch[static_cast<std::size_t>(i)].meta, i);
+  }
+  EXPECT_TRUE(comm.drain(1).empty());
+  EXPECT_FALSE(comm.try_recv(1).has_value());
 }
 
 TEST(Comm, RecvWaitTimesOutAndWakes) {

@@ -3,8 +3,10 @@
 // execution through the proxy, schedulers, mappings, and failure modes.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <mutex>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "prt/vsa.hpp"
@@ -314,6 +316,47 @@ TEST(Vsa, WatchdogDetectsDeadlock) {
     EXPECT_NE(std::string(e.what()).find("deadlock"), std::string::npos);
     EXPECT_NE(std::string(e.what()).find("(5,0)"), std::string::npos);
   }
+}
+
+// Regression: the watchdog used to measure progress by the *completed*
+// fire count only, so one firing outliving watchdog_seconds aborted a
+// healthy run (large-nb dgeqrt/dtsmqr). In-flight firings now count as
+// progress via the per-worker heartbeat epoch.
+TEST(Vsa, WatchdogToleratesOneLongFiring) {
+  Vsa::Config c = cfg(1, 2);
+  c.watchdog_seconds = 0.2;
+  Vsa vsa(c);
+  auto collector = std::make_shared<Collector>();
+  vsa.set_global(collector);
+  // A deliberately slow VDP: one firing sleeps for 3x the watchdog.
+  vsa.add_vdp(tuple2(20, 0), 1,
+              [](VdpContext& ctx) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(600));
+                ctx.global<Collector>().add(1.0, 0);
+              },
+              0, 0);
+  auto stats = vsa.run();  // must complete, not throw the watchdog error
+  EXPECT_EQ(stats.fires, 1);
+  EXPECT_EQ(collector->values.size(), 1u);
+}
+
+// The legacy mutex channels and the park-immediately wakeup path stay
+// exercised through the Config knobs.
+TEST(VsaPipeline, MutexChannelsAndImmediatePark) {
+  Vsa::Config c = cfg(2, 2);
+  c.channel_impl = ChannelImpl::Mutex;
+  c.spin_us = 0;
+  Vsa vsa(c);
+  auto collector = std::make_shared<Collector>();
+  vsa.set_global(collector);
+  build_increment_chain(vsa, 6, 12);
+  auto stats = vsa.run();
+  ASSERT_EQ(collector->values.size(), 12u);
+  for (int k = 0; k < 12; ++k) {
+    EXPECT_DOUBLE_EQ(collector->values[k], k + 6.0);
+  }
+  EXPECT_EQ(stats.fires, 6 * 12);
+  EXPECT_EQ(stats.leftover_packets, 0);
 }
 
 TEST(Vsa, RejectsBadWiring) {

@@ -2,7 +2,8 @@
 //
 //   pqr factor   --m 4096 --n 512 [--nb 128 --ib 32 --tree hier --h 6
 //                 --boundary shifted --nodes 2 --workers 2 --sched lazy
-//                 --trace trace.csv --check --seed 1 --graph-check 0]
+//                 --trace trace.csv --check --seed 1 --graph-check 0
+//                 --channel spsc|mutex --spin-us -1|0|50]
 //   pqr solve    --m 4096 --n 512 [--nrhs 1 ...]
 //   pqr chol     --n 1024 [--nb 128 --nodes 2 --workers 2]
 //   pqr lu       --n 1024 [--nb 128 --nodes 2 --workers 2]
@@ -105,6 +106,10 @@ vsaqr::TreeQrOptions qr_options(const Args& a) {
                        : prt::Scheduling::Lazy;
   opt.trace = a.has("trace");
   opt.graph_check = a.geti("graph-check", 1) != 0;
+  opt.channel_impl = a.gets("channel", "spsc") == "mutex"
+                         ? prt::ChannelImpl::Mutex
+                         : prt::ChannelImpl::Spsc;
+  opt.spin_us = a.geti("spin-us", opt.spin_us);
   return opt;
 }
 
