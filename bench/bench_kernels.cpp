@@ -23,6 +23,30 @@ Matrix random_matrix(int m, int n, std::uint64_t seed) {
   return a;
 }
 
+// Square gemm C += op(A) op(B) at size nb; range(1)/range(2) select the
+// Trans of A/B (0 = NoTrans), range(3) the implementation (0 = reference
+// triple loop family, 1 = packed micro-kernel).
+void BM_gemm(benchmark::State& state) {
+  const int nb = static_cast<int>(state.range(0));
+  const blas::Trans ta = state.range(1) ? blas::Trans::Yes : blas::Trans::No;
+  const blas::Trans tb = state.range(2) ? blas::Trans::Yes : blas::Trans::No;
+  const bool packed = state.range(3) != 0;
+  Matrix a = random_matrix(nb, nb, 30);
+  Matrix b = random_matrix(nb, nb, 31);
+  Matrix c = random_matrix(nb, nb, 32);
+  for (auto _ : state) {
+    if (packed) {
+      blas::gemm_packed(ta, tb, 1.0, a.view(), b.view(), 1.0, c.view());
+    } else {
+      blas::gemm_ref(ta, tb, 1.0, a.view(), b.view(), 1.0, c.view());
+    }
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["Gflop/s"] = benchmark::Counter(
+      2.0 * nb * nb * nb * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
 Matrix upper(const Matrix& a) {
   Matrix r(a.rows(), a.cols());
   for (int j = 0; j < a.cols(); ++j) {
@@ -190,19 +214,31 @@ void BM_dense_geqrf(benchmark::State& state) {
 
 }  // namespace
 
-// Paper tile sizes: nb in {192, 240}, ib = 48; a small size for context.
-BENCHMARK(BM_geqrt)->Args({64, 16})->Args({192, 48})->Args({240, 48})
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_tsqrt)->Args({64, 16})->Args({192, 48})->Args({240, 48})
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_ttqrt)->Args({64, 16})->Args({192, 48})->Args({240, 48})
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_ormqr)->Args({64, 16})->Args({192, 48})->Args({240, 48})
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_tsmqr)->Args({64, 16})->Args({192, 48})->Args({240, 48})
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_ttmqr)->Args({64, 16})->Args({192, 48})->Args({240, 48})
-    ->Unit(benchmark::kMillisecond);
+// gemm at the tile sizes, all four Trans combinations, reference vs packed.
+static void GemmArgs(benchmark::internal::Benchmark* b) {
+  for (int nb : {64, 128, 192}) {
+    for (int ta : {0, 1}) {
+      for (int tb : {0, 1}) {
+        for (int impl : {0, 1}) b->Args({nb, ta, tb, impl});
+      }
+    }
+  }
+}
+BENCHMARK(BM_gemm)->Apply(GemmArgs)->Unit(benchmark::kMillisecond);
+
+// Paper tile sizes: nb in {192, 240}, ib = 48; smaller sizes for context.
+BENCHMARK(BM_geqrt)->Args({64, 16})->Args({128, 32})->Args({192, 48})
+    ->Args({240, 48})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_tsqrt)->Args({64, 16})->Args({128, 32})->Args({192, 48})
+    ->Args({240, 48})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ttqrt)->Args({64, 16})->Args({128, 32})->Args({192, 48})
+    ->Args({240, 48})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ormqr)->Args({64, 16})->Args({128, 32})->Args({192, 48})
+    ->Args({240, 48})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_tsmqr)->Args({64, 16})->Args({128, 32})->Args({192, 48})
+    ->Args({240, 48})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ttmqr)->Args({64, 16})->Args({128, 32})->Args({192, 48})
+    ->Args({240, 48})->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_potrf_tile)->Arg(64)->Arg(192)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_getrf_tile)->Arg(64)->Arg(192)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_dense_geqrf)->Args({768, 192})->Args({1024, 64})

@@ -1,5 +1,6 @@
 #include "blas/blas.hpp"
 
+#include <atomic>
 #include <cmath>
 
 namespace pulsarqr::blas {
@@ -51,11 +52,16 @@ void gemv(Trans trans, double alpha, ConstMatrixView a, const double* x,
   const int n = a.cols;
   if (trans == Trans::No) {
     if (beta != 1.0) scal(m, beta, y);
+    if (alpha == 0.0 || n == 0) return;
     for (int j = 0; j < n; ++j) {
       const double t = alpha * x[j];
       if (t != 0.0) axpy(m, t, a.col(j), y);
     }
   } else {
+    if (alpha == 0.0 || m == 0) {
+      if (beta != 1.0) scal(n, beta, y);
+      return;
+    }
     for (int j = 0; j < n; ++j) {
       y[j] = beta * y[j] + alpha * dot(m, a.col(j), x);
     }
@@ -63,6 +69,7 @@ void gemv(Trans trans, double alpha, ConstMatrixView a, const double* x,
 }
 
 void ger(double alpha, const double* x, const double* y, MatrixView a) {
+  if (alpha == 0.0 || a.rows == 0) return;
   for (int j = 0; j < a.cols; ++j) {
     const double t = alpha * y[j];
     if (t != 0.0) axpy(a.rows, t, x, a.col(j));
@@ -234,19 +241,49 @@ void gemm_nt(double alpha, ConstMatrixView a, ConstMatrixView b, MatrixView c) {
 }
 
 void gemm_tt(double alpha, ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+  // C(i,j) += alpha * dot(A(:,i), B(j,:)); like gemm_tn, four rows of C
+  // share one (strided) pass over B's row j, with independent accumulators.
+  const int kk = a.rows;
   for (int j = 0; j < c.cols; ++j) {
-    for (int i = 0; i < c.rows; ++i) {
+    int i = 0;
+    for (; i + 4 <= c.rows; i += 4) {
+      const double* a0 = a.col(i);
+      const double* a1 = a.col(i + 1);
+      const double* a2 = a.col(i + 2);
+      const double* a3 = a.col(i + 3);
+      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+      for (int p = 0; p < kk; ++p) {
+        const double bp = b(j, p);
+        s0 += a0[p] * bp;
+        s1 += a1[p] * bp;
+        s2 += a2[p] * bp;
+        s3 += a3[p] * bp;
+      }
+      c(i, j) += alpha * s0;
+      c(i + 1, j) += alpha * s1;
+      c(i + 2, j) += alpha * s2;
+      c(i + 3, j) += alpha * s3;
+    }
+    for (; i < c.rows; ++i) {
       double s = 0.0;
-      for (int k = 0; k < a.rows; ++k) s += a(k, i) * b(j, k);
+      for (int p = 0; p < kk; ++p) s += a(p, i) * b(j, p);
       c(i, j) += alpha * s;
     }
   }
 }
 
+std::atomic<GemmImpl> g_gemm_impl{GemmImpl::Packed};
+
 }  // namespace
 
-void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView a,
-          ConstMatrixView b, double beta, MatrixView c) {
+void set_gemm_impl(GemmImpl impl) {
+  g_gemm_impl.store(impl, std::memory_order_relaxed);
+}
+
+GemmImpl gemm_impl() { return g_gemm_impl.load(std::memory_order_relaxed); }
+
+void gemm_ref(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+              ConstMatrixView b, double beta, MatrixView c) {
   const int ka = (ta == Trans::No) ? a.cols : a.rows;
   const int kb = (tb == Trans::No) ? b.rows : b.cols;
   const int ma = (ta == Trans::No) ? a.rows : a.cols;
@@ -257,6 +294,7 @@ void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView a,
   } else if (beta != 1.0) {
     for (int j = 0; j < c.cols; ++j) scal(c.rows, beta, c.col(j));
   }
+  if (alpha == 0.0 || ka == 0) return;
   if (ta == Trans::No && tb == Trans::No) {
     gemm_nn(alpha, a, b, c);
   } else if (ta == Trans::Yes && tb == Trans::No) {
@@ -265,6 +303,19 @@ void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView a,
     gemm_nt(alpha, a, b, c);
   } else {
     gemm_tt(alpha, a, b, c);
+  }
+}
+
+void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+          ConstMatrixView b, double beta, MatrixView c) {
+  const int k = (ta == Trans::No) ? a.cols : a.rows;
+  // Tiny products cannot amortize the packing sweep; keep them on the
+  // sweep kernels regardless of the knob.
+  const long long work = static_cast<long long>(c.rows) * c.cols * k;
+  if (gemm_impl() == GemmImpl::Packed && work > 4096) {
+    gemm_packed(ta, tb, alpha, a, b, beta, c);
+  } else {
+    gemm_ref(ta, tb, alpha, a, b, beta, c);
   }
 }
 

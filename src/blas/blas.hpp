@@ -47,9 +47,30 @@ void trsv(Uplo uplo, Trans trans, Diag diag, ConstMatrixView a, double* x);
 
 // ---- Level 3 -------------------------------------------------------------
 
+/// Matrix-multiply implementation behind gemm().
+///   Packed — cache-blocked MC/KC/NC loop nest over packed A/B panels with
+///            an 8x4 register-tiled micro-kernel; the default. All four
+///            Trans combinations pack into one uniform layout.
+///   Ref    — the original unblocked column-sweep kernels; kept as the A/B
+///            baseline (mirrors prt::ChannelImpl::Mutex) and used for
+///            shapes too small to amortize packing.
+enum class GemmImpl { Ref, Packed };
+
+/// Select the process-wide gemm implementation (thread-safe knob; reads are
+/// relaxed atomics on the gemm hot path).
+void set_gemm_impl(GemmImpl impl);
+GemmImpl gemm_impl();
+
 /// C := alpha * op(A) * op(B) + beta * C.
 void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView a,
           ConstMatrixView b, double beta, MatrixView c);
+
+/// The two implementations, directly callable (for A/B tests and benches);
+/// same contract as gemm() but never re-dispatch.
+void gemm_ref(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+              ConstMatrixView b, double beta, MatrixView c);
+void gemm_packed(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+                 ConstMatrixView b, double beta, MatrixView c);
 
 /// B := alpha * op(A) * B (Side::Left) or alpha * B * op(A) (Side::Right),
 /// A triangular.

@@ -1,0 +1,182 @@
+// Packed, cache-blocked GEMM (the BLIS/GotoBLAS loop nest, from scratch).
+//
+// C += alpha * op(A) * op(B) is computed as
+//
+//   for jc in steps of NC:                 (B column block   -> stays in L3)
+//     for pc in steps of KC:               (k block; pack B  -> Bp, row panels)
+//       for ic in steps of MC:             (A row block; pack A -> Ap, col panels)
+//         for jr in steps of NR:           (macro kernel over the packed panels)
+//           for ir in steps of MR:
+//             micro_kernel: MR x NR register tile, contiguous FMA loop over k
+//
+// Packing rewrites op(A) into MR-row column panels (Ap[p][k][r], r fastest)
+// and op(B) into NR-column row panels (Bp[q][k][c], c fastest), so the
+// micro-kernel streams both operands with unit stride regardless of the
+// Trans flags, and edge tiles are zero-padded to full MR/NR width so the
+// inner loop has a single fixed-trip-count form the compiler vectorizes.
+//
+// The packing buffers are thread_local and grow-only: steady-state calls
+// perform no heap allocation (same discipline as kernels::Workspace).
+#include <algorithm>
+#include <vector>
+
+#include "blas/blas.hpp"
+
+namespace pulsarqr::blas {
+
+namespace {
+
+// Register micro-tile. 8x4 doubles = 32 accumulators: fits the 16 ymm
+// registers of AVX2 as 8 accumulator vectors + operand broadcasts, and
+// degrades gracefully to SSE2/NEON 2-lane vectors.
+constexpr int MR = 8;
+constexpr int NR = 4;
+// Cache blocking: Ap is MC*KC doubles (256 KiB, ~L2), one Bp row panel is
+// KC*NR doubles (8 KiB, ~L1), Bp in total KC*NC doubles (1 MiB, ~LLC).
+constexpr int MC = 128;
+constexpr int KC = 256;
+constexpr int NC = 512;
+
+struct PackBuffers {
+  std::vector<double> a;  // MC x KC, MR-row panels
+  std::vector<double> b;  // KC x NC, NR-column panels
+};
+
+PackBuffers& pack_buffers() {
+  thread_local PackBuffers bufs;
+  return bufs;
+}
+
+// Pack op(A)(ic:ic+mc, pc:pc+kc) into MR-row panels:
+// dst[p * (MR*kc) + k * MR + r] = op(A)(ic + p*MR + r, pc + k),
+// zero-padded in r for the last partial panel.
+void pack_a(Trans ta, ConstMatrixView a, int ic, int pc, int mc, int kc,
+            double* dst) {
+  for (int p = 0; p < mc; p += MR) {
+    const int pr = std::min(MR, mc - p);
+    if (ta == Trans::No) {
+      // op(A) columns are A columns: walk k outer, rows contiguous.
+      for (int k = 0; k < kc; ++k) {
+        const double* src = a.col(pc + k) + ic + p;
+        for (int r = 0; r < pr; ++r) dst[k * MR + r] = src[r];
+        for (int r = pr; r < MR; ++r) dst[k * MR + r] = 0.0;
+      }
+    } else {
+      // op(A)(i, k) = A(k, i): walk rows outer so k runs down A's columns.
+      for (int r = 0; r < pr; ++r) {
+        const double* src = a.col(ic + p + r) + pc;
+        for (int k = 0; k < kc; ++k) dst[k * MR + r] = src[k];
+      }
+      for (int r = pr; r < MR; ++r) {
+        for (int k = 0; k < kc; ++k) dst[k * MR + r] = 0.0;
+      }
+    }
+    dst += static_cast<std::ptrdiff_t>(MR) * kc;
+  }
+}
+
+// Pack op(B)(pc:pc+kc, jc:jc+nc) into NR-column panels:
+// dst[q * (NR*kc) + k * NR + c] = op(B)(pc + k, jc + q*NR + c),
+// zero-padded in c for the last partial panel.
+void pack_b(Trans tb, ConstMatrixView b, int pc, int jc, int kc, int nc,
+            double* dst) {
+  for (int q = 0; q < nc; q += NR) {
+    const int qc = std::min(NR, nc - q);
+    if (tb == Trans::No) {
+      // op(B) columns are B columns: k runs down each column.
+      for (int c = 0; c < qc; ++c) {
+        const double* src = b.col(jc + q + c) + pc;
+        for (int k = 0; k < kc; ++k) dst[k * NR + c] = src[k];
+      }
+      for (int c = qc; c < NR; ++c) {
+        for (int k = 0; k < kc; ++k) dst[k * NR + c] = 0.0;
+      }
+    } else {
+      // op(B)(k, j) = B(j, k): k walks B's columns, contiguous in j.
+      for (int k = 0; k < kc; ++k) {
+        const double* src = b.col(pc + k) + jc + q;
+        for (int c = 0; c < qc; ++c) dst[k * NR + c] = src[c];
+        for (int c = qc; c < NR; ++c) dst[k * NR + c] = 0.0;
+      }
+    }
+    dst += static_cast<std::ptrdiff_t>(NR) * kc;
+  }
+}
+
+// C(0:mr, 0:nr) += alpha * Ap panel * Bp panel. The accumulator loop is
+// fully unrolled over the fixed MR x NR tile (operands are zero-padded),
+// so the compiler keeps `acc` in vector registers; only the writeback is
+// bounded by the true edge sizes.
+void micro_kernel(int kc, double alpha, const double* ap, const double* bp,
+                  double* c, int ldc, int mr, int nr) {
+  double acc[NR][MR] = {};
+  for (int k = 0; k < kc; ++k) {
+    const double* av = ap + static_cast<std::ptrdiff_t>(k) * MR;
+    const double* bv = bp + static_cast<std::ptrdiff_t>(k) * NR;
+    for (int j = 0; j < NR; ++j) {
+      for (int i = 0; i < MR; ++i) acc[j][i] += av[i] * bv[j];
+    }
+  }
+  if (mr == MR && nr == NR) {
+    for (int j = 0; j < NR; ++j) {
+      double* cj = c + static_cast<std::ptrdiff_t>(j) * ldc;
+      for (int i = 0; i < MR; ++i) cj[i] += alpha * acc[j][i];
+    }
+  } else {
+    for (int j = 0; j < nr; ++j) {
+      double* cj = c + static_cast<std::ptrdiff_t>(j) * ldc;
+      for (int i = 0; i < mr; ++i) cj[i] += alpha * acc[j][i];
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_packed(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+                 ConstMatrixView b, double beta, MatrixView c) {
+  const int m = c.rows;
+  const int n = c.cols;
+  const int k = (ta == Trans::No) ? a.cols : a.rows;
+  {
+    const int ka = (ta == Trans::No) ? a.cols : a.rows;
+    const int kb = (tb == Trans::No) ? b.rows : b.cols;
+    const int ma = (ta == Trans::No) ? a.rows : a.cols;
+    const int nb = (tb == Trans::No) ? b.cols : b.rows;
+    PQR_ASSERT(ka == kb && ma == m && nb == n, "gemm: shape mismatch");
+  }
+  if (beta == 0.0) {
+    laset_all(0.0, 0.0, c);
+  } else if (beta != 1.0) {
+    for (int j = 0; j < n; ++j) scal(m, beta, c.col(j));
+  }
+  if (alpha == 0.0 || k == 0 || m == 0 || n == 0) return;
+
+  PackBuffers& bufs = pack_buffers();
+  bufs.a.resize(static_cast<std::size_t>(MC) * KC);
+  bufs.b.resize(static_cast<std::size_t>(KC) * std::min(n + (NR - 1), NC));
+
+  for (int jc = 0; jc < n; jc += NC) {
+    const int nc = std::min(NC, n - jc);
+    for (int pc = 0; pc < k; pc += KC) {
+      const int kc = std::min(KC, k - pc);
+      pack_b(tb, b, pc, jc, kc, nc, bufs.b.data());
+      for (int ic = 0; ic < m; ic += MC) {
+        const int mc = std::min(MC, m - ic);
+        pack_a(ta, a, ic, pc, mc, kc, bufs.a.data());
+        for (int jr = 0; jr < nc; jr += NR) {
+          const double* bp =
+              bufs.b.data() + static_cast<std::ptrdiff_t>(jr / NR) * NR * kc;
+          for (int ir = 0; ir < mc; ir += MR) {
+            const double* ap =
+                bufs.a.data() + static_cast<std::ptrdiff_t>(ir / MR) * MR * kc;
+            micro_kernel(kc, alpha, ap, bp,
+                         c.col(jc + jr) + ic + ir, c.ld,
+                         std::min(MR, mc - ir), std::min(NR, nc - jr));
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace pulsarqr::blas

@@ -1,7 +1,6 @@
 #include "kernels/tile_kernels.hpp"
 
 #include <algorithm>
-#include <vector>
 
 #include "lapack/householder.hpp"
 #include "lapack/qr.hpp"
@@ -13,43 +12,71 @@ using blas::Side;
 using blas::Trans;
 using blas::Uplo;
 
-void geqrt(MatrixView a, int ib, MatrixView t) { lapack::geqrt(a, ib, t); }
+void geqrt(MatrixView a, int ib, MatrixView t, Workspace& ws) {
+  lapack::geqrt(a, ib, t, ws);
+}
+
+void geqrt(MatrixView a, int ib, MatrixView t) {
+  lapack::geqrt(a, ib, t, tls_workspace());
+}
+
+void ormqr(blas::Trans trans, ConstMatrixView v, ConstMatrixView t, int ib,
+           MatrixView c, Workspace& ws) {
+  lapack::ormqr_t(trans, v, t, ib, c, ws);
+}
 
 void ormqr(blas::Trans trans, ConstMatrixView v, ConstMatrixView t, int ib,
            MatrixView c) {
-  lapack::ormqr_t(trans, v, t, ib, c);
+  lapack::ormqr_t(trans, v, t, ib, c, tls_workspace());
 }
 
 namespace {
 
+// Row bound of column c of the stacked block A2/V2: the dense (TS) kernels
+// use the full height m2; the TT kernels exploit the upper-triangular
+// structure — column c has nonzeros only in rows [0, min(c+1, m2)), and
+// everything below is foreign data (Householder vectors of the flat phase)
+// that must be neither read nor written.
+inline int row_bound(bool tri, int c, int m2) {
+  return tri ? std::min(c + 1, m2) : m2;
+}
+
 // Shared "triangle on top of block" QR core: factorizes [A1; A2] where A1
-// is n-by-n upper triangular and A2 is m2-by-n dense. Householder vector j
-// is [e_j; V2(:, j)] (identity top), so only row j of A1 is touched when
+// is n-by-n upper triangular and A2 is m2-by-n dense (tri=false) or upper
+// triangular (tri=true, per-column row bounds). Householder vector j is
+// [e_j; V2(:, j)] (identity top), so only row j of A1 is touched when
 // eliminating column j, and the block T recurrence reduces to dot products
-// over V2 columns.
-void stacked_qrt(MatrixView a1, MatrixView a2, int ib, MatrixView t) {
+// over V2 columns. For the triangular case the block update splits each
+// panel into the rectangle of rows valid for every panel column (handled
+// by gemm) and a kb-deep fringe handled by bounded dot/axpy sweeps.
+void stacked_qrt(MatrixView a1, MatrixView a2, int ib, MatrixView t,
+                 Workspace& ws, bool tri) {
   const int n = a1.cols;
   const int m2 = a2.rows;
   PQR_ASSERT(a1.rows >= n, "tsqrt: A1 must be at least n-by-n");
   PQR_ASSERT(a2.cols == n, "tsqrt: A2 column mismatch");
   require(ib >= 1, "tsqrt: ib must be positive");
   PQR_ASSERT(t.rows >= std::min(ib, n) && t.cols >= n, "tsqrt: T too small");
+  if (n == 0) return;
 
-  std::vector<double> tau(std::min(ib, n));
-  std::vector<double> work;
+  WsFrame frame(ws);
+  const int ibk = std::min(ib, n);
+  double* tau = ws.alloc(ibk);
+  double* workbuf = ws.alloc(static_cast<std::size_t>(ibk) * n);
 
   for (int jb = 0; jb < n; jb += ib) {
     const int kb = std::min(ib, n - jb);
     // Panel: eliminate columns jb .. jb+kb-1 one reflector at a time.
     for (int jl = 0; jl < kb; ++jl) {
       const int j = jb + jl;
-      tau[jl] = lapack::larfg(m2 + 1, a1(j, j), a2.col(j));
+      const int bj = row_bound(tri, j, m2);
+      tau[jl] = lapack::larfg(bj + 1, a1(j, j), a2.col(j));
       // Apply H_j to the remaining columns of this panel.
       for (int jj = j + 1; jj < jb + kb; ++jj) {
-        double w = a1(j, jj) + blas::dot(m2, a2.col(j), a2.col(jj));
+        double w = a1(j, jj) + blas::dot(bj, a2.col(j), a2.col(jj));
         w *= tau[jl];
         a1(j, jj) -= w;
-        blas::axpy(m2, -w, a2.col(j), a2.col(jj));
+        blas::axpy(bj, -w, a2.col(j), a2.col(jj));
       }
     }
     // T block for this panel: T(i,i) = tau_i and
@@ -59,7 +86,8 @@ void stacked_qrt(MatrixView a1, MatrixView a2, int ib, MatrixView t) {
     for (int i = 0; i < kb; ++i) {
       tb(i, i) = tau[i];
       for (int j2 = 0; j2 < i; ++j2) {
-        tb(j2, i) = -tau[i] * blas::dot(m2, a2.col(jb + j2), a2.col(jb + i));
+        const int bj2 = row_bound(tri, jb + j2, m2);
+        tb(j2, i) = -tau[i] * blas::dot(bj2, a2.col(jb + j2), a2.col(jb + i));
       }
       if (i > 0) {
         blas::trmv(Uplo::Upper, Trans::No, Diag::NonUnit,
@@ -72,26 +100,57 @@ void stacked_qrt(MatrixView a1, MatrixView a2, int ib, MatrixView t) {
     //   A1(jb:jb+kb, rest) -= W ;  A2(:, rest) -= V2b W.
     const int rest = n - (jb + kb);
     if (rest > 0) {
-      work.resize(static_cast<std::size_t>(kb) * rest);
-      MatrixView w(work.data(), kb, rest, kb);
+      MatrixView w(workbuf, kb, rest, kb);
       blas::lacpy_all(a1.block(jb, jb + kb, kb, rest), w);
-      ConstMatrixView v2b(a2.col(jb), m2, kb, a2.ld);
-      blas::gemm(Trans::Yes, Trans::No, 1.0, v2b,
-                 a2.block(0, jb + kb, m2, rest), 1.0, w);
+      // Rows [0, r0) are valid for every panel column; the per-column
+      // fringe [r0, row_bound(c)) is at most kb-1 rows deep.
+      const int r0 = row_bound(tri, jb, m2);
+      if (r0 > 0) {
+        ConstMatrixView v2b(a2.col(jb), r0, kb, a2.ld);
+        blas::gemm(Trans::Yes, Trans::No, 1.0, v2b,
+                   ConstMatrixView(a2.col(jb + kb), r0, rest, a2.ld), 1.0, w);
+      }
+      if (tri) {
+        for (int i2 = 0; i2 < kb; ++i2) {
+          const int hi = row_bound(true, jb + i2, m2);
+          if (hi <= r0) continue;
+          for (int j2 = 0; j2 < rest; ++j2) {
+            w(i2, j2) += blas::dot(hi - r0, a2.col(jb + i2) + r0,
+                                   a2.col(jb + kb + j2) + r0);
+          }
+        }
+      }
       blas::trmm(Side::Left, Uplo::Upper, Trans::Yes, Diag::NonUnit, 1.0,
                  ConstMatrixView(tb), w);
       for (int j2 = 0; j2 < rest; ++j2) {
         blas::axpy(kb, -1.0, w.col(j2), a1.col(jb + kb + j2) + jb);
       }
-      blas::gemm(Trans::No, Trans::No, -1.0, v2b, ConstMatrixView(w), 1.0,
-                 a2.block(0, jb + kb, m2, rest));
+      if (r0 > 0) {
+        ConstMatrixView v2b(a2.col(jb), r0, kb, a2.ld);
+        blas::gemm(Trans::No, Trans::No, -1.0, v2b, ConstMatrixView(w), 1.0,
+                   MatrixView(a2.col(jb + kb), r0, rest, a2.ld));
+      }
+      if (tri) {
+        for (int i2 = 0; i2 < kb; ++i2) {
+          const int hi = row_bound(true, jb + i2, m2);
+          if (hi <= r0) continue;
+          for (int j2 = 0; j2 < rest; ++j2) {
+            blas::axpy(hi - r0, -w(i2, j2), a2.col(jb + i2) + r0,
+                       a2.col(jb + kb + j2) + r0);
+          }
+        }
+      }
     }
   }
 }
 
 // Shared apply core for tsmqr/ttmqr: C := op(Q) C with Q from stacked_qrt.
+// With tri=true, v2 is read through the same per-column row bounds, so the
+// raw ttqrt output tile (upper triangle = V2, strict lower = foreign data)
+// can be passed directly; C2 rows at or above every column's bound are
+// untouched, matching the reflectors' support.
 void stacked_apply(Trans trans, ConstMatrixView v2, ConstMatrixView t, int ib,
-                   MatrixView c1, MatrixView c2) {
+                   MatrixView c1, MatrixView c2, Workspace& ws, bool tri) {
   const int n = v2.cols;
   const int m2 = v2.rows;
   const int nc = c1.cols;
@@ -100,80 +159,104 @@ void stacked_apply(Trans trans, ConstMatrixView v2, ConstMatrixView t, int ib,
   require(ib >= 1, "tsmqr: ib must be positive");
   if (n == 0 || nc == 0) return;
 
-  std::vector<double> work(static_cast<std::size_t>(std::min(ib, n)) * nc);
+  WsFrame frame(ws);
+  double* workbuf =
+      ws.alloc(static_cast<std::size_t>(std::min(ib, n)) * nc);
   const int nblocks = (n + ib - 1) / ib;
   // Q^T applies inner blocks first-to-last (with T^T), Q last-to-first.
   for (int bi = 0; bi < nblocks; ++bi) {
     const int b = trans == Trans::Yes ? bi : nblocks - 1 - bi;
     const int jb = b * ib;
     const int kb = std::min(ib, n - jb);
-    ConstMatrixView v2b(v2.col(jb), m2, kb, v2.ld);
+    const int r0 = row_bound(tri, jb, m2);
     ConstMatrixView tb = t.block(0, jb, kb, kb);
-    MatrixView w(work.data(), kb, nc, kb);
+    MatrixView w(workbuf, kb, nc, kb);
     // W = C1(jb:jb+kb, :) + V2b^T C2
     blas::lacpy_all(c1.block(jb, 0, kb, nc), w);
-    blas::gemm(Trans::Yes, Trans::No, 1.0, v2b, ConstMatrixView(c2), 1.0, w);
+    if (r0 > 0) {
+      ConstMatrixView v2b(v2.col(jb), r0, kb, v2.ld);
+      blas::gemm(Trans::Yes, Trans::No, 1.0, v2b,
+                 ConstMatrixView(c2.data, r0, nc, c2.ld), 1.0, w);
+    }
+    if (tri) {
+      for (int i2 = 0; i2 < kb; ++i2) {
+        const int hi = row_bound(true, jb + i2, m2);
+        if (hi <= r0) continue;
+        for (int j2 = 0; j2 < nc; ++j2) {
+          w(i2, j2) +=
+              blas::dot(hi - r0, v2.col(jb + i2) + r0, c2.col(j2) + r0);
+        }
+      }
+    }
     // W := op(T) W
     blas::trmm(Side::Left, Uplo::Upper, trans, Diag::NonUnit, 1.0, tb, w);
     // C1(jb:jb+kb, :) -= W ;  C2 -= V2b W
     for (int j2 = 0; j2 < nc; ++j2) {
       blas::axpy(kb, -1.0, w.col(j2), c1.col(j2) + jb);
     }
-    blas::gemm(Trans::No, Trans::No, -1.0, v2b, ConstMatrixView(w), 1.0, c2);
-  }
-}
-
-// Copy the upper triangle of src into a dense zero-filled n-by-n buffer.
-Matrix upper_of(ConstMatrixView src) {
-  const int n = src.cols;
-  PQR_ASSERT(src.rows >= std::min(src.rows, n), "upper_of: bad shape");
-  const int m = std::min(src.rows, n);
-  Matrix dense(m, n);
-  for (int j = 0; j < n; ++j) {
-    const int top = std::min(j + 1, m);
-    for (int i = 0; i < top; ++i) dense(i, j) = src(i, j);
-  }
-  return dense;
-}
-
-// Write the upper triangle of src back into dst, leaving the strict lower
-// part of dst untouched (it holds Householder vectors from earlier kernels).
-void copy_upper_back(ConstMatrixView src, MatrixView dst) {
-  for (int j = 0; j < src.cols; ++j) {
-    const int top = std::min(j + 1, src.rows);
-    for (int i = 0; i < top; ++i) dst(i, j) = src(i, j);
+    if (r0 > 0) {
+      ConstMatrixView v2b(v2.col(jb), r0, kb, v2.ld);
+      blas::gemm(Trans::No, Trans::No, -1.0, v2b, ConstMatrixView(w), 1.0,
+                 MatrixView(c2.data, r0, nc, c2.ld));
+    }
+    if (tri) {
+      for (int i2 = 0; i2 < kb; ++i2) {
+        const int hi = row_bound(true, jb + i2, m2);
+        if (hi <= r0) continue;
+        for (int j2 = 0; j2 < nc; ++j2) {
+          blas::axpy(hi - r0, -w(i2, j2), v2.col(jb + i2) + r0,
+                     c2.col(j2) + r0);
+        }
+      }
+    }
   }
 }
 
 }  // namespace
 
+void tsqrt(MatrixView a1, MatrixView a2, int ib, MatrixView t, Workspace& ws) {
+  stacked_qrt(a1, a2, ib, t, ws, /*tri=*/false);
+}
+
 void tsqrt(MatrixView a1, MatrixView a2, int ib, MatrixView t) {
-  stacked_qrt(a1, a2, ib, t);
+  stacked_qrt(a1, a2, ib, t, tls_workspace(), /*tri=*/false);
+}
+
+void tsmqr(Trans trans, ConstMatrixView v2, ConstMatrixView t, int ib,
+           MatrixView c1, MatrixView c2, Workspace& ws) {
+  stacked_apply(trans, v2, t, ib, c1, c2, ws, /*tri=*/false);
 }
 
 void tsmqr(Trans trans, ConstMatrixView v2, ConstMatrixView t, int ib,
            MatrixView c1, MatrixView c2) {
-  stacked_apply(trans, v2, t, ib, c1, c2);
+  stacked_apply(trans, v2, t, ib, c1, c2, tls_workspace(), /*tri=*/false);
+}
+
+void ttqrt(MatrixView a1, MatrixView a2, int ib, MatrixView t, Workspace& ws) {
+  // Only the upper triangle of A2 is input (R of the losing domain) and only
+  // the upper triangle is output (V2); the strict lower part of the tile
+  // holds Householder vectors from the flat-tree phase and must survive —
+  // the row-bounded core never touches it.
+  const int n = a1.cols;
+  const int m2 = std::min(a2.rows, n);
+  stacked_qrt(a1, MatrixView(a2.data, m2, n, a2.ld), ib, t, ws, /*tri=*/true);
 }
 
 void ttqrt(MatrixView a1, MatrixView a2, int ib, MatrixView t) {
-  // Only the upper triangle of A2 is input (R of the losing domain) and only
-  // the upper triangle is output (V2); the strict lower part of the tile
-  // holds Householder vectors from the flat-tree phase and must survive.
-  const int n = a1.cols;
-  const int m2 = std::min(a2.rows, n);
-  Matrix v2 = upper_of(ConstMatrixView(a2.data, m2, n, a2.ld));
-  stacked_qrt(a1, v2.view(), ib, t);
-  copy_upper_back(v2.view(), MatrixView(a2.data, m2, n, a2.ld));
+  ttqrt(a1, a2, ib, t, tls_workspace());
+}
+
+void ttmqr(Trans trans, ConstMatrixView v2, ConstMatrixView t, int ib,
+           MatrixView c1, MatrixView c2, Workspace& ws) {
+  const int n = v2.cols;
+  const int m2 = std::min(v2.rows, n);
+  stacked_apply(trans, ConstMatrixView(v2.data, m2, n, v2.ld), t, ib, c1,
+                MatrixView(c2.data, m2, c2.cols, c2.ld), ws, /*tri=*/true);
 }
 
 void ttmqr(Trans trans, ConstMatrixView v2, ConstMatrixView t, int ib,
            MatrixView c1, MatrixView c2) {
-  const int n = v2.cols;
-  const int m2 = std::min(v2.rows, n);
-  Matrix v2u = upper_of(ConstMatrixView(v2.data, m2, n, v2.ld));
-  stacked_apply(trans, v2u.view(), t, ib, c1,
-                MatrixView(c2.data, m2, c2.cols, c2.ld));
+  ttmqr(trans, v2, t, ib, c1, c2, tls_workspace());
 }
 
 }  // namespace pulsarqr::kernels

@@ -14,24 +14,34 @@
 //
 // All kernels use inner block size ib: transformations are accumulated in
 // ib-wide compact WY blocks whose T factors are stored in an ib-by-n tile.
-// The TT kernels share the stacked-QR core with the TS kernels: on upper
-// triangular input the Householder vectors stay upper triangular (the
-// structural zeros are preserved exactly), so the math is identical and the
-// flop savings of the triangular structure are accounted for analytically
-// in sim/cost_model rather than exploited in the inner loops.
+// The TT kernels share the stacked-QR core with the TS kernels, but run it
+// with per-column row bounds: column c of an upper-triangular V2 has
+// nonzeros only in rows [0, min(c+1, m2)), so the TT kernels touch only
+// the upper triangle in place — the strict lower part of the tile (which
+// holds Householder vectors from the flat-tree phase) is never read or
+// written, there are no dense round-trip copies, and the triangular flop
+// savings are realized rather than merely modeled in sim/cost_model.
+//
+// Scratch memory: every kernel has an overload taking an explicit
+// kernels::Workspace (zero heap allocation in steady state) and a
+// convenience overload that uses the calling thread's tls_workspace().
 #pragma once
 
 #include "blas/blas.hpp"
 #include "common/view.hpp"
+#include "kernels/workspace.hpp"
 
 namespace pulsarqr::kernels {
 
 /// QR of tile a (m-by-n, any shape). t is ib-by-n (one T block per inner
 /// panel). Equivalent to lapack::geqrt.
+void geqrt(MatrixView a, int ib, MatrixView t, Workspace& ws);
 void geqrt(MatrixView a, int ib, MatrixView t);
 
 /// Apply op(Q) from geqrt(v, t) to tile c from the left (op = transpose for
 /// Trans::Yes, as used during factorization).
+void ormqr(blas::Trans trans, ConstMatrixView v, ConstMatrixView t, int ib,
+           MatrixView c, Workspace& ws);
 void ormqr(blas::Trans trans, ConstMatrixView v, ConstMatrixView t, int ib,
            MatrixView c);
 
@@ -39,19 +49,27 @@ void ormqr(blas::Trans trans, ConstMatrixView v, ConstMatrixView t, int ib,
 /// previous geqrt/tsqrt) and is updated in place; A2 is m2-by-n (m2 >= 1,
 /// any m2 including m2 < n) and is overwritten with the Householder
 /// vectors V2; t is ib-by-n.
+void tsqrt(MatrixView a1, MatrixView a2, int ib, MatrixView t, Workspace& ws);
 void tsqrt(MatrixView a1, MatrixView a2, int ib, MatrixView t);
 
 /// Apply op(Q) from tsqrt(v2, t) to the stacked pair [C1; C2] from the
 /// left. C1 is n-by-nc (only its first n rows participate; callers pass a
 /// tile whose row count equals v2.cols), C2 is m2-by-nc with m2 == v2.rows.
 void tsmqr(blas::Trans trans, ConstMatrixView v2, ConstMatrixView t, int ib,
+           MatrixView c1, MatrixView c2, Workspace& ws);
+void tsmqr(blas::Trans trans, ConstMatrixView v2, ConstMatrixView t, int ib,
            MatrixView c1, MatrixView c2);
 
 /// Triangle-on-triangle QR: like tsqrt but A2 is upper triangular on entry
-/// (only its upper triangle is meaningful); V2 stays upper triangular.
+/// (only its upper triangle is read or written; the strict lower part is
+/// preserved bit-for-bit); V2 stays upper triangular.
+void ttqrt(MatrixView a1, MatrixView a2, int ib, MatrixView t, Workspace& ws);
 void ttqrt(MatrixView a1, MatrixView a2, int ib, MatrixView t);
 
-/// Apply op(Q) from ttqrt to [C1; C2].
+/// Apply op(Q) from ttqrt to [C1; C2]. v2 may be the raw tile from ttqrt:
+/// only its upper triangle is read.
+void ttmqr(blas::Trans trans, ConstMatrixView v2, ConstMatrixView t, int ib,
+           MatrixView c1, MatrixView c2, Workspace& ws);
 void ttmqr(blas::Trans trans, ConstMatrixView v2, ConstMatrixView t, int ib,
            MatrixView c1, MatrixView c2);
 

@@ -1,0 +1,38 @@
+#include "kernels/workspace.hpp"
+
+#include <algorithm>
+
+namespace pulsarqr::kernels {
+
+double* Workspace::alloc(std::size_t n) {
+  if (n == 0) n = 1;  // keep pointers distinct and non-null
+  // Advance through existing chunks (tail space left by a smaller earlier
+  // frame is simply skipped; the arena is scratch, not an allocator).
+  while (cur_ < chunks_.size() && used_ + n > chunks_[cur_].cap) {
+    ++cur_;
+    used_ = 0;
+  }
+  if (cur_ == chunks_.size()) {
+    const std::size_t last = chunks_.empty() ? 0 : chunks_.back().cap;
+    const std::size_t cap = std::max({n, 2 * last, kMinChunk});
+    chunks_.push_back({std::make_unique<double[]>(cap), cap});
+    ++chunk_allocations_;
+    used_ = 0;
+  }
+  double* p = chunks_[cur_].data.get() + used_;
+  used_ += n;
+  return p;
+}
+
+std::size_t Workspace::doubles_reserved() const {
+  std::size_t total = 0;
+  for (const auto& c : chunks_) total += c.cap;
+  return total;
+}
+
+Workspace& tls_workspace() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+}  // namespace pulsarqr::kernels

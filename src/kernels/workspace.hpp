@@ -1,0 +1,101 @@
+// Per-thread scratch arena for the compute kernels.
+//
+// Every tile kernel (geqrt/ormqr/tsqrt/tsmqr/ttqrt/ttmqr) and the dense
+// LAPACK-style routines need small scratch buffers (tau vectors, block-T
+// staging, the W panel of a block update). Allocating them per call puts a
+// malloc/free pair on the critical path of every VDP firing; the Workspace
+// is a grow-only chunked bump allocator that amortizes those to zero.
+//
+// Contract:
+//   * One Workspace per thread. The kernels' convenience overloads use
+//     tls_workspace(); the VSA firing code passes it explicitly so the
+//     ownership is visible at the call site. A Workspace is NOT
+//     thread-safe — never share one across threads.
+//   * Allocation is frame-scoped: a kernel opens a WsFrame on entry, and
+//     every alloc() made inside it is released (the bump pointer rewinds)
+//     when the frame is destroyed. Frames nest (kernels calling lapack
+//     helpers that open their own frames is fine).
+//   * Memory is chunked, so a grow never moves live allocations: pointers
+//     handed out earlier in the frame stay valid.
+//   * Steady state allocates nothing: once the arena has grown to the
+//     high-water mark of a kernel mix, repeating those kernels performs
+//     zero heap allocations (asserted by workspace_test and observable via
+//     chunk_allocations()).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/view.hpp"
+
+namespace pulsarqr::kernels {
+
+class Workspace {
+ public:
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Bump-allocate n doubles (uninitialized). Valid until the enclosing
+  /// frame is released; never moved by later allocations.
+  double* alloc(std::size_t n);
+
+  /// Bump-allocate an m-by-n column-major matrix view (ld == m),
+  /// uninitialized.
+  MatrixView matrix(int m, int n) {
+    return MatrixView(alloc(static_cast<std::size_t>(m) * n), m, n, m);
+  }
+
+  /// Number of heap allocations (chunks) ever made — the steady-state
+  /// zero-allocation counter used by tests.
+  long long chunk_allocations() const { return chunk_allocations_; }
+
+  /// Total doubles reserved across all chunks.
+  std::size_t doubles_reserved() const;
+
+  /// Opaque rewind cursor; see WsFrame.
+  struct Mark {
+    std::size_t chunk = 0;
+    std::size_t used = 0;
+  };
+  Mark mark() const { return {cur_, used_}; }
+  void rewind(Mark m) {
+    cur_ = m.chunk;
+    used_ = m.used;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<double[]> data;
+    std::size_t cap = 0;
+  };
+
+  static constexpr std::size_t kMinChunk = 1 << 14;  ///< doubles (128 KiB)
+
+  std::vector<Chunk> chunks_;
+  std::size_t cur_ = 0;   ///< chunk the bump pointer is in
+  std::size_t used_ = 0;  ///< doubles consumed in chunk cur_
+  long long chunk_allocations_ = 0;
+};
+
+/// RAII allocation frame: everything alloc()ed between construction and
+/// destruction is released together. Open one per kernel invocation.
+class WsFrame {
+ public:
+  explicit WsFrame(Workspace& ws) : ws_(ws), mark_(ws.mark()) {}
+  ~WsFrame() { ws_.rewind(mark_); }
+  WsFrame(const WsFrame&) = delete;
+  WsFrame& operator=(const WsFrame&) = delete;
+
+ private:
+  Workspace& ws_;
+  Workspace::Mark mark_;
+};
+
+/// The calling thread's kernel workspace (one arena per thread, created on
+/// first use). The default kernel overloads route here; pass a Workspace
+/// explicitly where ownership should be visible (e.g. VDP firing code).
+Workspace& tls_workspace();
+
+}  // namespace pulsarqr::kernels

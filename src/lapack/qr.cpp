@@ -9,12 +9,15 @@ namespace pulsarqr::lapack {
 using blas::Diag;
 using blas::Trans;
 using blas::Uplo;
+using kernels::Workspace;
+using kernels::WsFrame;
 
-void geqr2(MatrixView a, double* tau) {
+void geqr2(MatrixView a, double* tau, Workspace& ws) {
   const int m = a.rows;
   const int n = a.cols;
   const int k = std::min(m, n);
-  std::vector<double> work(std::max(n, 1));
+  WsFrame frame(ws);
+  double* work = ws.alloc(std::max(n, 1));
   for (int j = 0; j < k; ++j) {
     double* col = a.col(j) + j;
     tau[j] = larfg(m - j, col[0], col + 1);
@@ -22,91 +25,115 @@ void geqr2(MatrixView a, double* tau) {
       // Apply H_j to the trailing columns; col[0] temporarily plays v(0)=1.
       const double ajj = col[0];
       col[0] = 1.0;
-      larf_left(col, tau[j], a.block(j, j + 1, m - j, n - j - 1), work.data());
+      larf_left(col, tau[j], a.block(j, j + 1, m - j, n - j - 1), work);
       col[0] = ajj;
     }
   }
 }
 
-void geqrf(MatrixView a, double* tau, int nb) {
+void geqr2(MatrixView a, double* tau) { geqr2(a, tau, kernels::tls_workspace()); }
+
+void geqrf(MatrixView a, double* tau, int nb, Workspace& ws) {
   const int m = a.rows;
   const int n = a.cols;
   const int k = std::min(m, n);
   if (k == 0) return;
   nb = std::max(1, std::min(nb, k));
-  std::vector<double> t(static_cast<std::size_t>(nb) * nb);
-  std::vector<double> work(static_cast<std::size_t>(nb) * std::max(n, 1));
+  WsFrame frame(ws);
+  MatrixView t = ws.matrix(nb, nb);
+  double* work = ws.alloc(static_cast<std::size_t>(nb) * std::max(n, 1));
   for (int j = 0; j < k; j += nb) {
     const int kb = std::min(nb, k - j);
-    geqr2(a.block(j, j, m - j, kb), tau + j);
+    geqr2(a.block(j, j, m - j, kb), tau + j, ws);
     if (j + kb < n) {
-      MatrixView tview(t.data(), kb, kb, kb);
+      MatrixView tview = t.block(0, 0, kb, kb);
       larft(a.block(j, j, m - j, kb), tau + j, tview);
       larfb_left(Trans::Yes, a.block(j, j, m - j, kb), ConstMatrixView(tview),
-                 a.block(j, j + kb, m - j, n - j - kb), work.data());
+                 a.block(j, j + kb, m - j, n - j - kb), work);
     }
   }
 }
 
-void geqrt(MatrixView a, int ib, MatrixView t) {
+void geqrf(MatrixView a, double* tau, int nb) {
+  geqrf(a, tau, nb, kernels::tls_workspace());
+}
+
+void geqrt(MatrixView a, int ib, MatrixView t, Workspace& ws) {
   const int m = a.rows;
   const int n = a.cols;
   const int k = std::min(m, n);
   if (k == 0) return;
   require(ib >= 1, "geqrt: ib must be positive");
   PQR_ASSERT(t.rows >= std::min(ib, k) && t.cols >= k, "geqrt: T too small");
-  std::vector<double> tau(k);
-  std::vector<double> work(static_cast<std::size_t>(ib) * std::max(n, 1));
+  WsFrame frame(ws);
+  double* tau = ws.alloc(k);
+  double* work = ws.alloc(static_cast<std::size_t>(ib) * std::max(n, 1));
   for (int j = 0; j < k; j += ib) {
     const int kb = std::min(ib, k - j);
-    geqr2(a.block(j, j, m - j, kb), tau.data() + j);
+    geqr2(a.block(j, j, m - j, kb), tau + j, ws);
     // T block for this panel, stored at T(0:kb, j:j+kb).
-    larft(a.block(j, j, m - j, kb), tau.data() + j, t.block(0, j, kb, kb));
+    larft(a.block(j, j, m - j, kb), tau + j, t.block(0, j, kb, kb));
     if (j + kb < n) {
       larfb_left(Trans::Yes, a.block(j, j, m - j, kb),
                  ConstMatrixView(t.block(0, j, kb, kb)),
-                 a.block(j, j + kb, m - j, n - j - kb), work.data());
+                 a.block(j, j + kb, m - j, n - j - kb), work);
     }
   }
 }
 
+void geqrt(MatrixView a, int ib, MatrixView t) {
+  geqrt(a, ib, t, kernels::tls_workspace());
+}
+
 void ormqr(blas::Trans trans, ConstMatrixView a, const double* tau,
-           MatrixView c, int nb) {
+           MatrixView c, int nb, Workspace& ws) {
   const int m = c.rows;
   const int k = std::min(a.rows, a.cols);
   PQR_ASSERT(a.rows == m, "ormqr: V row mismatch");
   if (k == 0) return;
   nb = std::max(1, std::min(nb, k));
-  std::vector<double> t(static_cast<std::size_t>(nb) * nb);
-  std::vector<double> work(static_cast<std::size_t>(nb) * std::max(c.cols, 1));
+  WsFrame frame(ws);
+  MatrixView t = ws.matrix(nb, nb);
+  double* work = ws.alloc(static_cast<std::size_t>(nb) * std::max(c.cols, 1));
   // Q = H_1 ... H_k. Q^T C applies blocks first-to-last; Q C last-to-first.
   const int nblocks = (k + nb - 1) / nb;
   for (int bi = 0; bi < nblocks; ++bi) {
     const int b = trans == Trans::Yes ? bi : nblocks - 1 - bi;
     const int j = b * nb;
     const int kb = std::min(nb, k - j);
-    MatrixView tview(t.data(), kb, kb, kb);
+    MatrixView tview = t.block(0, 0, kb, kb);
     larft(a.block(j, j, m - j, kb), tau + j, tview);
     larfb_left(trans, a.block(j, j, m - j, kb), ConstMatrixView(tview),
-               c.block(j, 0, m - j, c.cols), work.data());
+               c.block(j, 0, m - j, c.cols), work);
   }
 }
 
+void ormqr(blas::Trans trans, ConstMatrixView a, const double* tau,
+           MatrixView c, int nb) {
+  ormqr(trans, a, tau, c, nb, kernels::tls_workspace());
+}
+
 void ormqr_t(blas::Trans trans, ConstMatrixView a, ConstMatrixView t, int ib,
-             MatrixView c) {
+             MatrixView c, Workspace& ws) {
   const int m = c.rows;
   const int k = std::min(a.rows, a.cols);
   PQR_ASSERT(a.rows == m, "ormqr_t: V row mismatch");
   if (k == 0) return;
-  std::vector<double> work(static_cast<std::size_t>(ib) * std::max(c.cols, 1));
+  WsFrame frame(ws);
+  double* work = ws.alloc(static_cast<std::size_t>(ib) * std::max(c.cols, 1));
   const int nblocks = (k + ib - 1) / ib;
   for (int bi = 0; bi < nblocks; ++bi) {
     const int b = trans == Trans::Yes ? bi : nblocks - 1 - bi;
     const int j = b * ib;
     const int kb = std::min(ib, k - j);
     larfb_left(trans, a.block(j, j, m - j, kb), t.block(0, j, kb, kb),
-               c.block(j, 0, m - j, c.cols), work.data());
+               c.block(j, 0, m - j, c.cols), work);
   }
+}
+
+void ormqr_t(blas::Trans trans, ConstMatrixView a, ConstMatrixView t, int ib,
+             MatrixView c) {
+  ormqr_t(trans, a, t, ib, c, kernels::tls_workspace());
 }
 
 Matrix form_q(ConstMatrixView a, const double* tau, int k) {

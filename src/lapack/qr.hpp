@@ -8,29 +8,41 @@
 
 #include "blas/blas.hpp"
 #include "common/view.hpp"
+#include "kernels/workspace.hpp"
 
 namespace pulsarqr::lapack {
+
+// Every routine exists in two forms: one taking an explicit scratch
+// Workspace (the hot path — zero heap allocation in steady state) and a
+// convenience overload that uses the calling thread's tls_workspace().
 
 /// Unblocked Householder QR of an m-by-n matrix (m >= n not required).
 /// On exit the upper triangle holds R, the strict lower trapezoid holds the
 /// Householder vectors; tau must have min(m, n) entries.
+void geqr2(MatrixView a, double* tau, kernels::Workspace& ws);
 void geqr2(MatrixView a, double* tau);
 
 /// Blocked Householder QR with block size nb. Same output layout as geqr2.
+void geqrf(MatrixView a, double* tau, int nb, kernels::Workspace& ws);
 void geqrf(MatrixView a, double* tau, int nb = 32);
 
 /// QR with T factors, PLASMA CORE_dgeqrt layout: A is m-by-n; inner block
 /// size ib; T is ib-by-n, holding one ib-by-kb upper-triangular T block per
 /// inner panel (kb = min(ib, n - j)).
+void geqrt(MatrixView a, int ib, MatrixView t, kernels::Workspace& ws);
 void geqrt(MatrixView a, int ib, MatrixView t);
 
 /// Apply Q (or Q^T) from geqr2/geqrf output to C from the left:
 /// C := op(Q) * C. a holds the reflectors (m-by-k), tau their scalars.
 void ormqr(blas::Trans trans, ConstMatrixView a, const double* tau,
+           MatrixView c, int nb, kernels::Workspace& ws);
+void ormqr(blas::Trans trans, ConstMatrixView a, const double* tau,
            MatrixView c, int nb = 32);
 
 /// Apply Q (or Q^T) from geqrt output to C from the left, using the stored
 /// T factors (PLASMA CORE_dormqr equivalent).
+void ormqr_t(blas::Trans trans, ConstMatrixView a, ConstMatrixView t, int ib,
+             MatrixView c, kernels::Workspace& ws);
 void ormqr_t(blas::Trans trans, ConstMatrixView a, ConstMatrixView t, int ib,
              MatrixView c);
 

@@ -113,18 +113,20 @@ void factor_fire(VdpContext& ctx, const FlatCfg& cfg) {
   PQR_ASSERT(tile.meta() == r, "tree-qr: factor VDP received wrong tile row");
   advance_tile_slot(ctx, cfg, idx);
   auto& store = ctx.global<ResultStore>();
+  kernels::Workspace& ws = kernels::tls_workspace();
   if (idx == 0) {
     st.held = std::move(tile);
     st.t = Matrix(cfg.ib, cfg.pw);
     MatrixView v = tile_view(st.held);
-    kernels::geqrt(v, cfg.ib, st.t.view());
+    kernels::geqrt(v, cfg.ib, st.t.view(), ws);
     store.put_tg(r, cfg.k, st.t.view());
     if (cfg.vt_out >= 0) ctx.push(cfg.vt_out, encode_vt(v, st.t.view(), r));
   } else {
     MatrixView v2 = tile_view(tile);
     MatrixView held = tile_view(st.held);
     PQR_ASSERT(held.rows >= cfg.pw, "tree-qr: short tile used as survivor");
-    kernels::tsqrt(held.block(0, 0, cfg.pw, cfg.pw), v2, cfg.ib, st.t.view());
+    kernels::tsqrt(held.block(0, 0, cfg.pw, cfg.pw), v2, cfg.ib, st.t.view(),
+                   ws);
     store.put_tt(r, cfg.k, st.t.view());
     store.put_tile(r, cfg.k, v2);  // eliminated: final for this column
     if (cfg.vt_out >= 0) ctx.push(cfg.vt_out, encode_vt(v2, st.t.view(), r));
@@ -150,12 +152,13 @@ void update_fire(VdpContext& ctx, const FlatCfg& cfg) {
              "tree-qr: update VDP received wrong tile row");
   advance_tile_slot(ctx, cfg, idx);
   const VtView w = vt_view(vt);
+  kernels::Workspace& ws = kernels::tls_workspace();
   if (idx == 0) {
     st.held = std::move(tile);
-    kernels::ormqr(blas::Trans::Yes, w.v, w.t, cfg.ib, tile_view(st.held));
+    kernels::ormqr(blas::Trans::Yes, w.v, w.t, cfg.ib, tile_view(st.held), ws);
   } else {
     kernels::tsmqr(blas::Trans::Yes, w.v, w.t, cfg.ib, tile_view(st.held),
-                   tile_view(tile));
+                   tile_view(tile), ws);
     if (cfg.solid_out >= 0) {
       ctx.push(cfg.solid_out, std::move(tile));
     } else {
@@ -183,12 +186,16 @@ void tt_factor_fire(VdpContext& ctx, const BinCfg& cfg) {
   MatrixView w = tile_view(rw);
   MatrixView l = tile_view(rl);
   PQR_ASSERT(w.rows >= cfg.pw, "tree-qr: short tile used as tt survivor");
-  Matrix t(cfg.ib, cfg.pw);
-  kernels::ttqrt(w.block(0, 0, cfg.pw, cfg.pw), l, cfg.ib, t.view());
+  // T is consumed by the store/codec copies below, so a frame-scoped
+  // workspace buffer replaces the old per-firing heap Matrix.
+  kernels::Workspace& ws = kernels::tls_workspace();
+  kernels::WsFrame frame(ws);
+  MatrixView t = ws.matrix(cfg.ib, cfg.pw);
+  kernels::ttqrt(w.block(0, 0, cfg.pw, cfg.pw), l, cfg.ib, t, ws);
   auto& store = ctx.global<ResultStore>();
-  store.put_tt(cfg.loser, cfg.k, t.view());
+  store.put_tt(cfg.loser, cfg.k, t);
   store.put_tile(cfg.loser, cfg.k, l);  // loser: final for this column
-  if (cfg.vt_out >= 0) ctx.push(cfg.vt_out, encode_vt(l, t.view(), cfg.loser));
+  if (cfg.vt_out >= 0) ctx.push(cfg.vt_out, encode_vt(l, t, cfg.loser));
   if (cfg.win_out >= 0) {
     ctx.push(cfg.win_out, std::move(rw));
   } else {
@@ -208,7 +215,7 @@ void tt_update_fire(VdpContext& ctx, const BinCfg& cfg) {
              "tree-qr: binary update received wrong tiles");
   const VtView w = vt_view(vt);
   kernels::ttmqr(blas::Trans::Yes, w.v, w.t, cfg.ib, tile_view(c1),
-                 tile_view(c2));
+                 tile_view(c2), kernels::tls_workspace());
   if (cfg.win_out >= 0) {
     ctx.push(cfg.win_out, std::move(c1));
   } else {

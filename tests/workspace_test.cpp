@@ -1,0 +1,147 @@
+// Tests for the per-thread kernels::Workspace arena: allocation/rewind
+// semantics, pointer stability across growth, zero heap allocation in the
+// tile kernels once warm, and bit-identical kernel results when a workspace
+// is reused across firings.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "kernels/tile_kernels.hpp"
+#include "kernels/workspace.hpp"
+
+namespace pulsarqr {
+namespace {
+
+using kernels::Workspace;
+using kernels::WsFrame;
+
+TEST(Workspace, FrameRewindReusesMemory) {
+  Workspace ws;
+  double* p0 = nullptr;
+  {
+    WsFrame frame(ws);
+    p0 = ws.alloc(100);
+    p0[0] = 1.0;
+    p0[99] = 2.0;
+  }
+  const long long after_first = ws.chunk_allocations();
+  {
+    WsFrame frame(ws);
+    double* p1 = ws.alloc(100);
+    EXPECT_EQ(p0, p1);  // frame rewound: same storage handed out again
+  }
+  EXPECT_EQ(ws.chunk_allocations(), after_first);
+}
+
+TEST(Workspace, GrowthNeverMovesLiveAllocations) {
+  Workspace ws;
+  WsFrame frame(ws);
+  double* small = ws.alloc(8);
+  small[0] = 42.0;
+  // Force several chunk growths while `small` stays live.
+  std::vector<double*> ptrs;
+  for (int i = 0; i < 6; ++i) {
+    double* p = ws.alloc(1 << (14 + i));
+    p[0] = static_cast<double>(i);
+    ptrs.push_back(p);
+  }
+  EXPECT_DOUBLE_EQ(small[0], 42.0);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(ptrs[i][0], static_cast<double>(i));
+  }
+  EXPECT_GE(ws.chunk_allocations(), 2);
+}
+
+TEST(Workspace, MatrixViewShape) {
+  Workspace ws;
+  WsFrame frame(ws);
+  MatrixView m = ws.matrix(5, 7);
+  EXPECT_EQ(m.rows, 5);
+  EXPECT_EQ(m.cols, 7);
+  EXPECT_EQ(m.ld, 5);
+  blas::laset_all(0.0, 1.0, m);
+  EXPECT_DOUBLE_EQ(m(3, 3), 1.0);
+}
+
+// Run all six tile kernels once against fixed inputs using `ws` for
+// scratch; returns the concatenated outputs for bitwise comparison.
+std::vector<double> run_all_kernels(Workspace& ws) {
+  const int nb = 40;
+  const int ib = 8;
+  Matrix a(nb, nb), t(ib, nb);
+  fill_random(a.view(), 11);
+  kernels::geqrt(a.view(), ib, t.view(), ws);
+
+  Matrix c(nb, nb);
+  fill_random(c.view(), 12);
+  kernels::ormqr(blas::Trans::Yes, a.view(), t.view(), ib, c.view(), ws);
+
+  Matrix a2(nb, nb), t2(ib, nb);
+  fill_random(a2.view(), 13);
+  kernels::tsqrt(a.view(), a2.view(), ib, t2.view(), ws);
+
+  Matrix c2(nb, nb);
+  fill_random(c2.view(), 14);
+  kernels::tsmqr(blas::Trans::Yes, a2.view(), t2.view(), ib, c.view(),
+                 c2.view(), ws);
+
+  Matrix a3(nb, nb), t3(ib, nb);
+  fill_random(a3.view(), 15);
+  kernels::ttqrt(a.view(), a3.view(), ib, t3.view(), ws);
+
+  Matrix c3(nb, nb);
+  fill_random(c3.view(), 16);
+  kernels::ttmqr(blas::Trans::Yes, a3.view(), t3.view(), ib, c.view(),
+                 c3.view(), ws);
+
+  std::vector<double> out;
+  for (const Matrix* m : {&a, &t, &c, &a2, &t2, &c2, &a3, &t3, &c3}) {
+    out.insert(out.end(), m->data(), m->data() + m->rows() * m->cols());
+  }
+  return out;
+}
+
+TEST(Workspace, KernelResultsBitIdenticalOnReuse) {
+  Workspace reused;
+  const std::vector<double> first = run_all_kernels(reused);
+  const std::vector<double> second = run_all_kernels(reused);
+  Workspace fresh;
+  const std::vector<double> third = run_all_kernels(fresh);
+  ASSERT_EQ(first.size(), second.size());
+  ASSERT_EQ(first.size(), third.size());
+  EXPECT_EQ(0, std::memcmp(first.data(), second.data(),
+                           first.size() * sizeof(double)));
+  EXPECT_EQ(0, std::memcmp(first.data(), third.data(),
+                           first.size() * sizeof(double)));
+}
+
+TEST(Workspace, ZeroAllocationsInSteadyState) {
+  Workspace ws;
+  run_all_kernels(ws);  // warm-up sizes the arena
+  const long long warm = ws.chunk_allocations();
+  for (int i = 0; i < 10; ++i) run_all_kernels(ws);
+  EXPECT_EQ(ws.chunk_allocations(), warm)
+      << "tile kernels allocated per firing after warm-up";
+}
+
+TEST(Workspace, TlsWorkspaceSteadyState) {
+  // The convenience overloads route through the calling thread's arena;
+  // after a warm-up pass they must also stop allocating.
+  Workspace& ws = kernels::tls_workspace();
+  const int nb = 32;
+  const int ib = 8;
+  Matrix a(nb, nb), t(ib, nb);
+  fill_random(a.view(), 21);
+  kernels::geqrt(a.view(), ib, t.view());
+  const long long warm = ws.chunk_allocations();
+  for (int i = 0; i < 5; ++i) {
+    fill_random(a.view(), 21);
+    kernels::geqrt(a.view(), ib, t.view());
+  }
+  EXPECT_EQ(ws.chunk_allocations(), warm);
+}
+
+}  // namespace
+}  // namespace pulsarqr

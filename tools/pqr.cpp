@@ -3,7 +3,7 @@
 //   pqr factor   --m 4096 --n 512 [--nb 128 --ib 32 --tree hier --h 6
 //                 --boundary shifted --nodes 2 --workers 2 --sched lazy
 //                 --trace trace.csv --check --seed 1 --graph-check 0
-//                 --channel spsc|mutex --spin-us -1|0|50]
+//                 --channel spsc|mutex --spin-us -1|0|50 --gemm packed|ref]
 //   pqr solve    --m 4096 --n 512 [--nrhs 1 ...]
 //   pqr chol     --n 1024 [--nb 128 --nodes 2 --workers 2]
 //   pqr lu       --n 1024 [--nb 128 --nodes 2 --workers 2]
@@ -277,6 +277,17 @@ int main(int argc, char** argv) {
   // the equivalent std::string comparisons under -O3).
   const char* cmd = argv[1];
   const Args a = parse(argc, argv, 2);
+  // Process-wide compute-kernel A/B switch, the analogue of --channel for
+  // the runtime: every command funnels its flops through blas::gemm.
+  const std::string gemm = a.gets("gemm", "packed");
+  if (gemm == "ref") {
+    blas::set_gemm_impl(blas::GemmImpl::Ref);
+  } else if (gemm == "packed") {
+    blas::set_gemm_impl(blas::GemmImpl::Packed);
+  } else {
+    std::fprintf(stderr, "unknown --gemm %s (packed|ref)\n", gemm.c_str());
+    return 2;
+  }
   try {
     if (std::strcmp(cmd, "factor") == 0) return cmd_factor(a);
     if (std::strcmp(cmd, "solve") == 0) return cmd_solve(a);
