@@ -76,6 +76,46 @@ void BM_channel_ping(benchmark::State& state) {
   set_impl_label(state);
 }
 
+// Inter-node ping through the proxy path, A/B of the ack/retransmit
+// reliable-delivery protocol (off must show no measurable overhead: the
+// sequencing machinery is not even instantiated then).
+void BM_channel_ping_internode(benchmark::State& state) {
+  const int length = 8;
+  const int packets = 256;
+  const bool reliable = state.range(0) == 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Vsa::Config cfg;
+    cfg.nodes = 2;
+    cfg.workers_per_node = 1;
+    cfg.reliable_transport = reliable;
+    Vsa vsa(cfg);
+    // Alternate home nodes so every hop crosses the proxy transport.
+    for (int i = 0; i < length; ++i) {
+      const bool last = i == length - 1;
+      vsa.add_vdp(
+          prt::tuple2(2, i), packets,
+          [last](prt::VdpContext& ctx) {
+            Packet p = ctx.pop(0);
+            if (!last) ctx.push(0, std::move(p));
+          },
+          1, last ? 0 : 1);
+      vsa.map_vdp(prt::tuple2(2, i), i % 2);  // workers_per_node == 1
+    }
+    std::vector<Packet> init;
+    for (int k = 0; k < packets; ++k) init.push_back(Packet::make(64));
+    vsa.feed(prt::tuple2(2, 0), 0, 64, std::move(init));
+    for (int i = 0; i + 1 < length; ++i) {
+      vsa.connect(prt::tuple2(2, i), 0, prt::tuple2(2, i + 1), 0, 64);
+    }
+    state.ResumeTiming();
+    auto stats = vsa.run();
+    benchmark::DoNotOptimize(stats.remote_messages);
+  }
+  state.SetItemsProcessed(state.iterations() * length * packets);
+  state.SetLabel(reliable ? "reliable-on" : "reliable-off");
+}
+
 // End-to-end tree QR at small tiles, where per-packet runtime overhead —
 // channel ops and wakeups — is the limiter (the regime of arXiv:1110.1553
 // / arXiv:0809.2407). A/B of the channel implementations.
@@ -197,6 +237,8 @@ void BM_bypass_chain(benchmark::State& state) {
 
 BENCHMARK(BM_channel_push_pop)->Arg(0)->Arg(1);
 BENCHMARK(BM_channel_ping)->Arg(0)->Arg(1)->UseRealTime();
+BENCHMARK(BM_channel_ping_internode)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 BENCHMARK(BM_qr_small_nb)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 BENCHMARK(BM_packet_alloc)->Arg(64)->Arg(192 * 192 * 8);

@@ -98,6 +98,8 @@ void Channel::push(Packet p) {
     if (destroyed_.load(std::memory_order_acquire)) return;
     q_.push_back(std::move(p));
     mutex_size_.store(static_cast<int>(q_.size()), std::memory_order_release);
+    pushed_.store(pushed_.load(std::memory_order_relaxed) + 1,
+                  std::memory_order_release);
   }
   if (waker_ != nullptr) waker_->wake();
 }
@@ -109,6 +111,8 @@ Packet Channel::pop() {
   Packet p = std::move(q_.front());
   q_.pop_front();
   mutex_size_.store(static_cast<int>(q_.size()), std::memory_order_release);
+  popped_.store(popped_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_release);
   return p;
 }
 
@@ -138,6 +142,9 @@ void Channel::destroy() {
   if (impl_ != ChannelImpl::Spsc) {
     std::lock_guard<std::mutex> lock(mu_);
     destroyed_.store(true, std::memory_order_release);
+    popped_.store(popped_.load(std::memory_order_relaxed) +
+                      static_cast<long long>(q_.size()),
+                  std::memory_order_release);
     q_.clear();
     mutex_size_.store(0, std::memory_order_release);
     return;

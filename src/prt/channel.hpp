@@ -56,6 +56,12 @@ class Channel {
   /// the owning thread's ready check once it holds the packet).
   int size() const;
 
+  /// Lifetime traffic counters (monotone; approximate under concurrency).
+  /// Used by stuck-VDP diagnostics to distinguish a channel that never saw
+  /// a packet from one whose traffic stopped mid-stream.
+  long long pushed() const { return pushed_.load(std::memory_order_acquire); }
+  long long popped() const { return popped_.load(std::memory_order_acquire); }
+
   bool enabled() const { return enabled_.load(std::memory_order_acquire); }
   void set_enabled(bool e);
 
@@ -106,7 +112,9 @@ class Channel {
   Node* head_copy_ = nullptr;  ///< producer's cached copy of head_
   std::atomic<long long> pushed_{0};  ///< single writer: the producer
 
-  // ---- Mutex-impl state.
+  // ---- Mutex-impl state. The Mutex impl shares the pushed_/popped_
+  // counters above; its updates are serialized by mu_, preserving the
+  // single-writer store discipline.
   mutable std::mutex mu_;
   std::deque<Packet> q_;
   std::atomic<int> mutex_size_{0};

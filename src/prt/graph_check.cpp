@@ -62,7 +62,14 @@ std::string describe_input_slots(const Vdp& vdp) {
     } else if (!ch->enabled()) {
       os << "off(" << ch->size() << ')';
     } else if (ch->size() == 0) {
-      os << "empty";
+      // Distinguish a slot that never saw a packet (likely a wiring or
+      // balance bug) from one whose traffic stopped mid-stream (likely a
+      // lost message or a stuck upstream VDP).
+      if (ch->pushed() > 0) {
+        os << "empty(saw " << ch->pushed() << ')';
+      } else {
+        os << "empty";
+      }
     } else {
       os << "ready(" << ch->size() << ')';
     }

@@ -6,8 +6,8 @@
 
 namespace pulsarqr::prt::trace {
 
-Recorder::Recorder(int num_threads, bool enabled)
-    : enabled_(enabled), buffers_(num_threads) {
+Recorder::Recorder(int num_threads, bool enabled, int extra_lanes)
+    : enabled_(enabled), buffers_(num_threads + extra_lanes) {
   epoch_ = std::chrono::steady_clock::now();
 }
 
@@ -23,6 +23,12 @@ void Recorder::record(int thread, int color, const Tuple& tuple, double t0,
                       double t1) {
   if (!enabled_) return;
   buffers_[thread].push_back({thread, color, tuple, t0, t1});
+}
+
+void Recorder::record_mark(int thread, int color, const Tuple& tuple,
+                           double t) {
+  if (!enabled_) return;
+  buffers_[thread].push_back({thread, color, tuple, t, t});
 }
 
 std::vector<Event> Recorder::collect() const {

@@ -13,6 +13,10 @@
 
 namespace pulsarqr::prt::trace {
 
+/// Trace color reserved for transport events (retransmissions, link
+/// failures) on the proxy lanes; QR builders use 0..2 for firing classes.
+inline constexpr int kColorTransport = 3;
+
 struct Event {
   int thread = 0;       ///< global worker id (node * workers + worker)
   int color = 0;        ///< VDP class (user-assigned; QR: red/orange/blue)
@@ -23,7 +27,9 @@ struct Event {
 
 class Recorder {
  public:
-  Recorder(int num_threads, bool enabled);
+  /// `extra_lanes` appends per-proxy lanes after the worker lanes: lane
+  /// num_threads+k belongs to node k's proxy thread (transport marks).
+  Recorder(int num_threads, bool enabled, int extra_lanes = 0);
 
   bool enabled() const { return enabled_; }
   void start_clock();
@@ -31,6 +37,10 @@ class Recorder {
 
   /// Called from worker `thread` only (per-thread buffers, no locking).
   void record(int thread, int color, const Tuple& tuple, double t0, double t1);
+
+  /// Zero-width event: a point-in-time mark (e.g. one retransmission) on
+  /// `thread`'s lane. Same single-writer-per-lane contract as record().
+  void record_mark(int thread, int color, const Tuple& tuple, double t);
 
   /// Merge per-thread buffers into one time-sorted event list.
   std::vector<Event> collect() const;

@@ -1,8 +1,71 @@
 #include "prt/transport.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <sstream>
 
 namespace pulsarqr::prt::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// splitmix64: the fault oracle. Statistically solid, trivially seedable,
+/// and — unlike an engine with internal state — a pure function, so the
+/// decision for message i of a stream never depends on which thread asked
+/// first.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t stream_key(int src, int dst, int tag) {
+  return splitmix64((static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+                     << 40) ^
+                    (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst))
+                     << 20) ^
+                    static_cast<std::uint32_t>(tag));
+}
+
+/// Uniform [0,1) decision for the idx-th message of a stream, per fault
+/// kind (`salt` keeps drop/dup/delay/reorder decisions independent).
+double u01(std::uint64_t seed, std::uint64_t key, long long idx, int salt) {
+  const std::uint64_t h = splitmix64(
+      seed ^ splitmix64(key + static_cast<std::uint64_t>(idx) * 0x632be59bd9b4e019ULL +
+                        static_cast<std::uint64_t>(salt)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::string LinkGap::to_string() const {
+  std::ostringstream os;
+  os << "link " << src << "->" << dst << ":";
+  if (next_seq >= 0) {  // sender view
+    os << " sent=" << next_seq << " acked_through=" << acked
+       << " in_flight=" << unacked;
+    if (!pending_tags.empty()) {
+      os << " tags=[";
+      for (std::size_t i = 0; i < pending_tags.size(); ++i) {
+        if (i != 0) os << ",";
+        os << pending_tags[i];
+      }
+      os << "]";
+    }
+    if (exhausted) os << " RETRANSMITS_EXHAUSTED";
+  }
+  if (expected >= 0) {  // receiver view
+    os << " expecting_seq=" << expected;
+    if (buffered_out_of_order > 0) {
+      os << " buffered_out_of_order=" << buffered_out_of_order;
+    }
+  }
+  return os.str();
+}
+
+// ---- Comm -------------------------------------------------------------------
 
 Comm::Comm(int nranks) {
   require(nranks >= 1, "Comm: need at least one rank");
@@ -10,24 +73,139 @@ Comm::Comm(int nranks) {
   for (int r = 0; r < nranks; ++r) boxes_.push_back(std::make_unique<Mailbox>());
 }
 
-int Comm::isend(int src, int dst, int tag, const Packet& payload, int meta) {
-  PQR_ASSERT(dst >= 0 && dst < size(), "isend: bad destination rank");
-  Message m{src, tag, meta, payload.clone()};  // deep copy: address spaces
+void Comm::set_fault_plan(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(fmu_);
+  plan_ = plan;
+  faults_ = plan.any();
+  if (faults_ && limbo_.empty()) limbo_.resize(boxes_.size());
+}
+
+FaultCounters Comm::fault_counters() const {
+  std::lock_guard<std::mutex> lock(fmu_);
+  return counters_;
+}
+
+void Comm::enqueue(int dst, Message m) {
   auto& box = *boxes_[dst];
   {
     std::lock_guard<std::mutex> lock(box.mu);
     box.q.push_back(std::move(m));
   }
   box.cv.notify_one();
+  if (faults_) {
+    // A delivery landed: release any reorder-held message for this rank
+    // (it now sits BEHIND the newer one — the reordering happened).
+    std::vector<Message> held;
+    {
+      std::lock_guard<std::mutex> lock(fmu_);
+      auto& limbo = limbo_[dst];
+      for (auto it = limbo.begin(); it != limbo.end();) {
+        if (it->after_next) {
+          held.push_back(std::move(it->m));
+          it = limbo.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    if (!held.empty()) {
+      std::lock_guard<std::mutex> lock(box.mu);
+      for (auto& h : held) box.q.push_back(std::move(h));
+      box.cv.notify_one();
+    }
+  }
+}
+
+int Comm::isend(int src, int dst, int tag, const Packet& payload, int meta,
+                long long seq, long long ack, bool is_ack) {
+  PQR_ASSERT(dst >= 0 && dst < size(), "isend: bad destination rank");
+  Message m{src, tag, meta, seq, ack, is_ack, payload.clone()};  // deep copy
   sent_.fetch_add(1, std::memory_order_relaxed);
   bytes_.fetch_add(static_cast<long long>(payload.size()),
                    std::memory_order_relaxed);
-  return 0;  // request handle; completion is immediate
+  if (!faults_) {
+    enqueue(dst, std::move(m));
+    return 0;  // request handle; completion is immediate
+  }
+  // Fault plan: every decision is a pure function of (seed, stream,
+  // message index) — deterministic per seed, independent per fault kind.
+  // Decisions and limbo bookkeeping happen under fmu_; mailbox delivery
+  // (box.mu) happens strictly after it is released — the two locks never
+  // nest, in either order.
+  bool dup = false;
+  bool held = false;
+  {
+    std::lock_guard<std::mutex> lock(fmu_);
+    const std::uint64_t key = stream_key(src, dst, tag);
+    const long long idx = stream_idx_[key]++;
+    if (u01(plan_.seed, key, idx, 1) < plan_.drop) {
+      ++counters_.dropped;
+      return 0;  // vanished on the wire
+    }
+    dup = u01(plan_.seed, key, idx, 2) < plan_.dup;
+    const bool delay = u01(plan_.seed, key, idx, 3) < plan_.delay;
+    const bool reorder = !delay && u01(plan_.seed, key, idx, 4) < plan_.reorder;
+    if (dup) ++counters_.duplicated;
+    if (delay) ++counters_.delayed;
+    if (reorder) ++counters_.reordered;
+    if (delay || reorder) {
+      held = true;
+      Limbo l;
+      l.release = Clock::now() + std::chrono::microseconds(plan_.delay_us);
+      l.after_next = reorder;
+      if (dup) {
+        // The duplicate travels normally (below) while the original waits.
+        Message copy = m;
+        copy.payload = m.payload.clone();
+        l.m = std::move(copy);
+      } else {
+        l.m = std::move(m);
+      }
+      limbo_[dst].push_back(std::move(l));
+    }
+  }
+  if (held && !dup) return 0;
+  if (dup && !held) {
+    Message copy = m;
+    copy.payload = m.payload.clone();
+    enqueue(dst, std::move(copy));
+  }
+  enqueue(dst, std::move(m));
+  return 0;
 }
 
 bool Comm::test(int /*request*/) const { return true; }
 
+std::optional<Clock::time_point> Comm::release_due(int rank) {
+  std::vector<Message> due;
+  std::optional<Clock::time_point> earliest;
+  {
+    std::lock_guard<std::mutex> lock(fmu_);
+    if (limbo_.empty()) return std::nullopt;
+    auto& limbo = limbo_[rank];
+    if (limbo.empty()) return std::nullopt;
+    const auto now = Clock::now();
+    for (auto it = limbo.begin(); it != limbo.end();) {
+      if (it->release <= now) {
+        due.push_back(std::move(it->m));
+        it = limbo.erase(it);
+      } else {
+        if (!earliest || it->release < *earliest) earliest = it->release;
+        ++it;
+      }
+    }
+  }
+  if (!due.empty()) {
+    auto& box = *boxes_[rank];
+    std::lock_guard<std::mutex> lock(box.mu);
+    for (auto& m : due) box.q.push_back(std::move(m));
+    box.cv.notify_one();
+  }
+  return earliest;
+}
+
 std::optional<Message> Comm::try_recv(int rank) {
+  if (faults_) release_due(rank);
   auto& box = *boxes_[rank];
   std::lock_guard<std::mutex> lock(box.mu);
   if (box.q.empty()) return std::nullopt;
@@ -37,6 +215,7 @@ std::optional<Message> Comm::try_recv(int rank) {
 }
 
 std::deque<Message> Comm::drain(int rank) {
+  if (faults_) release_due(rank);
   auto& box = *boxes_[rank];
   std::deque<Message> out;
   std::lock_guard<std::mutex> lock(box.mu);
@@ -46,22 +225,44 @@ std::deque<Message> Comm::drain(int rank) {
 
 std::optional<Message> Comm::recv_wait(int rank, int timeout_us) {
   auto& box = *boxes_[rank];
-  std::unique_lock<std::mutex> lock(box.mu);
-  if (box.q.empty()) {
-    box.cv.wait_for(lock, std::chrono::microseconds(timeout_us));
+  const auto deadline = Clock::now() + std::chrono::microseconds(timeout_us);
+  for (;;) {
+    // Release due limbo traffic first and cap this round's sleep at the
+    // next pending release, so a delayed message never waits for the
+    // caller's full timeout. Computed BEFORE taking box.mu (never nest
+    // box.mu under fmu_ or vice versa).
+    auto until = deadline;
+    if (faults_) {
+      if (auto next = release_due(rank); next && *next < until) until = *next;
+    }
+    {
+      std::unique_lock<std::mutex> lock(box.mu);
+      // Absolute-deadline predicate wait: spurious wakeups re-evaluate
+      // against the same deadline instead of restarting the timeout.
+      box.cv.wait_until(lock, until, [&] {
+        return !box.q.empty() || box.wake_pending;
+      });
+      if (box.wake_pending) {
+        box.wake_pending = false;  // consume the latched interrupt
+        if (box.q.empty()) return std::nullopt;
+      }
+      if (!box.q.empty()) {
+        Message m = std::move(box.q.front());
+        box.q.pop_front();
+        return m;
+      }
+    }
+    if (Clock::now() >= deadline) return std::nullopt;
+    // Woke early for a pending limbo release; loop to deliver it.
   }
-  if (box.q.empty()) return std::nullopt;
-  Message m = std::move(box.q.front());
-  box.q.pop_front();
-  return m;
 }
 
 void Comm::barrier() {
   std::unique_lock<std::mutex> lock(bmu_);
-  const int gen = barrier_gen_;
+  const std::uint64_t gen = barrier_gen_;
   if (++barrier_count_ == size()) {
     barrier_count_ = 0;
-    ++barrier_gen_;
+    ++barrier_gen_;  // 64-bit monotone: immediate re-entry cannot alias
     bcv_.notify_all();
   } else {
     bcv_.wait(lock, [&] { return barrier_gen_ != gen; });
@@ -69,11 +270,157 @@ void Comm::barrier() {
 }
 
 void Comm::cancel(int rank) {
+  if (faults_) {
+    std::lock_guard<std::mutex> lock(fmu_);
+    if (!limbo_.empty()) limbo_[rank].clear();
+  }
   auto& box = *boxes_[rank];
   std::lock_guard<std::mutex> lock(box.mu);
   box.q.clear();
 }
 
-void Comm::interrupt(int rank) { boxes_[rank]->cv.notify_all(); }
+void Comm::interrupt(int rank) {
+  auto& box = *boxes_[rank];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.wake_pending = true;  // latch: idempotent, never lost
+  }
+  box.cv.notify_all();
+}
+
+// ---- Reliable ---------------------------------------------------------------
+
+Reliable::Reliable(Comm& comm, int rank, Params params)
+    : comm_(comm), rank_(rank), params_(params) {
+  require(params_.rto_us > 0, "Reliable: rto_us must be positive");
+  require(params_.backoff >= 1.0, "Reliable: backoff must be >= 1");
+  require(params_.max_retries >= 0, "Reliable: max_retries must be >= 0");
+}
+
+long long Reliable::piggyback_ack(int peer) const {
+  auto it = recv_.find(peer);
+  return it == recv_.end() ? -1 : it->second.expected - 1;
+}
+
+void Reliable::send(int dst, int tag, const Packet& payload, int meta) {
+  auto& link = send_[dst];
+  const long long seq = link.next_seq++;
+  comm_.isend(rank_, dst, tag, payload, meta, seq, piggyback_ack(dst), false);
+  if (auto it = recv_.find(dst); it != recv_.end()) {
+    it->second.ack_dirty = false;  // the piggyback carried the ack
+  }
+  Unacked u;
+  u.seq = seq;
+  u.tag = tag;
+  u.meta = meta;
+  u.payload = payload.clone();  // retained for retransmission
+  u.rto_us = params_.rto_us;
+  u.deadline = Clock::now() + std::chrono::microseconds(params_.rto_us);
+  link.unacked.push_back(std::move(u));
+}
+
+void Reliable::on_receive(Message m, std::deque<Message>& deliver) {
+  const int peer = m.source;
+  // 1. Cumulative ack (piggybacked or pure): retire acknowledged frames.
+  if (m.ack >= 0) {
+    if (auto it = send_.find(peer); it != send_.end()) {
+      auto& link = it->second;
+      if (m.ack > link.acked) link.acked = m.ack;
+      while (!link.unacked.empty() && link.unacked.front().seq <= link.acked) {
+        link.unacked.pop_front();
+      }
+    }
+  }
+  if (m.is_ack) return;
+  if (m.seq < 0) {  // unsequenced frame (protocol off on the peer)
+    deliver.push_back(std::move(m));
+    return;
+  }
+  // 2. Data path: dedup, reassemble in order.
+  auto& link = recv_[peer];
+  if (m.seq < link.expected || link.out_of_order.count(m.seq) != 0) {
+    ++dup_suppressed_;
+    // Re-ack: a duplicate usually means our previous ack was lost — if we
+    // stayed silent, the sender would retransmit forever.
+    link.ack_dirty = true;
+    return;
+  }
+  if (m.seq > link.expected) {
+    link.out_of_order.emplace(m.seq, std::move(m));
+    return;
+  }
+  deliver.push_back(std::move(m));
+  ++link.expected;
+  for (auto it = link.out_of_order.begin();
+       it != link.out_of_order.end() && it->first == link.expected;
+       it = link.out_of_order.erase(it)) {
+    deliver.push_back(std::move(it->second));
+    ++link.expected;
+  }
+  link.ack_dirty = true;
+}
+
+void Reliable::flush_acks() {
+  for (auto& [peer, link] : recv_) {
+    if (!link.ack_dirty) continue;
+    // Pure ack: empty payload, tag -1, never sequenced (and therefore
+    // never acked or retransmitted itself — losing one is harmless, the
+    // next duplicate triggers another).
+    comm_.isend(rank_, peer, /*tag=*/-1, Packet(), /*meta=*/0, /*seq=*/-1,
+                link.expected - 1, /*is_ack=*/true);
+    link.ack_dirty = false;
+    ++acks_sent_;
+  }
+}
+
+bool Reliable::poll(Clock::time_point now) {
+  for (auto& [dst, link] : send_) {
+    if (link.exhausted) continue;
+    for (auto& u : link.unacked) {
+      if (u.deadline > now) continue;
+      if (u.retries >= params_.max_retries) {
+        link.exhausted = true;
+        failed_ = true;
+        break;
+      }
+      ++u.retries;
+      ++retransmits_;
+      comm_.isend(rank_, dst, u.tag, u.payload, u.meta, u.seq,
+                  piggyback_ack(dst), false);
+      u.rto_us = static_cast<long long>(
+          static_cast<double>(u.rto_us) * params_.backoff);
+      u.deadline = now + std::chrono::microseconds(u.rto_us);
+      if (retransmit_hook_) retransmit_hook_(dst, u.tag, u.seq);
+    }
+  }
+  return !failed_;
+}
+
+std::vector<LinkGap> Reliable::gaps() const {
+  std::vector<LinkGap> out;
+  for (const auto& [dst, link] : send_) {
+    LinkGap g;
+    g.src = rank_;
+    g.dst = dst;
+    g.next_seq = link.next_seq;
+    g.acked = link.acked;
+    g.expected = -1;  // sender view
+    g.unacked = static_cast<int>(link.unacked.size());
+    g.exhausted = link.exhausted;
+    for (const auto& u : link.unacked) g.pending_tags.push_back(u.tag);
+    out.push_back(std::move(g));
+  }
+  for (const auto& [src, link] : recv_) {
+    LinkGap g;
+    g.src = src;
+    g.dst = rank_;
+    g.next_seq = -1;  // receiver view
+    g.acked = -1;
+    g.expected = link.expected;
+    g.buffered_out_of_order = static_cast<int>(link.out_of_order.size());
+    out.push_back(std::move(g));
+  }
+  return out;
+}
 
 }  // namespace pulsarqr::prt::net

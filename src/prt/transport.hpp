@@ -6,15 +6,30 @@
 // Payloads are deep-copied on send, emulating separate address spaces, so
 // aliasing bugs that MPI would expose are exposed here too. Tag routing is
 // numbered independently per (source, destination) pair, as in the paper.
+//
+// On top of the paper's reliable-fabric assumption, this file adds the
+// chaos machinery the paper never needed:
+//   * FaultPlan — seeded, deterministic drop/duplicate/delay/reorder
+//     injection inside Comm, decided per (src, dst, tag, message-index) by
+//     a pure hash, so a schedule replays identically from its seed.
+//   * Reliable — a sequence-numbered ack/retransmit endpoint the node
+//     proxies layer over Comm to restore exactly-once, in-order delivery
+//     per (src, dst) link when the fabric below is faulted.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "prt/packet.hpp"
@@ -25,7 +40,53 @@ struct Message {
   int source = -1;
   int tag = -1;
   int meta = 0;
-  Packet payload;  ///< already an independent copy on the receive side
+  /// Reliable-transport header, piggybacked on every frame when the
+  /// protocol is on; all -1/false on the (unchanged) fast path.
+  long long seq = -1;  ///< per-(src,dst) data sequence number; -1 = none
+  long long ack = -1;  ///< cumulative ack for the reverse link; -1 = none
+  bool is_ack = false;  ///< pure ack frame (empty payload, not routed)
+  Packet payload;       ///< already an independent copy on the receive side
+};
+
+/// Deterministic fault-injection schedule applied inside Comm::isend.
+/// Every probability decision for the i-th message of a (src, dst, tag)
+/// stream is a pure hash of (seed, src, dst, tag, i): the same seed
+/// replays the same drop/dup/delay/reorder pattern regardless of thread
+/// interleaving (only the wall-clock release of delayed messages varies).
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  double drop = 0.0;     ///< P(message silently dropped)
+  double dup = 0.0;      ///< P(message delivered twice)
+  double delay = 0.0;    ///< P(message held for delay_us before delivery)
+  double reorder = 0.0;  ///< P(message held behind the next one to the rank)
+  int delay_us = 200;    ///< bounded hold time of delayed/reordered messages
+  bool any() const {
+    return drop > 0.0 || dup > 0.0 || delay > 0.0 || reorder > 0.0;
+  }
+};
+
+/// Totals of injected faults, surfaced through Vsa::RunStats / RunReport.
+struct FaultCounters {
+  long long dropped = 0;
+  long long duplicated = 0;
+  long long delayed = 0;
+  long long reordered = 0;
+  long long total() const { return dropped + duplicated + delayed + reordered; }
+};
+
+/// Snapshot of one directed (src, dst) link's sequence state, used by the
+/// graceful-failure RunReport to name in-flight gaps and stuck streams.
+struct LinkGap {
+  int src = -1;
+  int dst = -1;
+  long long next_seq = 0;   ///< sender: next fresh sequence number
+  long long acked = -1;     ///< sender: highest cumulative ack received
+  long long expected = 0;   ///< receiver: next in-order seq it is waiting for
+  int unacked = 0;          ///< sender: frames in flight (sent, not acked)
+  int buffered_out_of_order = 0;  ///< receiver: frames held past a gap
+  bool exhausted = false;   ///< sender: retransmit cap hit on this link
+  std::vector<int> pending_tags;  ///< tags of the unacked frames, in order
+  std::string to_string() const;
 };
 
 /// A "communicator" over nranks in-process ranks.
@@ -35,10 +96,13 @@ class Comm {
 
   int size() const { return static_cast<int>(boxes_.size()); }
 
-  /// Nonblocking send: copies the payload and delivers it to dst's mailbox.
-  /// Returns a request handle; completion is immediate in this transport
-  /// but callers must still test() it (MPI discipline).
-  int isend(int src, int dst, int tag, const Packet& payload, int meta);
+  /// Nonblocking send: copies the payload and delivers it to dst's mailbox
+  /// (through the fault plan, if one is set). Returns a request handle;
+  /// completion is immediate in this transport but callers must still
+  /// test() it (MPI discipline). The trailing seq/ack/is_ack header is
+  /// used by the Reliable layer and defaults to "no header".
+  int isend(int src, int dst, int tag, const Packet& payload, int meta,
+            long long seq = -1, long long ack = -1, bool is_ack = false);
 
   /// MPI_Test equivalent: true once the send completed.
   bool test(int request) const;
@@ -52,31 +116,58 @@ class Comm {
   /// proxy's bulk path). Empty deque when nothing has arrived.
   std::deque<Message> drain(int rank);
 
-  /// Blocking receive with a deadline; used by proxies to idle efficiently.
+  /// Blocking receive with a deadline; used by proxies to idle
+  /// efficiently. The deadline is absolute: spurious condition-variable
+  /// wakeups never extend the effective timeout. Returns early (empty)
+  /// when an interrupt is pending for the rank.
   std::optional<Message> recv_wait(int rank, int timeout_us);
 
   /// MPI_Get_count equivalent.
   static std::size_t get_count(const Message& m) { return m.payload.size(); }
 
-  /// MPI_Barrier equivalent over all ranks.
+  /// MPI_Barrier equivalent over all ranks. The generation counter is
+  /// 64-bit and monotone, so a rank re-entering the barrier immediately
+  /// can never alias a generation an earlier waiter is still testing.
   void barrier();
 
-  /// MPI_Cancel equivalent: drop all undelivered messages for a rank.
+  /// MPI_Cancel equivalent: drop all undelivered messages for a rank
+  /// (including ones held back by the fault plan).
   void cancel(int rank);
 
-  /// Wake a rank blocked in recv_wait (used for shutdown).
+  /// Wake a rank blocked in recv_wait (used for shutdown and to nudge an
+  /// idle proxy). The wake is latched: an interrupt delivered while no
+  /// one waits makes the next recv_wait return immediately instead of
+  /// being lost. Idempotent — repeated interrupts collapse into one latch.
   void interrupt(int rank);
+
+  /// Install the fault plan. Must be called before any traffic; a plan
+  /// with all probabilities zero leaves the fast path untouched.
+  void set_fault_plan(const FaultPlan& plan);
 
   /// Totals for RunStats.
   long long messages_sent() const { return sent_.load(); }
   long long bytes_sent() const { return bytes_.load(); }
+  FaultCounters fault_counters() const;
 
  private:
   struct Mailbox {
     std::mutex mu;
     std::condition_variable cv;
     std::deque<Message> q;
+    bool wake_pending = false;  ///< latched interrupt (guarded by mu)
   };
+  /// A message held back by the fault plan.
+  struct Limbo {
+    std::chrono::steady_clock::time_point release;
+    bool after_next = false;  ///< reorder: also release on the next delivery
+    Message m;
+  };
+
+  void enqueue(int dst, Message m);
+  /// Move due limbo messages of the rank into its mailbox; returns the
+  /// earliest release time still pending (if any).
+  std::optional<std::chrono::steady_clock::time_point> release_due(int rank);
+
   std::vector<std::unique_ptr<Mailbox>> boxes_;
   std::atomic<long long> sent_{0};
   std::atomic<long long> bytes_{0};
@@ -84,7 +175,104 @@ class Comm {
   std::mutex bmu_;
   std::condition_variable bcv_;
   int barrier_count_ = 0;
-  int barrier_gen_ = 0;
+  std::uint64_t barrier_gen_ = 0;
+  // Fault-injection state (all guarded by fmu_; untouched when !faults_).
+  bool faults_ = false;
+  FaultPlan plan_;
+  mutable std::mutex fmu_;
+  std::unordered_map<std::uint64_t, long long> stream_idx_;
+  std::vector<std::vector<Limbo>> limbo_;  ///< per destination rank
+  FaultCounters counters_;
+};
+
+/// Reliable-delivery endpoint for one rank: per-(src,dst) monotone
+/// sequence numbers, cumulative acks piggybacked on data frames (plus
+/// pure-ack frames when no reverse traffic exists), retransmission on
+/// timeout with exponential backoff and a retry cap, and duplicate
+/// suppression + in-order reassembly on the receive side.
+///
+/// Owned and driven by a single proxy thread; not thread-safe. Layered
+/// strictly above Comm: every frame it emits goes through isend (and thus
+/// through the fault plan), every frame it consumes comes from the rank's
+/// mailbox.
+class Reliable {
+ public:
+  struct Params {
+    int rto_us = 2000;      ///< initial retransmit timeout
+    double backoff = 2.0;   ///< timeout multiplier per retransmission
+    int max_retries = 10;   ///< retransmits per frame before giving up
+  };
+
+  Reliable(Comm& comm, int rank, Params params);
+
+  /// Send one data frame to dst: assigns the link's next sequence number,
+  /// piggybacks the cumulative ack of the reverse link, and retains the
+  /// payload for retransmission until acked.
+  void send(int dst, int tag, const Packet& payload, int meta);
+
+  /// Process one raw incoming frame. Data frames that complete the
+  /// in-order prefix of their link (including previously buffered
+  /// out-of-order frames) are appended to `deliver`; duplicates are
+  /// suppressed and pure acks consumed.
+  void on_receive(Message m, std::deque<Message>& deliver);
+
+  /// Emit pure-ack frames for links whose cumulative ack advanced (or
+  /// that saw a duplicate) since the last data frame / flush.
+  void flush_acks();
+
+  /// Retransmit every timed-out unacked frame (with backoff), as of
+  /// `now`. Returns false once any frame has exhausted its retries — the
+  /// link is then considered failed and stops retransmitting.
+  bool poll(std::chrono::steady_clock::time_point now);
+
+  /// Invoked (if set) for every retransmission: (dst, tag, seq).
+  void set_retransmit_hook(std::function<void(int, int, long long)> hook) {
+    retransmit_hook_ = std::move(hook);
+  }
+
+  bool failed() const { return failed_; }
+  long long retransmits() const { return retransmits_; }
+  long long duplicates_suppressed() const { return dup_suppressed_; }
+  long long acks_sent() const { return acks_sent_; }
+
+  /// Sequence-state snapshot of every link this endpoint has touched —
+  /// sender views (src == rank) and receiver views (dst == rank).
+  std::vector<LinkGap> gaps() const;
+
+ private:
+  struct Unacked {
+    long long seq = 0;
+    int tag = -1;
+    int meta = 0;
+    Packet payload;  ///< shared copy; isend deep-copies per transmission
+    std::chrono::steady_clock::time_point deadline;
+    long long rto_us = 0;
+    int retries = 0;
+  };
+  struct SendLink {
+    long long next_seq = 0;
+    long long acked = -1;
+    bool exhausted = false;
+    std::deque<Unacked> unacked;
+  };
+  struct RecvLink {
+    long long expected = 0;
+    std::map<long long, Message> out_of_order;
+    bool ack_dirty = false;
+  };
+
+  long long piggyback_ack(int peer) const;
+
+  Comm& comm_;
+  int rank_;
+  Params params_;
+  std::map<int, SendLink> send_;  ///< keyed by destination rank
+  std::map<int, RecvLink> recv_;  ///< keyed by source rank
+  std::function<void(int, int, long long)> retransmit_hook_;
+  bool failed_ = false;
+  long long retransmits_ = 0;
+  long long dup_suppressed_ = 0;
+  long long acks_sent_ = 0;
 };
 
 }  // namespace pulsarqr::prt::net

@@ -522,11 +522,47 @@ void Vsa::worker_loop_stealing(Worker& w, Node& n) {
 }
 
 void Vsa::proxy_loop(Node& n) {
+  // Reliable endpoint: proxy-local, created only when the protocol is on,
+  // so the disabled fast path below is byte-for-byte the old raw-frame
+  // proxy (the only addition is a null-pointer test per batch).
+  std::unique_ptr<net::Reliable> rel;
+  if (cfg_.reliable_transport) {
+    net::Reliable::Params params;
+    params.rto_us = cfg_.retransmit_timeout_us;
+    params.max_retries = cfg_.max_retransmits;
+    rel = std::make_unique<net::Reliable>(*comm_, n.id, params);
+    if (recorder_->enabled()) {
+      // Retransmissions show up as zero-width marks on the node's proxy
+      // lane (lane total_threads()+node), tuple = (dst, tag, seq).
+      rel->set_retransmit_hook([this, &n](int dst, int tag, long long seq) {
+        recorder_->record_mark(total_threads() + n.id, trace::kColorTransport,
+                               Tuple{dst, tag, static_cast<int>(seq)},
+                               recorder_->now());
+      });
+    }
+  }
   auto deliver = [&](net::Message& m) {
     auto it = n.route.find(route_key(m.source, m.tag));
     PQR_ASSERT(it != n.route.end(), "proxy: unroutable message");
     m.payload.set_meta(m.meta);
     it->second->push(std::move(m.payload));
+  };
+  // Incoming frames pass through the protocol first (ack processing,
+  // dedup, in-order reassembly); `inbox` holds what it cleared for
+  // delivery. With the protocol off, frames go straight through.
+  std::deque<net::Message> inbox;
+  auto accept = [&](net::Message&& m) {
+    if (rel) {
+      rel->on_receive(std::move(m), inbox);
+    } else {
+      inbox.push_back(std::move(m));
+    }
+  };
+  auto deliver_inbox = [&] {
+    while (!inbox.empty()) {
+      deliver(inbox.front());
+      inbox.pop_front();
+    }
   };
   // Batched outgoing drain: swap the whole queue out under one lock
   // instead of one lock round-trip per message, then send lock-free.
@@ -538,8 +574,12 @@ void Vsa::proxy_loop(Node& n) {
       batch.swap(q);
     }
     for (OutMsg& m : batch) {
-      const int req = comm_->isend(n.id, m.dst_node, m.tag, m.p, m.p.meta());
-      PQR_ASSERT(comm_->test(req), "proxy: isend did not complete");
+      if (rel) {
+        rel->send(m.dst_node, m.tag, m.p, m.p.meta());
+      } else {
+        const int req = comm_->isend(n.id, m.dst_node, m.tag, m.p, m.p.meta());
+        PQR_ASSERT(comm_->test(req), "proxy: isend did not complete");
+      }
     }
     return !batch.empty();
   };
@@ -553,8 +593,21 @@ void Vsa::proxy_loop(Node& n) {
     any |= send_all(n.omu, n.outq);
     // Drain all queued incoming messages in one mailbox swap.
     for (auto& m : comm_->drain(n.id)) {
-      deliver(m);
+      accept(std::move(m));
       any = true;
+    }
+    deliver_inbox();
+    if (rel) {
+      rel->flush_acks();
+      // Retransmit timed-out frames — but only while the run is live: a
+      // completed or cancelled run must not ping-pong late frames between
+      // exiting proxies, and a post-completion unacked frame (receiver
+      // done, final ack lost) is not a failure.
+      if (!done_.load(std::memory_order_acquire) &&
+          !cancelled_.load(std::memory_order_acquire) &&
+          !rel->poll(std::chrono::steady_clock::now())) {
+        cancel_run_from_transport();
+      }
     }
     if (done_.load(std::memory_order_acquire) ||
         cancelled_.load(std::memory_order_acquire)) {
@@ -562,9 +615,38 @@ void Vsa::proxy_loop(Node& n) {
       continue;
     }
     if (!any) {
-      if (auto m = comm_->recv_wait(n.id, 200)) deliver(*m);
+      if (auto m = comm_->recv_wait(n.id, 200)) {
+        accept(std::move(*m));
+        deliver_inbox();
+      }
     }
   }
+  if (rel) {
+    // Publish endpoint totals (and, on a failed run, link snapshots) for
+    // RunStats / the RunReport; run() joins proxies before reading them.
+    total_retransmits_.fetch_add(rel->retransmits(),
+                                 std::memory_order_relaxed);
+    total_dups_suppressed_.fetch_add(rel->duplicates_suppressed(),
+                                     std::memory_order_relaxed);
+    total_acks_sent_.fetch_add(rel->acks_sent(), std::memory_order_relaxed);
+    if (cancelled_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(fail_mu_);
+      for (auto& g : rel->gaps()) link_gaps_.push_back(std::move(g));
+    }
+  }
+}
+
+void Vsa::cancel_run_from_transport() {
+  if (transport_failed_.exchange(true, std::memory_order_acq_rel)) return;
+  cancelled_.store(true, std::memory_order_release);
+  // Same wake fan-out as the shutdown path in run(): parked workers,
+  // work-stealing pools, and proxies blocked in recv_wait.
+  for (auto& w : workers_) w->wake();
+  for (auto& node : nodes_) {
+    std::lock_guard<std::mutex> lock(node->pool_mu);
+    node->pool_cv.notify_all();
+  }
+  for (int r = 0; r < cfg_.nodes; ++r) comm_->interrupt(r);
 }
 
 Vsa::RunStats Vsa::run() {
@@ -593,7 +675,10 @@ Vsa::RunStats Vsa::run() {
   }
 
   comm_ = std::make_unique<net::Comm>(cfg_.nodes);
-  recorder_ = std::make_unique<trace::Recorder>(total_threads(), cfg_.trace);
+  if (cfg_.fault_plan.any()) comm_->set_fault_plan(cfg_.fault_plan);
+  // One extra trace lane per node for its proxy (transport marks).
+  recorder_ = std::make_unique<trace::Recorder>(total_threads(), cfg_.trace,
+                                                cfg_.nodes);
   recorder_->start_clock();
 
   workers_running_.store(static_cast<int>(workers_.size()));
@@ -673,9 +758,22 @@ Vsa::RunStats Vsa::run() {
   }
 
   if (cancelled_.load()) {
-    throw Error("PRT watchdog: no VDP fired for " +
-                std::to_string(cfg_.watchdog_seconds) +
-                "s; the VSA is deadlocked.\n" + stuck_diagnostic());
+    // Workers and proxies are already joined: the teardown is complete
+    // and the error below is the only thing that escapes.
+    RunReport report = make_run_report();
+    std::string header;
+    if (report.reason == "transport") {
+      header =
+          "PRT transport: reliable delivery failed (retransmit limit "
+          "reached after " +
+          std::to_string(cfg_.max_retransmits) +
+          " attempts); tearing the run down.\n";
+    } else {
+      header = "PRT watchdog: no VDP fired for " +
+               std::to_string(cfg_.watchdog_seconds) +
+               "s; the VSA is deadlocked.\n";
+    }
+    throw RunError(header, std::move(report));
   }
 
   RunStats stats;
@@ -685,29 +783,66 @@ Vsa::RunStats Vsa::run() {
   stats.fires = fires_.load();
   stats.remote_messages = comm_->messages_sent();
   stats.remote_bytes = comm_->bytes_sent();
+  stats.faults = comm_->fault_counters();
+  stats.retransmits = total_retransmits_.load(std::memory_order_relaxed);
+  stats.duplicates_suppressed =
+      total_dups_suppressed_.load(std::memory_order_relaxed);
+  stats.acks_sent = total_acks_sent_.load(std::memory_order_relaxed);
   for (auto& w : workers_) stats.busy_per_thread.push_back(w->busy);
   for (Vdp* v : creation_order_) {
     for (auto& ch : v->inputs_) stats.leftover_packets += ch->size();
   }
   for (int r = 0; r < cfg_.nodes; ++r) {
-    while (comm_->try_recv(r)) ++stats.leftover_packets;
+    while (auto m = comm_->try_recv(r)) {
+      // Protocol frames lingering in a mailbox after a successful run
+      // (late pure acks, retransmitted copies of already-delivered data)
+      // are expected residue, not lost application packets.
+      if (!m->is_ack && m->seq < 0) ++stats.leftover_packets;
+    }
   }
   return stats;
 }
 
-std::string Vsa::stuck_diagnostic() const {
-  std::ostringstream os;
+Vsa::RunReport Vsa::make_run_report() const {
+  RunReport r;
+  r.reason = transport_failed_.load(std::memory_order_acquire) ? "transport"
+                                                               : "watchdog";
   int shown = 0;
-  int alive = 0;
   for (const Vdp* v : creation_order_) {
     if (v->dead()) continue;
-    ++alive;
+    ++r.vdps_alive;
     if (shown >= 20) continue;
     ++shown;
-    os << "  VDP " << v->tuple_.to_string() << " counter=" << v->counter_
-       << " inputs=" << describe_input_slots(*v) << '\n';
+    r.stuck_vdps.push_back("VDP " + v->tuple_.to_string() +
+                           " counter=" + std::to_string(v->counter_) +
+                           " inputs=" + describe_input_slots(*v));
   }
-  os << "  (" << alive << " VDPs still alive)";
+  r.faults = comm_->fault_counters();
+  r.retransmits = total_retransmits_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(fail_mu_);
+    for (const auto& g : link_gaps_) {
+      // Keep only links with something actually in flight or broken —
+      // naming every idle link would bury the culprit.
+      const bool sender_stuck = g.next_seq >= 0 && (g.unacked > 0 || g.exhausted);
+      const bool receiver_stuck = g.expected >= 0 && g.buffered_out_of_order > 0;
+      if (sender_stuck || receiver_stuck) r.links.push_back(g);
+    }
+  }
+  return r;
+}
+
+std::string Vsa::RunReport::to_string() const {
+  std::ostringstream os;
+  for (const std::string& line : stuck_vdps) os << "  " << line << '\n';
+  os << "  (" << vdps_alive << " VDPs still alive)";
+  for (const auto& g : links) os << "\n  " << g.to_string();
+  if (faults.total() > 0) {
+    os << "\n  injected faults: dropped=" << faults.dropped
+       << " duplicated=" << faults.duplicated << " delayed=" << faults.delayed
+       << " reordered=" << faults.reordered;
+  }
+  if (retransmits > 0) os << "\n  retransmits=" << retransmits;
   return os.str();
 }
 

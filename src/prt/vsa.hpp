@@ -12,6 +12,7 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -62,6 +63,23 @@ class Vsa {
     /// graphs that intentionally violate the static model (e.g. VDPs
     /// whose packet flow cannot be declared).
     bool graph_check = true;
+    /// Layer the sequence-numbered ack/retransmit protocol over the
+    /// inter-node transport (per-(src,dst) monotone sequence numbers,
+    /// cumulative acks piggybacked on traffic, retransmit with exponential
+    /// backoff, duplicate suppression). Off by default: the fast path is
+    /// untouched when disabled — proxies send raw frames exactly as
+    /// before. Required for correct completion under a lossy fault_plan.
+    bool reliable_transport = false;
+    /// Deterministic fault injection applied to every inter-node frame
+    /// (including protocol acks and retransmissions). A default
+    /// (all-zero) plan leaves the transport untouched.
+    net::FaultPlan fault_plan;
+    /// Initial retransmit timeout of the reliable protocol; doubles per
+    /// retry (exponential backoff).
+    int retransmit_timeout_us = 2000;
+    /// Retransmissions per frame before the link is declared failed and
+    /// the run torn down with a RunError.
+    int max_retransmits = 10;
   };
 
   struct RunStats {
@@ -71,6 +89,38 @@ class Vsa {
     long long remote_bytes = 0;
     int leftover_packets = 0;
     std::vector<double> busy_per_thread;
+    // Transport health (all zero on a clean, fault-free run).
+    net::FaultCounters faults;           ///< injected by Config::fault_plan
+    long long retransmits = 0;           ///< frames re-sent by the protocol
+    long long duplicates_suppressed = 0; ///< frames deduplicated on receive
+    long long acks_sent = 0;             ///< pure (non-piggybacked) acks
+  };
+
+  /// Structured diagnosis attached to a RunError: what was stuck and why,
+  /// in machine-readable form (the what() string renders the same data).
+  struct RunReport {
+    std::string reason;  ///< "watchdog" or "transport"
+    std::vector<std::string> stuck_vdps;  ///< tuple/counter/input-slot lines
+    int vdps_alive = 0;
+    std::vector<net::LinkGap> links;  ///< in-flight sequence gaps per link
+    net::FaultCounters faults;
+    long long retransmits = 0;
+    std::string to_string() const;
+  };
+
+  /// Thrown by run() on watchdog expiry or reliable-transport failure
+  /// AFTER workers and proxies have been joined — the process is left
+  /// clean (no detached threads, no leaked packets), and report() names
+  /// the stuck VDPs, the affected (src,dst,tag) streams, and the injected
+  /// fault totals.
+  class RunError : public Error {
+   public:
+    RunError(const std::string& header, RunReport report)
+        : Error(header + report.to_string()), report_(std::move(report)) {}
+    const RunReport& report() const { return report_; }
+
+   private:
+    RunReport report_;
   };
 
   explicit Vsa(Config cfg);
@@ -151,7 +201,10 @@ class Vsa {
   void worker_loop_stealing(Worker& w, Node& n);
   void proxy_loop(Node& n);
   void fire(Vdp& v, Worker& w);
-  std::string stuck_diagnostic() const;
+  RunReport make_run_report() const;
+  /// First-failure path (called from a proxy): mark the run failed and
+  /// wake every worker and proxy so the shutdown join in run() completes.
+  void cancel_run_from_transport();
 
   Config cfg_;
   std::unordered_map<Tuple, std::unique_ptr<Vdp>, TupleHash> vdps_;
@@ -190,6 +243,16 @@ class Vsa {
   std::atomic<bool> done_{false};
   bool ran_ = false;
   int spin_us_ = 0;  ///< Config::spin_us with the auto default resolved
+
+  // Transport-health state, published by proxies (Reliable endpoints are
+  // proxy-local; gaps and totals are deposited here at detection/exit so
+  // run() can build the RunReport after joining them).
+  std::atomic<bool> transport_failed_{false};
+  std::atomic<long long> total_retransmits_{0};
+  std::atomic<long long> total_dups_suppressed_{0};
+  std::atomic<long long> total_acks_sent_{0};
+  mutable std::mutex fail_mu_;
+  std::vector<net::LinkGap> link_gaps_;  ///< guarded by fail_mu_
 
 };
 

@@ -332,6 +332,10 @@ class Builder {
     c.channel_impl = opt.channel_impl;
     c.spin_us = opt.spin_us;
     c.graph_check = opt.graph_check;
+    c.reliable_transport = opt.reliable_transport;
+    c.fault_plan = opt.fault_plan;
+    c.retransmit_timeout_us = opt.retransmit_timeout_us;
+    c.max_retransmits = opt.max_retransmits;
     return c;
   }
 
@@ -609,6 +613,10 @@ class ApplyBuilder {
     c.channel_impl = opt.channel_impl;
     c.spin_us = opt.spin_us;
     c.graph_check = opt.graph_check;
+    c.reliable_transport = opt.reliable_transport;
+    c.fault_plan = opt.fault_plan;
+    c.retransmit_timeout_us = opt.retransmit_timeout_us;
+    c.max_retransmits = opt.max_retransmits;
     return c;
   }
 

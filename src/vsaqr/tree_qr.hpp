@@ -42,6 +42,16 @@ struct TreeQrOptions {
   /// Statically verify the constructed array with prt::GraphCheck before
   /// executing it (see prt::Vsa::Config::graph_check).
   bool graph_check = true;
+  /// Ack/retransmit reliable delivery on the inter-node transport (see
+  /// prt::Vsa::Config::reliable_transport). Required for correct
+  /// completion when fault_plan injects losses.
+  bool reliable_transport = false;
+  /// Deterministic chaos schedule for the inter-node transport (see
+  /// prt::Vsa::Config::fault_plan); inert when all probabilities are zero.
+  prt::net::FaultPlan fault_plan;
+  /// Reliable-protocol tuning (see prt::Vsa::Config).
+  int retransmit_timeout_us = 2000;
+  int max_retransmits = 10;
 };
 
 struct TreeQrRun {

@@ -1,0 +1,469 @@
+// Chaos-engineering tests for the PRT transport: deterministic fault
+// injection (net::FaultPlan), the ack/retransmit reliable-delivery
+// protocol (net::Reliable), and the graceful-failure path
+// (Vsa::RunError + RunReport).
+//
+// The soak test at the bottom runs the full tree QR under many seeded
+// fault schedules and verifies each run bit-for-bit against the
+// sequential reference plus ||A - QR|| / orthogonality residuals. The
+// schedule count defaults to 102 (>= the 100 the acceptance criteria
+// ask for); set PQR_CHAOS_SCHEDULES to shrink it for smoke/TSan runs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <deque>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "common/rng.hpp"
+#include "prt/transport.hpp"
+#include "prt/vsa.hpp"
+#include "ref/apply_q.hpp"
+#include "ref/reference_qr.hpp"
+#include "vsaqr/tree_qr.hpp"
+
+namespace pulsarqr {
+namespace {
+
+using prt::Packet;
+using prt::net::Comm;
+using prt::net::FaultPlan;
+using prt::net::Message;
+using prt::net::Reliable;
+using Clock = std::chrono::steady_clock;
+using std::chrono::microseconds;
+
+// ---- FaultPlan determinism --------------------------------------------------
+
+TEST(FaultPlanTest, SameSeedReplaysTheSameSchedule) {
+  auto run = [](std::uint64_t seed) {
+    Comm comm(2);
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.drop = 0.2;
+    plan.dup = 0.2;
+    comm.set_fault_plan(plan);
+    for (int i = 0; i < 200; ++i) comm.isend(0, 1, 3, Packet::make(8), i);
+    std::vector<int> metas;
+    while (auto m = comm.try_recv(1)) metas.push_back(m->meta);
+    return std::make_pair(metas, comm.fault_counters());
+  };
+  const auto a = run(42);
+  const auto b = run(42);
+  const auto c = run(43);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second.dropped, b.second.dropped);
+  EXPECT_EQ(a.second.duplicated, b.second.duplicated);
+  EXPECT_NE(a.first, c.first) << "different seeds produced identical faults";
+  // The plan actually did something on this schedule.
+  EXPECT_GT(a.second.dropped, 0);
+  EXPECT_GT(a.second.duplicated, 0);
+}
+
+TEST(FaultPlanTest, DroppedMessagesVanishAndAreCounted) {
+  Comm comm(2);
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.drop = 1.0;
+  comm.set_fault_plan(plan);
+  for (int i = 0; i < 10; ++i) comm.isend(0, 1, 0, Packet::make(8), i);
+  EXPECT_FALSE(comm.try_recv(1).has_value());
+  EXPECT_EQ(comm.fault_counters().dropped, 10);
+  EXPECT_EQ(comm.messages_sent(), 10);  // sent counts the caller's isends
+}
+
+TEST(FaultPlanTest, DelayedMessagesArriveWithinTheBound) {
+  Comm comm(2);
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.delay = 1.0;
+  plan.delay_us = 2000;
+  comm.set_fault_plan(plan);
+  for (int i = 0; i < 5; ++i) comm.isend(0, 1, 0, Packet::make(8), i);
+  // Every message is in limbo, but recv_wait caps its sleep at the next
+  // pending release, so each arrives well before the 5 s timeout.
+  for (int i = 0; i < 5; ++i) {
+    auto m = comm.recv_wait(1, 5'000'000);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->meta, i);  // same-fate messages keep their order
+  }
+  EXPECT_EQ(comm.fault_counters().delayed, 5);
+}
+
+TEST(FaultPlanTest, ReorderDeliversALaterMessageFirst) {
+  // A reorder-held message is released right after the NEXT message to
+  // the rank lands — producing a genuine inversion. The hold time bound
+  // is huge so only the after-next mechanism can release it here.
+  bool saw_inversion = false;
+  for (std::uint64_t seed = 0; seed < 64 && !saw_inversion; ++seed) {
+    Comm comm(2);
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.reorder = 0.5;
+    plan.delay_us = 60'000'000;
+    comm.set_fault_plan(plan);
+    for (int i = 0; i < 20; ++i) comm.isend(0, 1, 0, Packet::make(8), i);
+    std::vector<int> metas;
+    while (auto m = comm.try_recv(1)) metas.push_back(m->meta);
+    if (!std::is_sorted(metas.begin(), metas.end())) saw_inversion = true;
+  }
+  EXPECT_TRUE(saw_inversion);
+}
+
+// ---- Reliable protocol unit tests ------------------------------------------
+
+Reliable::Params slow_params() {
+  Reliable::Params p;
+  p.rto_us = 60'000'000;  // no spurious retransmits inside a unit test
+  return p;
+}
+
+TEST(ReliableTest, InOrderDeliveryAndCumulativeAck) {
+  Comm comm(2);
+  Reliable a(comm, 0, slow_params());
+  Reliable b(comm, 1, slow_params());
+  a.send(1, 3, Packet::make(8), 11);
+  a.send(1, 3, Packet::make(8), 22);
+  std::deque<Message> inbox;
+  while (auto m = comm.try_recv(1)) b.on_receive(std::move(*m), inbox);
+  ASSERT_EQ(inbox.size(), 2u);
+  EXPECT_EQ(inbox[0].meta, 11);
+  EXPECT_EQ(inbox[1].meta, 22);
+  EXPECT_EQ(inbox[0].seq, 0);
+  EXPECT_EQ(inbox[1].seq, 1);
+  b.flush_acks();
+  EXPECT_EQ(b.acks_sent(), 1);  // one cumulative ack covers both frames
+  std::deque<Message> back;
+  while (auto m = comm.try_recv(0)) a.on_receive(std::move(*m), back);
+  EXPECT_TRUE(back.empty());  // pure acks are consumed, not delivered
+  // Everything acked: nothing to retransmit even in the far future.
+  EXPECT_TRUE(a.poll(Clock::now() + std::chrono::hours(1)));
+  EXPECT_EQ(a.retransmits(), 0);
+}
+
+TEST(ReliableTest, DuplicateIsSuppressedAndReAcked) {
+  Comm comm(2);
+  Reliable a(comm, 0, slow_params());
+  Reliable b(comm, 1, slow_params());
+  a.send(1, 5, Packet::make(8), 1);
+  auto frame = comm.try_recv(1);
+  ASSERT_TRUE(frame.has_value());
+  Message dup = *frame;
+  dup.payload = frame->payload.clone();
+  std::deque<Message> inbox;
+  b.on_receive(std::move(*frame), inbox);
+  ASSERT_EQ(inbox.size(), 1u);
+  b.flush_acks();
+  EXPECT_EQ(b.acks_sent(), 1);
+  // The duplicate (e.g. a retransmission racing the ack) is dropped, but
+  // it re-arms the ack: staying silent would leave a sender whose ack was
+  // lost retransmitting forever.
+  b.on_receive(std::move(dup), inbox);
+  EXPECT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(b.duplicates_suppressed(), 1);
+  b.flush_acks();
+  EXPECT_EQ(b.acks_sent(), 2);
+}
+
+TEST(ReliableTest, OutOfOrderFramesAreReassembled) {
+  Comm comm(2);
+  Reliable a(comm, 0, slow_params());
+  Reliable b(comm, 1, slow_params());
+  for (int i = 0; i < 3; ++i) a.send(1, 2, Packet::make(8), 100 + i);
+  std::vector<Message> frames;
+  while (auto m = comm.try_recv(1)) frames.push_back(std::move(*m));
+  ASSERT_EQ(frames.size(), 3u);
+  std::deque<Message> inbox;
+  b.on_receive(std::move(frames[2]), inbox);  // future frame: buffered
+  EXPECT_TRUE(inbox.empty());
+  b.on_receive(std::move(frames[0]), inbox);  // head of line
+  EXPECT_EQ(inbox.size(), 1u);
+  b.on_receive(std::move(frames[1]), inbox);  // fills the gap: 1 then 2
+  ASSERT_EQ(inbox.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(inbox[static_cast<std::size_t>(i)].meta, 100 + i);
+  }
+}
+
+TEST(ReliableTest, RetransmitBackoffIsExponential) {
+  Comm comm(2);
+  Reliable::Params prm;
+  prm.rto_us = 1000;
+  prm.backoff = 2.0;
+  prm.max_retries = 10;
+  Reliable a(comm, 0, prm);
+  std::vector<long long> hook_seqs;
+  a.set_retransmit_hook(
+      [&](int dst, int tag, long long seq) {
+        EXPECT_EQ(dst, 1);
+        EXPECT_EQ(tag, 9);
+        hook_seqs.push_back(seq);
+      });
+  a.send(1, 9, Packet::make(8), 0);
+  (void)comm.try_recv(1);  // the wire eats the frame; no ack ever comes
+  // Synthetic clock: `base` is past the initial deadline, then each step
+  // checks the doubled timeout (1000 -> 2000 -> 4000 us).
+  const auto base = Clock::now() + std::chrono::seconds(1);
+  EXPECT_TRUE(a.poll(base));
+  EXPECT_EQ(a.retransmits(), 1);
+  EXPECT_TRUE(a.poll(base + microseconds(1000)));  // rto doubled: not due
+  EXPECT_EQ(a.retransmits(), 1);
+  EXPECT_TRUE(a.poll(base + microseconds(2000)));
+  EXPECT_EQ(a.retransmits(), 2);
+  EXPECT_TRUE(a.poll(base + microseconds(5000)));  // rto now 4000: not due
+  EXPECT_EQ(a.retransmits(), 2);
+  EXPECT_TRUE(a.poll(base + microseconds(6000)));
+  EXPECT_EQ(a.retransmits(), 3);
+  EXPECT_EQ(hook_seqs, (std::vector<long long>{0, 0, 0}));
+  // Each retransmission put a real frame on the wire, same sequence.
+  int copies = 0;
+  while (auto m = comm.try_recv(1)) {
+    EXPECT_EQ(m->seq, 0);
+    ++copies;
+  }
+  EXPECT_EQ(copies, 3);
+}
+
+TEST(ReliableTest, ExhaustedRetriesFailTheLinkAndNameTheStream) {
+  Comm comm(2);
+  Reliable::Params prm;
+  prm.rto_us = 100;
+  prm.max_retries = 3;
+  Reliable a(comm, 0, prm);
+  a.send(1, 7, Packet::make(8), 0);
+  auto t = Clock::now() + std::chrono::seconds(1);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(a.poll(t));
+    t += std::chrono::seconds(1);  // every deadline long expired
+  }
+  EXPECT_EQ(a.retransmits(), 3);
+  EXPECT_FALSE(a.poll(t));  // cap hit: the link is declared failed
+  EXPECT_TRUE(a.failed());
+  EXPECT_FALSE(a.poll(t + std::chrono::seconds(1)));  // and stays failed
+  EXPECT_EQ(a.retransmits(), 3);  // no further retransmissions
+  const auto gaps = a.gaps();
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0].src, 0);
+  EXPECT_EQ(gaps[0].dst, 1);
+  EXPECT_TRUE(gaps[0].exhausted);
+  EXPECT_EQ(gaps[0].unacked, 1);
+  ASSERT_EQ(gaps[0].pending_tags.size(), 1u);
+  EXPECT_EQ(gaps[0].pending_tags[0], 7);
+  const std::string s = gaps[0].to_string();
+  EXPECT_NE(s.find("link 0->1"), std::string::npos);
+  EXPECT_NE(s.find("RETRANSMITS_EXHAUSTED"), std::string::npos);
+  EXPECT_NE(s.find("tags=[7]"), std::string::npos);
+}
+
+// ---- graceful failure through Vsa::run() ------------------------------------
+
+vsaqr::TreeQrOptions chaos_qr_options(int nodes, int workers) {
+  vsaqr::TreeQrOptions opt;
+  opt.tree = {plan::TreeKind::BinaryOnFlat, 2, plan::BoundaryMode::Shifted};
+  opt.ib = 2;
+  opt.nodes = nodes;
+  opt.workers_per_node = workers;
+  opt.watchdog_seconds = 30.0;
+  return opt;
+}
+
+TEST(ChaosTest, ExhaustedRetriesProduceStructuredRunReport) {
+  Matrix a0(40, 10);
+  fill_random(a0.view(), 11);
+  TileMatrix a = TileMatrix::from_dense(a0.view(), 5);
+  auto opt = chaos_qr_options(2, 2);
+  opt.fault_plan.seed = 1;
+  opt.fault_plan.drop = 1.0;  // the fabric eats everything, acks included
+  opt.reliable_transport = true;
+  opt.retransmit_timeout_us = 200;
+  opt.max_retransmits = 3;
+  try {
+    vsaqr::tree_qr(a, opt);
+    FAIL() << "a fully lossy link must fail the run";
+  } catch (const prt::Vsa::RunError& e) {
+    const auto& r = e.report();
+    EXPECT_EQ(r.reason, "transport");
+    EXPECT_GT(r.vdps_alive, 0);
+    EXPECT_FALSE(r.stuck_vdps.empty());
+    EXPECT_GT(r.faults.dropped, 0);
+    EXPECT_GT(r.retransmits, 0);
+    ASSERT_FALSE(r.links.empty()) << "report must name the broken streams";
+    bool named = false;
+    for (const auto& g : r.links) {
+      if (g.exhausted && !g.pending_tags.empty()) named = true;
+    }
+    EXPECT_TRUE(named);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("RETRANSMITS_EXHAUSTED"), std::string::npos);
+    EXPECT_NE(what.find("retransmit limit"), std::string::npos);
+    EXPECT_NE(what.find("VDPs still alive"), std::string::npos);
+  }
+}
+
+TEST(ChaosTest, LossWithoutReliableTripsWatchdogWithFaultCounters) {
+  Matrix a0(40, 10);
+  fill_random(a0.view(), 12);
+  TileMatrix a = TileMatrix::from_dense(a0.view(), 5);
+  auto opt = chaos_qr_options(2, 2);
+  opt.fault_plan.seed = 2;
+  opt.fault_plan.drop = 1.0;
+  opt.reliable_transport = false;  // nothing repairs the losses
+  opt.watchdog_seconds = 0.5;
+  try {
+    vsaqr::tree_qr(a, opt);
+    FAIL() << "dropped packets without reliable delivery must deadlock";
+  } catch (const prt::Vsa::RunError& e) {
+    EXPECT_EQ(e.report().reason, "watchdog");
+    EXPECT_GT(e.report().faults.dropped, 0);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("PRT watchdog"), std::string::npos);
+    EXPECT_NE(what.find("VDPs still alive"), std::string::npos);
+    EXPECT_NE(what.find("injected faults"), std::string::npos);
+  }
+}
+
+TEST(ChaosTest, ReliableTransportIsInertOnACleanFabric) {
+  Matrix a0(40, 10);
+  fill_random(a0.view(), 13);
+  TileMatrix a = TileMatrix::from_dense(a0.view(), 5);
+  auto reference = ref::tree_qr(TileMatrix::from_dense(a0.view(), 5), 2,
+                                chaos_qr_options(2, 2).tree);
+  auto opt = chaos_qr_options(2, 2);
+  opt.reliable_transport = true;  // protocol on, zero faults
+  // Huge RTO: a clean fabric must never time out, so the run is free of
+  // retransmissions even on a heavily loaded (e.g. TSan) machine.
+  opt.retransmit_timeout_us = 60'000'000;
+  auto run = vsaqr::tree_qr(a, opt);
+  EXPECT_EQ(run.stats.retransmits, 0);
+  EXPECT_EQ(run.stats.faults.total(), 0);
+  EXPECT_EQ(run.stats.duplicates_suppressed, 0);
+  EXPECT_EQ(run.stats.leftover_packets, 0);
+  for (int j = 0; j < run.factors.a.cols(); ++j) {
+    for (int i = 0; i < run.factors.a.rows(); ++i) {
+      ASSERT_EQ(run.factors.a.at(i, j), reference.a.at(i, j))
+          << "factors differ at (" << i << "," << j << ")";
+    }
+  }
+}
+
+// ---- the chaos soak ---------------------------------------------------------
+
+struct SoakShape {
+  int m, n, nb, ib;
+  plan::PlanConfig tree;
+  int nodes, workers;
+};
+
+// >= 100 seeded schedules by default (acceptance criterion); CI smoke and
+// TSan runs shrink it via PQR_CHAOS_SCHEDULES.
+int soak_schedules() {
+  if (const char* e = std::getenv("PQR_CHAOS_SCHEDULES")) {
+    const int n = std::atoi(e);
+    if (n > 0) return n;
+  }
+  return 102;
+}
+
+TEST(ChaosTest, SoakManySeededSchedulesStayCorrect) {
+  const std::vector<SoakShape> shapes = {
+      {40, 10, 5, 2, {plan::TreeKind::BinaryOnFlat, 2,
+                      plan::BoundaryMode::Shifted}, 2, 2},
+      {48, 12, 6, 3, {plan::TreeKind::Binary, 1,
+                      plan::BoundaryMode::Shifted}, 3, 1},
+      {30, 10, 5, 5, {plan::TreeKind::Flat, 1,
+                      plan::BoundaryMode::Fixed}, 2, 2},
+  };
+  // One matrix + sequential reference per shape; every schedule must
+  // reproduce the reference factors bit-for-bit.
+  std::vector<Matrix> inputs;
+  std::vector<ref::TreeQrFactors> references;
+  for (std::size_t s = 0; s < shapes.size(); ++s) {
+    const auto& sh = shapes[s];
+    Matrix a0(sh.m, sh.n);
+    fill_random(a0.view(), 900 + static_cast<int>(s));
+    references.push_back(ref::tree_qr(TileMatrix::from_dense(a0.view(), sh.nb),
+                                      sh.ib, sh.tree));
+    inputs.push_back(std::move(a0));
+  }
+  const int schedules = soak_schedules();
+  long long total_faults = 0;
+  long long total_retransmits = 0;
+  for (int s = 0; s < schedules; ++s) {
+    const std::size_t which = static_cast<std::size_t>(s) % shapes.size();
+    const auto& sh = shapes[which];
+    const Matrix& a0 = inputs[which];
+    TileMatrix a = TileMatrix::from_dense(a0.view(), sh.nb);
+
+    vsaqr::TreeQrOptions opt;
+    opt.tree = sh.tree;
+    opt.ib = sh.ib;
+    opt.nodes = sh.nodes;
+    opt.workers_per_node = sh.workers;
+    opt.watchdog_seconds = 60.0;
+    opt.reliable_transport = true;
+    opt.retransmit_timeout_us = 800;
+    opt.max_retransmits = 30;
+    opt.fault_plan.seed = 1000 + static_cast<std::uint64_t>(s);
+    opt.fault_plan.drop = 0.08;
+    opt.fault_plan.dup = 0.08;
+    opt.fault_plan.delay = 0.12;
+    opt.fault_plan.reorder = 0.10;
+    opt.fault_plan.delay_us = 200;
+
+    auto run = vsaqr::tree_qr(a, opt);
+    total_faults += run.stats.faults.total();
+    total_retransmits += run.stats.retransmits;
+    ASSERT_EQ(run.stats.leftover_packets, 0)
+        << "schedule " << opt.fault_plan.seed;
+
+    // Bitwise against the fault-free sequential reference: reliable
+    // delivery must make the chaos completely invisible.
+    const auto& ref = references[which];
+    for (int j = 0; j < ref.a.cols(); ++j) {
+      for (int i = 0; i < ref.a.rows(); ++i) {
+        ASSERT_EQ(run.factors.a.at(i, j), ref.a.at(i, j))
+            << "schedule " << opt.fault_plan.seed << " diverged at (" << i
+            << "," << j << ")";
+      }
+    }
+    // Residuals: ||A - QR|| and orthogonality ||Q^T Q - I||.
+    const int kk = std::min(sh.m, sh.n);
+    Matrix q = ref::form_q(run.factors, sh.m);
+    Matrix r = ref::extract_r(run.factors);
+    Matrix qr(sh.m, sh.n);
+    blas::gemm(blas::Trans::No, blas::Trans::No, 1.0,
+               q.block(0, 0, sh.m, kk), r.block(0, 0, kk, sh.n), 0.0,
+               qr.view());
+    double err = 0.0;
+    for (int j = 0; j < sh.n; ++j) {
+      for (int i = 0; i < sh.m; ++i) {
+        err = std::max(err, std::abs(qr(i, j) - a0(i, j)));
+      }
+    }
+    ASSERT_LT(err / (1.0 + blas::norm_max(a0.view())), 1e-12 * sh.m)
+        << "schedule " << opt.fault_plan.seed;
+    Matrix qtq(kk, kk);
+    blas::gemm(blas::Trans::Yes, blas::Trans::No, 1.0,
+               q.block(0, 0, sh.m, kk), q.block(0, 0, sh.m, kk), 0.0,
+               qtq.view());
+    double orth = 0.0;
+    for (int j = 0; j < kk; ++j) {
+      for (int i = 0; i < kk; ++i) {
+        orth = std::max(orth,
+                        std::abs(qtq(i, j) - (i == j ? 1.0 : 0.0)));
+      }
+    }
+    ASSERT_LT(orth, 1e-12 * sh.m) << "schedule " << opt.fault_plan.seed;
+  }
+  // Sanity: the soak actually exercised the machinery — faults were
+  // injected and at least one lost frame was repaired by retransmission.
+  EXPECT_GT(total_faults, 0);
+  EXPECT_GT(total_retransmits, 0);
+}
+
+}  // namespace
+}  // namespace pulsarqr

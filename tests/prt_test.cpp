@@ -236,5 +236,74 @@ TEST(Comm, CancelDropsQueued) {
   EXPECT_FALSE(comm.try_recv(1).has_value());
 }
 
+// interrupt() is latched: delivered while nobody waits, it makes the NEXT
+// recv_wait return immediately instead of being lost, and repeated
+// interrupts collapse into one latch (idempotent across re-shutdowns).
+TEST(Comm, InterruptIsLatchedAndIdempotent) {
+  net::Comm comm(1);
+  comm.interrupt(0);
+  comm.interrupt(0);
+  comm.interrupt(0);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(comm.recv_wait(0, 5'000'000).has_value());
+  EXPECT_LT(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(500));  // returned on the latch
+  // The latch was consumed: the next wait times out normally.
+  const auto t1 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(comm.recv_wait(0, 20'000).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - t1,
+            std::chrono::microseconds(10'000));
+  // A latch pending alongside a queued message must not eat the message.
+  comm.isend(0, 0, 1, Packet::make(8), 7);
+  comm.interrupt(0);
+  auto m = comm.recv_wait(0, 1'000'000);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->meta, 7);
+}
+
+// Regression stress for barrier generation reuse: a rank re-entering the
+// barrier immediately must never release (or be counted into) the
+// previous generation. The two-barrier pattern makes the count exact: all
+// ranks contribute before barrier #1 releases, and none may contribute to
+// the next round until barrier #2 releases. Run under TSan in CI.
+TEST(Comm, BarrierImmediateReentryStress) {
+  const int ranks = 4;
+  const int iters = 2000;
+  net::Comm comm(ranks);
+  std::atomic<long long> count{0};
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < ranks; ++r) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < iters; ++i) {
+        count.fetch_add(1, std::memory_order_relaxed);
+        comm.barrier();
+        if (count.load(std::memory_order_relaxed) !=
+            static_cast<long long>(ranks) * (i + 1)) {
+          ok.store(false);
+        }
+        comm.barrier();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(ok.load());
+  EXPECT_EQ(count.load(), static_cast<long long>(ranks) * iters);
+}
+
+// The channels' lifetime counters feed the stuck-VDP diagnostics.
+TEST_P(ChannelImplParam, PushedPoppedCounters) {
+  Channel ch(64, true, GetParam());
+  EXPECT_EQ(ch.pushed(), 0);
+  EXPECT_EQ(ch.popped(), 0);
+  for (int i = 0; i < 4; ++i) ch.push(Packet::make(8, i));
+  (void)ch.pop();
+  EXPECT_EQ(ch.pushed(), 4);
+  EXPECT_EQ(ch.popped(), 1);
+  ch.destroy();  // drops the queued packets: they count as consumed
+  EXPECT_EQ(ch.pushed(), 4);
+  EXPECT_EQ(ch.popped(), 4);
+}
+
 }  // namespace
 }  // namespace pulsarqr::prt

@@ -3,7 +3,14 @@
 //   pqr factor   --m 4096 --n 512 [--nb 128 --ib 32 --tree hier --h 6
 //                 --boundary shifted --nodes 2 --workers 2 --sched lazy
 //                 --trace trace.csv --check --seed 1 --graph-check 0
-//                 --channel spsc|mutex --spin-us -1|0|50 --gemm packed|ref]
+//                 --channel spsc|mutex --spin-us -1|0|50 --gemm packed|ref
+//                 --chaos-seed 42 --drop 0.05 --dup 0.05 --reorder 0.1
+//                 --delay 0.1 --delay-us 200 --reliable
+//                 --rto-us 2000 --max-retransmits 10]
+//
+// The chaos flags install a deterministic FaultPlan on the inter-node
+// transport (same seed => same fault schedule); --reliable layers the
+// ack/retransmit protocol on top so the run still completes correctly.
 //   pqr solve    --m 4096 --n 512 [--nrhs 1 ...]
 //   pqr chol     --n 1024 [--nb 128 --nodes 2 --workers 2]
 //   pqr lu       --n 1024 [--nb 128 --nodes 2 --workers 2]
@@ -53,6 +60,10 @@ struct Args {
   std::string gets(const std::string& k, const std::string& dflt) const {
     auto it = kv.find(k);
     return it == kv.end() ? dflt : it->second;
+  }
+  double getd(const std::string& k, double dflt) const {
+    auto it = kv.find(k);
+    return it == kv.end() ? dflt : std::atof(it->second.c_str());
   }
 };
 
@@ -110,6 +121,22 @@ vsaqr::TreeQrOptions qr_options(const Args& a) {
                          ? prt::ChannelImpl::Mutex
                          : prt::ChannelImpl::Spsc;
   opt.spin_us = a.geti("spin-us", opt.spin_us);
+  // Chaos engineering: a seeded deterministic fault schedule plus the
+  // reliable-delivery protocol that tolerates it.
+  opt.fault_plan.seed = static_cast<std::uint64_t>(a.geti("chaos-seed", 0));
+  opt.fault_plan.drop = a.getd("drop", 0.0);
+  opt.fault_plan.dup = a.getd("dup", 0.0);
+  opt.fault_plan.delay = a.getd("delay", 0.0);
+  opt.fault_plan.reorder = a.getd("reorder", 0.0);
+  opt.fault_plan.delay_us = a.geti("delay-us", opt.fault_plan.delay_us);
+  opt.reliable_transport = a.geti("reliable", 0) != 0;
+  opt.retransmit_timeout_us = a.geti("rto-us", opt.retransmit_timeout_us);
+  opt.max_retransmits = a.geti("max-retransmits", opt.max_retransmits);
+  if (opt.fault_plan.any() && !opt.reliable_transport) {
+    std::fprintf(stderr,
+                 "warning: fault injection without --reliable; expect a "
+                 "watchdog RunError on lossy schedules\n");
+  }
   return opt;
 }
 
@@ -128,6 +155,15 @@ int cmd_factor(const Args& a) {
               run.stats.seconds, run.stats.fires, run.vdp_count,
               run.channel_count, run.stats.remote_messages,
               run.stats.remote_bytes / 1e6);
+  if (opt.fault_plan.any() || opt.reliable_transport) {
+    std::printf("transport: dropped=%lld duplicated=%lld delayed=%lld "
+                "reordered=%lld | retransmits=%lld dups_suppressed=%lld "
+                "acks=%lld\n",
+                run.stats.faults.dropped, run.stats.faults.duplicated,
+                run.stats.faults.delayed, run.stats.faults.reordered,
+                run.stats.retransmits, run.stats.duplicates_suppressed,
+                run.stats.acks_sent);
+  }
   if (a.has("trace")) {
     std::ofstream os(a.gets("trace", "trace.csv"));
     prt::trace::write_csv(os, run.events);
