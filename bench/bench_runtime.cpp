@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/rng.hpp"
+#include "prt/packet_pool.hpp"
 #include "prt/vsa.hpp"
 #include "vsaqr/tree_qr.hpp"
 
@@ -76,19 +77,24 @@ void BM_channel_ping(benchmark::State& state) {
   set_impl_label(state);
 }
 
-// Inter-node ping through the proxy path, A/B of the ack/retransmit
-// reliable-delivery protocol (off must show no measurable overhead: the
-// sequencing machinery is not even instantiated then).
+// Inter-node ping through the proxy path: a 3-way A/B matrix of egress
+// frame coalescing (on/off), the ack/retransmit reliable-delivery
+// protocol (off must show no measurable overhead: the sequencing
+// machinery is not even instantiated then), and the packet pool.
 void BM_channel_ping_internode(benchmark::State& state) {
   const int length = 8;
   const int packets = 256;
-  const bool reliable = state.range(0) == 1;
+  const bool coalesce = state.range(0) == 1;
+  const bool reliable = state.range(1) == 1;
+  const bool pool = state.range(2) == 1;
+  prt::PacketPool::set_enabled(pool);
   for (auto _ : state) {
     state.PauseTiming();
     Vsa::Config cfg;
     cfg.nodes = 2;
     cfg.workers_per_node = 1;
     cfg.reliable_transport = reliable;
+    cfg.coalesce_bytes = coalesce ? 64 * 1024 : 0;
     Vsa vsa(cfg);
     // Alternate home nodes so every hop crosses the proxy transport.
     for (int i = 0; i < length; ++i) {
@@ -113,7 +119,10 @@ void BM_channel_ping_internode(benchmark::State& state) {
     benchmark::DoNotOptimize(stats.remote_messages);
   }
   state.SetItemsProcessed(state.iterations() * length * packets);
-  state.SetLabel(reliable ? "reliable-on" : "reliable-off");
+  state.SetLabel(std::string(coalesce ? "coalesce-on" : "coalesce-off") +
+                 (reliable ? "/reliable-on" : "/reliable-off") +
+                 (pool ? "/pool-on" : "/pool-off"));
+  prt::PacketPool::set_enabled(true);
 }
 
 // End-to-end tree QR at small tiles, where per-packet runtime overhead —
@@ -139,13 +148,19 @@ void BM_qr_small_nb(benchmark::State& state) {
   set_impl_label(state);
 }
 
+// Pooled vs plain allocation: the recycled steady state against a fresh
+// aligned heap allocation per packet.
 void BM_packet_alloc(benchmark::State& state) {
   const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  const bool pool = state.range(1) == 1;
+  prt::PacketPool::set_enabled(pool);
   for (auto _ : state) {
     Packet p = Packet::make(bytes);
     benchmark::DoNotOptimize(p.bytes());
   }
   state.SetItemsProcessed(state.iterations());
+  state.SetLabel(pool ? "pool-on" : "pool-off");
+  prt::PacketPool::set_enabled(true);
 }
 
 void BM_packet_clone(benchmark::State& state) {
@@ -237,11 +252,16 @@ void BM_bypass_chain(benchmark::State& state) {
 
 BENCHMARK(BM_channel_push_pop)->Arg(0)->Arg(1);
 BENCHMARK(BM_channel_ping)->Arg(0)->Arg(1)->UseRealTime();
-BENCHMARK(BM_channel_ping_internode)->Arg(0)->Arg(1)
+BENCHMARK(BM_channel_ping_internode)
+    ->Args({1, 0, 1})->Args({0, 0, 1})  // coalesce A/B, reliable off
+    ->Args({1, 1, 1})->Args({0, 1, 1})  // coalesce A/B, reliable on
+    ->Args({1, 0, 0})->Args({0, 0, 0})  // pool off, coalesce A/B
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 BENCHMARK(BM_qr_small_nb)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)
     ->UseRealTime();
-BENCHMARK(BM_packet_alloc)->Arg(64)->Arg(192 * 192 * 8);
+BENCHMARK(BM_packet_alloc)
+    ->Args({64, 1})->Args({64, 0})
+    ->Args({192 * 192 * 8, 1})->Args({192 * 192 * 8, 0});
 BENCHMARK(BM_packet_clone)->Arg(64)->Arg(192 * 192 * 8);
 BENCHMARK(BM_vdp_fire_local)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond);

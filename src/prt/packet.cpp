@@ -1,21 +1,11 @@
 #include "prt/packet.hpp"
 
-#include <new>
+#include "prt/packet_pool.hpp"
 
 namespace pulsarqr::prt {
 
-namespace {
-std::shared_ptr<std::byte[]> alloc_aligned(std::size_t bytes) {
-  // Over-align to 64 bytes so double payloads sit on cache lines.
-  auto* raw = static_cast<std::byte*>(
-      ::operator new[](bytes > 0 ? bytes : 1, std::align_val_t(64)));
-  return std::shared_ptr<std::byte[]>(
-      raw, [](std::byte* p) { ::operator delete[](p, std::align_val_t(64)); });
-}
-}  // namespace
-
 Packet Packet::make(std::size_t bytes, int meta) {
-  return Packet(alloc_aligned(bytes), bytes, meta);
+  return Packet(PacketPool::acquire(bytes), bytes, meta);
 }
 
 Packet Packet::clone() const {

@@ -19,7 +19,9 @@ class Packet {
  public:
   Packet() = default;
 
-  /// Allocate an uninitialized packet of `bytes` bytes.
+  /// Allocate an uninitialized packet of `bytes` bytes. The buffer comes
+  /// from prt::PacketPool (recycled on last-reference release), so a
+  /// warmed steady state performs no heap allocation here.
   static Packet make(std::size_t bytes, int meta = 0);
 
   /// Deep copy (used by the inter-node transport and by VDPs that must
@@ -30,6 +32,15 @@ class Packet {
   std::size_t size() const { return size_; }
   int meta() const { return meta_; }
   void set_meta(int m) { meta_ = m; }
+
+  /// Shrink the logical payload to `bytes` (<= size()). The underlying
+  /// buffer keeps its full capacity and still returns to its pool size
+  /// class; used by the proxy's frame coalescer to trim a staged wire
+  /// buffer to the bytes actually gathered.
+  void truncate(std::size_t bytes) {
+    PQR_ASSERT(bytes <= size_, "truncate: cannot grow a packet");
+    size_ = bytes;
+  }
 
   std::byte* bytes() { return data_.get(); }
   const std::byte* bytes() const { return data_.get(); }

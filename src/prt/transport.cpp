@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <sstream>
 
 namespace pulsarqr::prt::net {
@@ -117,9 +118,13 @@ void Comm::enqueue(int dst, Message m) {
 }
 
 int Comm::isend(int src, int dst, int tag, const Packet& payload, int meta,
-                long long seq, long long ack, bool is_ack) {
+                long long seq, long long ack, bool is_ack, bool shared) {
   PQR_ASSERT(dst >= 0 && dst < size(), "isend: bad destination rank");
-  Message m{src, tag, meta, seq, ack, is_ack, payload.clone()};  // deep copy
+  // Default: deep copy, emulating separate address spaces. `shared` hands
+  // over a reference for payloads immutable on both sides (coalesced wire
+  // buffers, retransmissions) — see the declaration for the contract.
+  Message m{src, tag, meta, seq, ack, is_ack,
+            shared ? payload : payload.clone()};
   sent_.fetch_add(1, std::memory_order_relaxed);
   bytes_.fetch_add(static_cast<long long>(payload.size()),
                    std::memory_order_relaxed);
@@ -302,10 +307,12 @@ long long Reliable::piggyback_ack(int peer) const {
   return it == recv_.end() ? -1 : it->second.expected - 1;
 }
 
-void Reliable::send(int dst, int tag, const Packet& payload, int meta) {
+void Reliable::send(int dst, int tag, const Packet& payload, int meta,
+                    bool shared) {
   auto& link = send_[dst];
   const long long seq = link.next_seq++;
-  comm_.isend(rank_, dst, tag, payload, meta, seq, piggyback_ack(dst), false);
+  comm_.isend(rank_, dst, tag, payload, meta, seq, piggyback_ack(dst), false,
+              shared);
   if (auto it = recv_.find(dst); it != recv_.end()) {
     it->second.ack_dirty = false;  // the piggyback carried the ack
   }
@@ -313,7 +320,7 @@ void Reliable::send(int dst, int tag, const Packet& payload, int meta) {
   u.seq = seq;
   u.tag = tag;
   u.meta = meta;
-  u.payload = payload.clone();  // retained for retransmission
+  u.payload = payload;  // retained shared — see the Unacked contract
   u.rto_us = params_.rto_us;
   u.deadline = Clock::now() + std::chrono::microseconds(params_.rto_us);
   link.unacked.push_back(std::move(u));
@@ -385,8 +392,10 @@ bool Reliable::poll(Clock::time_point now) {
       }
       ++u.retries;
       ++retransmits_;
+      // Shared: the retained buffer goes on the wire as-is, no deep copy
+      // per transmission (the receiver's seq dedup discards stale copies).
       comm_.isend(rank_, dst, u.tag, u.payload, u.meta, u.seq,
-                  piggyback_ack(dst), false);
+                  piggyback_ack(dst), false, /*shared=*/true);
       u.rto_us = static_cast<long long>(
           static_cast<double>(u.rto_us) * params_.backoff);
       u.deadline = now + std::chrono::microseconds(u.rto_us);
@@ -421,6 +430,53 @@ std::vector<LinkGap> Reliable::gaps() const {
     out.push_back(std::move(g));
   }
   return out;
+}
+
+// ---- frame coalescing -------------------------------------------------------
+
+void FrameStager::add(int tag, int meta, const Packet& p) {
+  PQR_ASSERT(fits(p.size()), "FrameStager::add: frame does not fit");
+  if (buf_.empty()) buf_ = Packet::make(capacity_);
+  std::byte* at = buf_.bytes() + used_;
+  const std::int32_t tag32 = tag;
+  const std::int32_t meta32 = meta;
+  const std::uint64_t size64 = p.size();
+  std::memcpy(at, &tag32, 4);
+  std::memcpy(at + 4, &meta32, 4);
+  std::memcpy(at + 8, &size64, 8);
+  if (p.size() > 0) std::memcpy(at + kHeaderBytes, p.bytes(), p.size());
+  used_ += wire_size(p.size());
+  ++frames_;
+}
+
+Packet FrameStager::take() {
+  PQR_ASSERT(frames_ > 0, "FrameStager::take: nothing staged");
+  buf_.truncate(used_);
+  buf_.set_meta(frames_);
+  Packet out = std::move(buf_);
+  buf_ = Packet();
+  used_ = 0;
+  frames_ = 0;
+  return out;
+}
+
+bool FrameCursor::next(WireFrame& out) {
+  if (off_ >= size_) return false;
+  PQR_ASSERT(off_ + 16 <= size_, "FrameCursor: truncated frame header");
+  std::int32_t tag32 = 0;
+  std::int32_t meta32 = 0;
+  std::uint64_t size64 = 0;
+  std::memcpy(&tag32, data_ + off_, 4);
+  std::memcpy(&meta32, data_ + off_ + 4, 4);
+  std::memcpy(&size64, data_ + off_ + 8, 8);
+  out.tag = tag32;
+  out.meta = meta32;
+  out.size = static_cast<std::size_t>(size64);
+  out.data = data_ + off_ + 16;
+  PQR_ASSERT(off_ + FrameStager::wire_size(out.size) <= size_,
+             "FrameCursor: truncated frame payload");
+  off_ += FrameStager::wire_size(out.size);
+  return true;
 }
 
 }  // namespace pulsarqr::prt::net

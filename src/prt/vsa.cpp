@@ -3,8 +3,10 @@
 #include <algorithm>
 
 #include "prt/graph_check.hpp"
+#include "prt/packet_pool.hpp"
 #include <chrono>
 #include <condition_variable>
+#include <cstring>
 #include <deque>
 #include <map>
 #include <mutex>
@@ -130,6 +132,10 @@ struct Vsa::Node {
   // serialization makes the enqueue order the channel order).
   std::mutex omu;
   std::deque<OutMsg> outq;
+
+  /// Seconds the proxy spent on transport work (written by the proxy
+  /// thread, read by run() after joining it).
+  double proxy_busy = 0.0;
 
   void enqueue(Vdp* v) {
     {
@@ -542,8 +548,28 @@ void Vsa::proxy_loop(Node& n) {
     }
   }
   auto deliver = [&](net::Message& m) {
+    if (m.tag == net::kAggregateTag) {
+      // Split an aggregate back into its application frames. Each frame
+      // gets a fresh pooled packet: the aggregate buffer is shared with
+      // the sender (and, under Reliable, with its retransmit retention),
+      // so channels must not alias into it.
+      net::FrameCursor cursor(m.payload);
+      net::WireFrame wf;
+      int count = 0;
+      while (cursor.next(wf)) {
+        auto it = n.route.find(route_key(m.source, wf.tag));
+        PQR_ASSERT(it != n.route.end(), "proxy: unroutable coalesced frame");
+        Packet p = Packet::make(wf.size, wf.meta);
+        if (wf.size > 0) std::memcpy(p.bytes(), wf.data, wf.size);
+        it->second->push(std::move(p));
+        ++count;
+      }
+      PQR_ASSERT(count == m.meta, "proxy: aggregate frame count mismatch");
+      return;
+    }
     auto it = n.route.find(route_key(m.source, m.tag));
     PQR_ASSERT(it != n.route.end(), "proxy: unroutable message");
+    // Raw frame: adopt the transport's (pooled) buffer directly.
     m.payload.set_meta(m.meta);
     it->second->push(std::move(m.payload));
   };
@@ -564,8 +590,91 @@ void Vsa::proxy_loop(Node& n) {
       inbox.pop_front();
     }
   };
+  // ---- egress: per-destination frame coalescing ----
+  //
+  // Outbound frames are gather-copied into one pooled wire buffer per
+  // destination and shipped as a single aggregate message (one fault-plan
+  // decision, one sequence number) when the stage fills, its deadline
+  // expires, or the run winds down. Frames that could never fit are sent
+  // directly — after flushing the stage, so per-destination order holds.
+  using Clock = std::chrono::steady_clock;
+  const std::size_t cap = cfg_.coalesce_bytes;
+  const auto flush_window = std::chrono::microseconds(
+      cfg_.coalesce_flush_us > 0 ? cfg_.coalesce_flush_us : 0);
+  struct Egress {
+    net::FrameStager stager;
+    Clock::time_point deadline{};  ///< flush-by time of the oldest frame
+    explicit Egress(std::size_t c) : stager(c) {}
+  };
+  std::map<int, Egress> egress;  // destination rank -> staging buffer
+  long long frames = 0, frame_bytes = 0, coalesced = 0, aggregates = 0;
+  double busy = 0.0;
+
+  auto wire_send = [&](int dst, int tag, const Packet& p, int meta,
+                       bool shared) {
+    if (rel) {
+      rel->send(dst, tag, p, meta, shared);
+    } else {
+      const int req = comm_->isend(n.id, dst, tag, p, meta, /*seq=*/-1,
+                                   /*ack=*/-1, /*is_ack=*/false, shared);
+      PQR_ASSERT(comm_->test(req), "proxy: isend did not complete");
+    }
+  };
+  auto flush = [&](int dst, Egress& e) {
+    if (e.stager.empty()) return false;
+    coalesced += e.stager.frames();
+    ++aggregates;
+    const Packet wire = e.stager.take();
+    // Shared: the gather copy above already played the address-space
+    // copy; the receiving proxy splits into fresh pooled packets.
+    wire_send(dst, net::kAggregateTag, wire, wire.meta(), /*shared=*/true);
+    return true;
+  };
+  auto send_one = [&](OutMsg& m) {
+    ++frames;
+    frame_bytes += static_cast<long long>(m.p.size());
+    if (cap == 0) {  // coalescing off: one wire message per frame
+      wire_send(m.dst_node, m.tag, m.p, m.p.meta(), /*shared=*/false);
+      return;
+    }
+    Egress& e = egress.try_emplace(m.dst_node, cap).first->second;
+    if (net::FrameStager::wire_size(m.p.size()) > cap) {
+      flush(m.dst_node, e);  // preserve per-destination order
+      wire_send(m.dst_node, m.tag, m.p, m.p.meta(), /*shared=*/false);
+      return;
+    }
+    if (!e.stager.fits(m.p.size())) flush(m.dst_node, e);
+    if (e.stager.empty()) e.deadline = Clock::now() + flush_window;
+    e.stager.add(m.tag, m.p.meta(), m.p);
+  };
+  auto flush_due = [&](Clock::time_point now) {
+    bool any = false;
+    for (auto& [dst, e] : egress) {
+      if (!e.stager.empty() && now >= e.deadline) any |= flush(dst, e);
+    }
+    return any;
+  };
+  auto flush_all = [&] {
+    bool any = false;
+    for (auto& [dst, e] : egress) any |= flush(dst, e);
+    return any;
+  };
+  /// Microseconds until the earliest staged-frame deadline, capped at
+  /// `cap_us` — bounds the idle recv_wait so a deadline flush is prompt.
+  auto next_flush_in_us = [&](Clock::time_point now, int cap_us) {
+    long long best = cap_us;
+    for (auto& [dst, e] : egress) {
+      if (e.stager.empty()) continue;
+      const auto left = std::chrono::duration_cast<std::chrono::microseconds>(
+                            e.deadline - now)
+                            .count();
+      best = std::min(best, std::max<long long>(left, 0));
+    }
+    return static_cast<int>(best);
+  };
+
   // Batched outgoing drain: swap the whole queue out under one lock
-  // instead of one lock round-trip per message, then send lock-free.
+  // instead of one lock round-trip per message, then stage lock-free.
   std::deque<OutMsg> batch;
   auto send_all = [&](std::mutex& mu, std::deque<OutMsg>& q) {
     batch.clear();
@@ -573,17 +682,11 @@ void Vsa::proxy_loop(Node& n) {
       std::lock_guard<std::mutex> lock(mu);
       batch.swap(q);
     }
-    for (OutMsg& m : batch) {
-      if (rel) {
-        rel->send(m.dst_node, m.tag, m.p, m.p.meta());
-      } else {
-        const int req = comm_->isend(n.id, m.dst_node, m.tag, m.p, m.p.meta());
-        PQR_ASSERT(comm_->test(req), "proxy: isend did not complete");
-      }
-    }
+    for (OutMsg& m : batch) send_one(m);
     return !batch.empty();
   };
   for (;;) {
+    const auto t0 = Clock::now();
     bool any = false;
     // Serve the outgoing queues of this node's workers (and the node
     // queue used by the work-stealing executor).
@@ -605,22 +708,43 @@ void Vsa::proxy_loop(Node& n) {
       // done, final ack lost) is not a failure.
       if (!done_.load(std::memory_order_acquire) &&
           !cancelled_.load(std::memory_order_acquire) &&
-          !rel->poll(std::chrono::steady_clock::now())) {
+          !rel->poll(Clock::now())) {
         cancel_run_from_transport();
       }
     }
-    if (done_.load(std::memory_order_acquire) ||
-        cancelled_.load(std::memory_order_acquire)) {
+    const bool winding_down = done_.load(std::memory_order_acquire) ||
+                              cancelled_.load(std::memory_order_acquire);
+    // Ship staged aggregates whose deadline passed — or everything, once
+    // the run winds down (an unflushed stage would strand its frames).
+    any |= winding_down ? flush_all() : flush_due(Clock::now());
+    busy += std::chrono::duration<double>(Clock::now() - t0).count();
+    if (winding_down) {
       if (!any) break;
       continue;
     }
     if (!any) {
-      if (auto m = comm_->recv_wait(n.id, 200)) {
+      // Idle: no outbound frames queued and the mailbox is dry, so the
+      // pipeline is likely stalled waiting on what we staged. Flush now
+      // instead of holding to the deadline (Nagle with an idle bypass) —
+      // extra batching should cost latency only while the proxy is busy.
+      const auto f0 = Clock::now();
+      if (flush_all()) {
+        busy += std::chrono::duration<double>(Clock::now() - f0).count();
+        continue;
+      }
+      if (auto m = comm_->recv_wait(n.id, next_flush_in_us(Clock::now(), 200))) {
+        const auto r0 = Clock::now();
         accept(std::move(*m));
         deliver_inbox();
+        busy += std::chrono::duration<double>(Clock::now() - r0).count();
       }
     }
   }
+  n.proxy_busy = busy;
+  total_remote_msgs_.fetch_add(frames, std::memory_order_relaxed);
+  total_remote_bytes_.fetch_add(frame_bytes, std::memory_order_relaxed);
+  total_coalesced_.fetch_add(coalesced, std::memory_order_relaxed);
+  total_aggregates_.fetch_add(aggregates, std::memory_order_relaxed);
   if (rel) {
     // Publish endpoint totals (and, on a failed run, link snapshots) for
     // RunStats / the RunReport; run() joins proxies before reading them.
@@ -676,6 +800,9 @@ Vsa::RunStats Vsa::run() {
 
   comm_ = std::make_unique<net::Comm>(cfg_.nodes);
   if (cfg_.fault_plan.any()) comm_->set_fault_plan(cfg_.fault_plan);
+  // Pool counters are process-global; snapshot them so RunStats reports
+  // this run's delta (a warmed pool shows zero misses here).
+  const PacketPool::Stats pool0 = PacketPool::stats();
   // One extra trace lane per node for its proxy (transport marks).
   recorder_ = std::make_unique<trace::Recorder>(total_threads(), cfg_.trace,
                                                 cfg_.nodes);
@@ -781,14 +908,24 @@ Vsa::RunStats Vsa::run() {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
           .count();
   stats.fires = fires_.load();
-  stats.remote_messages = comm_->messages_sent();
-  stats.remote_bytes = comm_->bytes_sent();
+  stats.remote_messages = total_remote_msgs_.load(std::memory_order_relaxed);
+  stats.remote_bytes = total_remote_bytes_.load(std::memory_order_relaxed);
+  stats.wire_messages = comm_->messages_sent();
+  stats.wire_bytes = comm_->bytes_sent();
+  stats.coalesced_frames = total_coalesced_.load(std::memory_order_relaxed);
+  stats.aggregates_sent = total_aggregates_.load(std::memory_order_relaxed);
+  const PacketPool::Stats pool1 = PacketPool::stats();
+  stats.pool_hits = pool1.hits - pool0.hits;
+  stats.pool_misses = pool1.misses - pool0.misses;
   stats.faults = comm_->fault_counters();
   stats.retransmits = total_retransmits_.load(std::memory_order_relaxed);
   stats.duplicates_suppressed =
       total_dups_suppressed_.load(std::memory_order_relaxed);
   stats.acks_sent = total_acks_sent_.load(std::memory_order_relaxed);
   for (auto& w : workers_) stats.busy_per_thread.push_back(w->busy);
+  for (auto& node : nodes_) {
+    stats.proxy_busy_per_node.push_back(node->proxy_busy);
+  }
   for (Vdp* v : creation_order_) {
     for (auto& ch : v->inputs_) stats.leftover_packets += ch->size();
   }

@@ -80,15 +80,42 @@ class Vsa {
     /// Retransmissions per frame before the link is declared failed and
     /// the run torn down with a RunError.
     int max_retransmits = 10;
+    /// Per-destination egress coalescing: each proxy stages outbound
+    /// frames per destination rank and ships them as one aggregate wire
+    /// message of up to this many bytes (one fault-plan decision and, under
+    /// reliable_transport, one sequence number per aggregate). Frames too
+    /// large to ever fit are sent directly, after flushing the stage to
+    /// preserve per-destination order. 0 disables coalescing (every frame
+    /// is its own wire message, as before).
+    std::size_t coalesce_bytes = 64 * 1024;
+    /// Deadline for a non-full staged aggregate: a proxy flushes any
+    /// destination whose oldest staged frame has waited this long.
+    int coalesce_flush_us = 50;
   };
 
   struct RunStats {
     double seconds = 0.0;
     long long fires = 0;
+    /// Application frames crossing node boundaries (counted by the sending
+    /// proxies) and their payload bytes — independent of how the transport
+    /// packages them on the wire.
     long long remote_messages = 0;
     long long remote_bytes = 0;
+    /// What actually hit the wire: aggregates count once however many
+    /// frames they carry, and wire_bytes includes framing headers. With
+    /// coalescing off, wire_messages == remote_messages (+ protocol acks).
+    long long wire_messages = 0;
+    long long wire_bytes = 0;
+    long long coalesced_frames = 0;  ///< frames shipped inside aggregates
+    long long aggregates_sent = 0;   ///< aggregate wire messages
+    // Packet-pool health for this run (steady state: misses stop growing).
+    long long pool_hits = 0;
+    long long pool_misses = 0;
     int leftover_packets = 0;
     std::vector<double> busy_per_thread;
+    /// Seconds each node's proxy spent doing transport work (sending,
+    /// draining, splitting aggregates) — the runtime's communication cost.
+    std::vector<double> proxy_busy_per_node;
     // Transport health (all zero on a clean, fault-free run).
     net::FaultCounters faults;           ///< injected by Config::fault_plan
     long long retransmits = 0;           ///< frames re-sent by the protocol
@@ -248,6 +275,12 @@ class Vsa {
   // proxy-local; gaps and totals are deposited here at detection/exit so
   // run() can build the RunReport after joining them).
   std::atomic<bool> transport_failed_{false};
+  // Egress accounting, published by proxies at exit: application frames
+  // and payload bytes sent, and how many went inside aggregates.
+  std::atomic<long long> total_remote_msgs_{0};
+  std::atomic<long long> total_remote_bytes_{0};
+  std::atomic<long long> total_coalesced_{0};
+  std::atomic<long long> total_aggregates_{0};
   std::atomic<long long> total_retransmits_{0};
   std::atomic<long long> total_dups_suppressed_{0};
   std::atomic<long long> total_acks_sent_{0};

@@ -336,6 +336,8 @@ class Builder {
     c.fault_plan = opt.fault_plan;
     c.retransmit_timeout_us = opt.retransmit_timeout_us;
     c.max_retransmits = opt.max_retransmits;
+    c.coalesce_bytes = opt.coalesce_bytes;
+    c.coalesce_flush_us = opt.coalesce_flush_us;
     return c;
   }
 
@@ -617,6 +619,8 @@ class ApplyBuilder {
     c.fault_plan = opt.fault_plan;
     c.retransmit_timeout_us = opt.retransmit_timeout_us;
     c.max_retransmits = opt.max_retransmits;
+    c.coalesce_bytes = opt.coalesce_bytes;
+    c.coalesce_flush_us = opt.coalesce_flush_us;
     return c;
   }
 

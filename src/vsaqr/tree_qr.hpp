@@ -52,6 +52,10 @@ struct TreeQrOptions {
   /// Reliable-protocol tuning (see prt::Vsa::Config).
   int retransmit_timeout_us = 2000;
   int max_retransmits = 10;
+  /// Per-destination egress coalescing of inter-node frames (see
+  /// prt::Vsa::Config::coalesce_bytes / coalesce_flush_us). 0 disables.
+  std::size_t coalesce_bytes = 64 * 1024;
+  int coalesce_flush_us = 50;
 };
 
 struct TreeQrRun {

@@ -350,6 +350,100 @@ TEST(ChaosTest, ReliableTransportIsInertOnACleanFabric) {
   }
 }
 
+// ---- coalesced aggregates under chaos ---------------------------------------
+
+// Fault injection applies per WIRE frame, so a dropped / duplicated /
+// reordered aggregate hits every application frame inside it at once and
+// one retransmission must repair them all. Three shapes, several seeds
+// each, bitwise against the fault-free sequential reference.
+TEST(ChaosTest, CoalescedAggregatesSurviveChaos) {
+  struct Shape {
+    int m, n, nb, ib;
+    plan::PlanConfig tree;
+    int nodes, workers;
+  };
+  const std::vector<Shape> shapes = {
+      {40, 10, 5, 2, {plan::TreeKind::BinaryOnFlat, 2,
+                      plan::BoundaryMode::Shifted}, 2, 2},
+      {48, 12, 6, 3, {plan::TreeKind::Binary, 1,
+                      plan::BoundaryMode::Shifted}, 3, 1},
+      {30, 10, 5, 5, {plan::TreeKind::Flat, 1,
+                      plan::BoundaryMode::Fixed}, 2, 2},
+  };
+  long long total_aggregates = 0;
+  for (std::size_t which = 0; which < shapes.size(); ++which) {
+    const auto& sh = shapes[which];
+    Matrix a0(sh.m, sh.n);
+    fill_random(a0.view(), 700 + static_cast<int>(which));
+    const auto reference =
+        ref::tree_qr(TileMatrix::from_dense(a0.view(), sh.nb), sh.ib, sh.tree);
+    for (int s = 0; s < 4; ++s) {
+      TileMatrix a = TileMatrix::from_dense(a0.view(), sh.nb);
+      vsaqr::TreeQrOptions opt;
+      opt.tree = sh.tree;
+      opt.ib = sh.ib;
+      opt.nodes = sh.nodes;
+      opt.workers_per_node = sh.workers;
+      opt.watchdog_seconds = 60.0;
+      opt.reliable_transport = true;
+      opt.retransmit_timeout_us = 800;
+      opt.max_retransmits = 30;
+      opt.coalesce_bytes = 64 * 1024;  // explicit: aggregates on the wire
+      opt.coalesce_flush_us = 50;
+      opt.fault_plan.seed = 4000 + static_cast<std::uint64_t>(s) +
+                            10 * static_cast<std::uint64_t>(which);
+      opt.fault_plan.drop = 0.10;
+      opt.fault_plan.dup = 0.10;
+      opt.fault_plan.reorder = 0.10;
+
+      auto run = vsaqr::tree_qr(a, opt);
+      EXPECT_GT(run.stats.coalesced_frames, 0);
+      total_aggregates += run.stats.aggregates_sent;
+      ASSERT_EQ(run.stats.leftover_packets, 0)
+          << "seed " << opt.fault_plan.seed;
+      for (int j = 0; j < reference.a.cols(); ++j) {
+        for (int i = 0; i < reference.a.rows(); ++i) {
+          ASSERT_EQ(run.factors.a.at(i, j), reference.a.at(i, j))
+              << "seed " << opt.fault_plan.seed << " diverged at (" << i
+              << "," << j << ")";
+        }
+      }
+    }
+  }
+  EXPECT_GT(total_aggregates, 0) << "chaos never saw an aggregate frame";
+}
+
+// The uncoalesced path (coalesce_bytes = 0) is still the wire format of
+// record for oversized frames; it must keep repairing losses too.
+TEST(ChaosTest, RawPathWithoutCoalescingStillRepairs) {
+  Matrix a0(40, 10);
+  fill_random(a0.view(), 21);
+  const auto tree = chaos_qr_options(2, 2).tree;
+  const auto reference =
+      ref::tree_qr(TileMatrix::from_dense(a0.view(), 5), 2, tree);
+  TileMatrix a = TileMatrix::from_dense(a0.view(), 5);
+  auto opt = chaos_qr_options(2, 2);
+  opt.reliable_transport = true;
+  opt.retransmit_timeout_us = 800;
+  opt.max_retransmits = 30;
+  opt.coalesce_bytes = 0;  // every frame is its own wire message
+  opt.fault_plan.seed = 77;
+  opt.fault_plan.drop = 0.10;
+  opt.fault_plan.dup = 0.10;
+  opt.fault_plan.reorder = 0.10;
+  auto run = vsaqr::tree_qr(a, opt);
+  EXPECT_EQ(run.stats.aggregates_sent, 0);
+  EXPECT_EQ(run.stats.coalesced_frames, 0);
+  EXPECT_GT(run.stats.remote_messages, 0);
+  ASSERT_EQ(run.stats.leftover_packets, 0);
+  for (int j = 0; j < reference.a.cols(); ++j) {
+    for (int i = 0; i < reference.a.rows(); ++i) {
+      ASSERT_EQ(run.factors.a.at(i, j), reference.a.at(i, j))
+          << "diverged at (" << i << "," << j << ")";
+    }
+  }
+}
+
 // ---- the chaos soak ---------------------------------------------------------
 
 struct SoakShape {

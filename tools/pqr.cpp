@@ -6,7 +6,8 @@
 //                 --channel spsc|mutex --spin-us -1|0|50 --gemm packed|ref
 //                 --chaos-seed 42 --drop 0.05 --dup 0.05 --reorder 0.1
 //                 --delay 0.1 --delay-us 200 --reliable
-//                 --rto-us 2000 --max-retransmits 10]
+//                 --rto-us 2000 --max-retransmits 10
+//                 --coalesce-bytes 65536 --flush-us 50 --no-packet-pool]
 //
 // The chaos flags install a deterministic FaultPlan on the inter-node
 // transport (same seed => same fault schedule); --reliable layers the
@@ -38,6 +39,7 @@
 #include "common/rng.hpp"
 #include "lu/vsa_lu.hpp"
 #include "lapack/solve.hpp"
+#include "prt/packet_pool.hpp"
 #include "ref/apply_q.hpp"
 #include "sim/chol_sim.hpp"
 #include "sim/lu_sim.hpp"
@@ -132,6 +134,10 @@ vsaqr::TreeQrOptions qr_options(const Args& a) {
   opt.reliable_transport = a.geti("reliable", 0) != 0;
   opt.retransmit_timeout_us = a.geti("rto-us", opt.retransmit_timeout_us);
   opt.max_retransmits = a.geti("max-retransmits", opt.max_retransmits);
+  // Egress coalescing (--coalesce-bytes 0 turns it off).
+  opt.coalesce_bytes = static_cast<std::size_t>(
+      a.geti("coalesce-bytes", static_cast<int>(opt.coalesce_bytes)));
+  opt.coalesce_flush_us = a.geti("flush-us", opt.coalesce_flush_us);
   if (opt.fault_plan.any() && !opt.reliable_transport) {
     std::fprintf(stderr,
                  "warning: fault injection without --reliable; expect a "
@@ -155,6 +161,13 @@ int cmd_factor(const Args& a) {
               run.stats.seconds, run.stats.fires, run.vdp_count,
               run.channel_count, run.stats.remote_messages,
               run.stats.remote_bytes / 1e6);
+  if (run.stats.remote_messages > 0) {
+    std::printf("datapath: wire_msgs=%lld (%.1f MB) coalesced=%lld in %lld "
+                "aggregates | pool hits=%lld misses=%lld\n",
+                run.stats.wire_messages, run.stats.wire_bytes / 1e6,
+                run.stats.coalesced_frames, run.stats.aggregates_sent,
+                run.stats.pool_hits, run.stats.pool_misses);
+  }
   if (opt.fault_plan.any() || opt.reliable_transport) {
     std::printf("transport: dropped=%lld duplicated=%lld delayed=%lld "
                 "reordered=%lld | retransmits=%lld dups_suppressed=%lld "
@@ -323,6 +336,10 @@ int main(int argc, char** argv) {
   } else {
     std::fprintf(stderr, "unknown --gemm %s (packed|ref)\n", gemm.c_str());
     return 2;
+  }
+  // Process-wide packet-buffer recycling A/B switch (on by default).
+  if (a.geti("no-packet-pool", 0) != 0) {
+    prt::PacketPool::set_enabled(false);
   }
   try {
     if (std::strcmp(cmd, "factor") == 0) return cmd_factor(a);
