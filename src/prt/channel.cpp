@@ -1,9 +1,13 @@
 #include "prt/channel.hpp"
 
+#include "prt/tsan.hpp"
+
 namespace pulsarqr::prt {
 
-Channel::Channel(std::size_t max_bytes, bool enabled, ChannelImpl impl)
-    : max_bytes_(max_bytes), impl_(impl), enabled_(enabled) {
+Channel::Channel(std::size_t max_bytes, bool enabled, ChannelImpl impl,
+                 int capacity)
+    : max_bytes_(max_bytes), impl_(impl), capacity_(capacity),
+      enabled_(enabled) {
   if (impl_ == ChannelImpl::Spsc) {
     Node* dummy = new Node;
     head_.store(dummy, std::memory_order_relaxed);
@@ -32,12 +36,14 @@ Channel::Node* Channel::alloc_node() {
   if (first_ != head_copy_) {
     Node* n = first_;
     first_ = n->next.load(std::memory_order_relaxed);
+    PULSARQR_TSAN_ACQUIRE(n);  // node handed back by the consumer's pop
     return n;
   }
   head_copy_ = head_.load(std::memory_order_acquire);
   if (first_ != head_copy_) {
     Node* n = first_;
     first_ = n->next.load(std::memory_order_relaxed);
+    PULSARQR_TSAN_ACQUIRE(n);
     return n;
   }
   return new Node;
@@ -53,6 +59,7 @@ void Channel::push_spsc(Packet p) {
   Node* n = alloc_node();
   n->p = std::move(p);
   n->next.store(nullptr, std::memory_order_relaxed);
+  PULSARQR_TSAN_RELEASE(n);  // payload handoff to the consumer
   tail_->next.store(n, std::memory_order_release);
   tail_ = n;
   // Single-writer counter: plain load + store, no RMW on the hot path.
@@ -64,7 +71,9 @@ Packet Channel::pop_spsc() {
   Node* h = head_.load(std::memory_order_relaxed);  // consumer-owned
   Node* n = h->next.load(std::memory_order_acquire);
   PQR_ASSERT(n != nullptr, "channel: pop from empty channel");
+  PULSARQR_TSAN_ACQUIRE(n);  // pairs with the producer's payload handoff
   Packet p = std::move(n->p);
+  PULSARQR_TSAN_RELEASE(h);  // node handed back for producer recycling
   head_.store(n, std::memory_order_release);  // frees h for recycling
   popped_.store(popped_.load(std::memory_order_relaxed) + 1,
                 std::memory_order_release);
@@ -105,14 +114,22 @@ void Channel::push(Packet p) {
 }
 
 Packet Channel::pop() {
-  if (impl_ == ChannelImpl::Spsc) return pop_spsc();
-  std::lock_guard<std::mutex> lock(mu_);
-  PQR_ASSERT(!q_.empty(), "channel: pop from empty channel");
-  Packet p = std::move(q_.front());
-  q_.pop_front();
-  mutex_size_.store(static_cast<int>(q_.size()), std::memory_order_release);
-  popped_.store(popped_.load(std::memory_order_relaxed) + 1,
-                std::memory_order_release);
+  if (impl_ == ChannelImpl::Spsc) {
+    Packet p = pop_spsc();
+    if (pop_waker_ != nullptr) pop_waker_->wake();
+    return p;
+  }
+  Packet p;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PQR_ASSERT(!q_.empty(), "channel: pop from empty channel");
+    p = std::move(q_.front());
+    q_.pop_front();
+    mutex_size_.store(static_cast<int>(q_.size()), std::memory_order_release);
+    popped_.store(popped_.load(std::memory_order_relaxed) + 1,
+                  std::memory_order_release);
+  }
+  if (pop_waker_ != nullptr) pop_waker_->wake();
   return p;
 }
 
@@ -140,13 +157,16 @@ void Channel::set_enabled(bool e) {
 void Channel::destroy() {
   enabled_.store(false, std::memory_order_release);
   if (impl_ != ChannelImpl::Spsc) {
-    std::lock_guard<std::mutex> lock(mu_);
-    destroyed_.store(true, std::memory_order_release);
-    popped_.store(popped_.load(std::memory_order_relaxed) +
-                      static_cast<long long>(q_.size()),
-                  std::memory_order_release);
-    q_.clear();
-    mutex_size_.store(0, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      destroyed_.store(true, std::memory_order_release);
+      popped_.store(popped_.load(std::memory_order_relaxed) +
+                        static_cast<long long>(q_.size()),
+                    std::memory_order_release);
+      q_.clear();
+      mutex_size_.store(0, std::memory_order_release);
+    }
+    if (pop_waker_ != nullptr) pop_waker_->wake();
     return;
   }
   // After this store, size() pins to zero and later pushes drop their
@@ -156,6 +176,9 @@ void Channel::destroy() {
   // per-push fence is needed to guarantee it.
   destroyed_.store(true, std::memory_order_release);
   drain_spsc();
+  // A destroyed channel reports size() == 0 forever, so any producer
+  // stalled on has_room() can proceed.
+  if (pop_waker_ != nullptr) pop_waker_->wake();
 }
 
 }  // namespace pulsarqr::prt

@@ -5,6 +5,8 @@
 #include <new>
 #include <vector>
 
+#include "prt/tsan.hpp"
+
 namespace pulsarqr::prt {
 
 namespace {
@@ -99,6 +101,11 @@ Magazine* magazine() {
 }
 
 void release(std::byte* p, int idx) {
+  // The buffer leaves this thread's use: whatever was written into it is
+  // published to the thread that next draws it from a magazine or the
+  // spill list (the mutex / last-shared_ptr release already order this;
+  // see tsan.hpp).
+  PULSARQR_TSAN_RELEASE(p);
   Central& c = central();
   if (!c.enabled.load(std::memory_order_relaxed)) {
     heap_free(p);
@@ -146,7 +153,9 @@ std::shared_ptr<std::byte[]> PacketPool::acquire(std::size_t bytes) {
   Magazine* mag = magazine();
   if (mag != nullptr && mag->count[idx] > 0) {
     c.hits.fetch_add(1, std::memory_order_relaxed);
-    return wrap_pooled(mag->bufs[idx][--mag->count[idx]], idx);
+    std::byte* out = mag->bufs[idx][--mag->count[idx]];
+    PULSARQR_TSAN_ACQUIRE(out);  // buffer handoff from its previous owner
+    return wrap_pooled(out, idx);
   }
   // Magazine empty: refill a batch from the global spill list so the next
   // few allocations of this class stay lock-free. Take at most half of
@@ -168,6 +177,7 @@ std::shared_ptr<std::byte[]> PacketPool::acquire(std::size_t bytes) {
         }
       }
       c.hits.fetch_add(1, std::memory_order_relaxed);
+      PULSARQR_TSAN_ACQUIRE(out);  // buffer handoff via the spill list
       return wrap_pooled(out, idx);
     }
   }

@@ -120,6 +120,17 @@ void Comm::enqueue(int dst, Message m) {
 int Comm::isend(int src, int dst, int tag, const Packet& payload, int meta,
                 long long seq, long long ack, bool is_ack, bool shared) {
   PQR_ASSERT(dst >= 0 && dst < size(), "isend: bad destination rank");
+  // Tag-space gate (see prt/tags.hpp): protocol traffic must carry exactly
+  // its reserved tag, and application traffic must stay out of the
+  // reserved (negative) range — a user-supplied negative tag would
+  // otherwise alias ack or aggregate handling on the receive side.
+  if (is_ack) {
+    require(tag == kPureAckTag,
+            "isend: an ack frame must use the reserved pure-ack tag " +
+                std::to_string(kPureAckTag) + ", got " + std::to_string(tag));
+  } else if (tag != kAggregateTag) {
+    require_user_tag(tag, "isend");
+  }
   // Default: deep copy, emulating separate address spaces. `shared` hands
   // over a reference for payloads immutable on both sides (coalesced wire
   // buffers, retransmissions) — see the declaration for the contract.
@@ -309,6 +320,9 @@ long long Reliable::piggyback_ack(int peer) const {
 
 void Reliable::send(int dst, int tag, const Packet& payload, int meta,
                     bool shared) {
+  // Sequenced frames carry either an application tag or a whole
+  // aggregate; anything else in the reserved range is a caller bug.
+  if (tag != kAggregateTag) require_user_tag(tag, "Reliable::send");
   auto& link = send_[dst];
   const long long seq = link.next_seq++;
   comm_.isend(rank_, dst, tag, payload, meta, seq, piggyback_ack(dst), false,
@@ -373,7 +387,7 @@ void Reliable::flush_acks() {
     // Pure ack: empty payload, tag -1, never sequenced (and therefore
     // never acked or retransmitted itself — losing one is harmless, the
     // next duplicate triggers another).
-    comm_.isend(rank_, peer, /*tag=*/-1, Packet(), /*meta=*/0, /*seq=*/-1,
+    comm_.isend(rank_, peer, kPureAckTag, Packet(), /*meta=*/0, /*seq=*/-1,
                 link.expected - 1, /*is_ack=*/true);
     link.ack_dirty = false;
     ++acks_sent_;
@@ -403,6 +417,25 @@ bool Reliable::poll(Clock::time_point now) {
     }
   }
   return !failed_;
+}
+
+std::string Reliable::state_fingerprint() const {
+  std::ostringstream os;
+  for (const auto& [dst, link] : send_) {
+    os << 's' << dst << ':' << link.next_seq << ',' << link.acked << ','
+       << (link.exhausted ? 1 : 0) << '[';
+    for (const auto& u : link.unacked) {
+      os << u.seq << '/' << u.tag << '/' << u.retries << ';';
+    }
+    os << ']';
+  }
+  for (const auto& [src, link] : recv_) {
+    os << 'r' << src << ':' << link.expected << ','
+       << (link.ack_dirty ? 1 : 0) << '[';
+    for (const auto& [seq, m] : link.out_of_order) os << seq << ';';
+    os << ']';
+  }
+  return os.str();
 }
 
 std::vector<LinkGap> Reliable::gaps() const {
@@ -436,6 +469,10 @@ std::vector<LinkGap> Reliable::gaps() const {
 
 void FrameStager::add(int tag, int meta, const Packet& p) {
   PQR_ASSERT(fits(p.size()), "FrameStager::add: frame does not fit");
+  // Aggregates nest only application frames: a reserved tag inside one
+  // (a nested aggregate, an ack) would be mis-dispatched by the
+  // receiving proxy's split loop.
+  require_user_tag(tag, "FrameStager::add");
   if (buf_.empty()) buf_ = Packet::make(capacity_);
   std::byte* at = buf_.bytes() + used_;
   const std::int32_t tag32 = tag;

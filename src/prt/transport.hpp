@@ -33,15 +33,9 @@
 #include <vector>
 
 #include "prt/packet.hpp"
+#include "prt/tags.hpp"
 
 namespace pulsarqr::prt::net {
-
-/// Tag of an aggregate wire frame: one physical message carrying several
-/// application frames to the same destination rank, gathered by the
-/// sending proxy and split back by the receiving one (see FrameStager /
-/// FrameCursor below). Tag -1 is the reliable protocol's pure ack;
-/// application channel tags are numbered from 0.
-constexpr int kAggregateTag = -2;
 
 struct Message {
   int source = -1;
@@ -260,6 +254,16 @@ class Reliable {
   /// Sequence-state snapshot of every link this endpoint has touched —
   /// sender views (src == rank) and receiver views (dst == rank).
   std::vector<LinkGap> gaps() const;
+
+  /// Canonical rendering of the endpoint's complete protocol state:
+  /// per-link sequence numbers, cumulative acks, the unacked retention
+  /// queue (seq/tag/retry counts), reassembly buffers and ack debts.
+  /// Retransmit deadlines are deliberately excluded — two endpoints with
+  /// equal fingerprints behave identically under any action sequence
+  /// whose poll() horizon exceeds every backoff, which is exactly how the
+  /// bounded model checker (prt::verify) advances time. Used for state
+  /// deduplication there and available for debugging.
+  std::string state_fingerprint() const;
 
  private:
   struct Unacked {

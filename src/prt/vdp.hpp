@@ -70,8 +70,20 @@ class Vdp {
 
   /// Firing rule: every enabled input channel holds a packet, and at least
   /// one input is enabled (a VDP declared with zero inputs is always ready
-  /// — a source). All inputs disabled => blocked.
+  /// — a source). All inputs disabled => blocked. Additionally — only when
+  /// the graph declares channel capacities — every bounded LOCAL output
+  /// channel must have room (backpressure: the producer stalls instead of
+  /// overrunning the consumer's declared buffer; Channel::pop wakes it
+  /// when space frees). Inter-node outputs are not gated: the proxy pair
+  /// decouples the producer from the remote consumer's buffer, which is
+  /// exactly the over-capacity risk GraphCheck's flow analysis reports
+  /// statically.
   bool ready() const {
+    if (gate_outputs_) {
+      for (const OutputRef& out : outputs_) {
+        if (out.local != nullptr && !out.local->has_room()) return false;
+      }
+    }
     if (inputs_.empty()) return true;
     bool any_enabled = false;
     for (const auto& ch : inputs_) {
@@ -93,6 +105,9 @@ class Vdp {
   int outputs_per_fire_;
   std::vector<std::unique_ptr<Channel>> inputs_;  ///< owned by destination
   std::vector<OutputRef> outputs_;
+  /// True iff some local output channel is bounded — set once during
+  /// wiring so the common (unbounded) graph pays one branch in ready().
+  bool gate_outputs_ = false;
   std::vector<long long> declared_in_;   ///< -1 = default (see accessors)
   std::vector<long long> declared_out_;
   std::any local_;

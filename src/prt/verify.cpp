@@ -1,0 +1,349 @@
+#include "prt/verify.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "prt/packet.hpp"
+#include "prt/tags.hpp"
+#include "prt/transport.hpp"
+
+namespace pulsarqr::prt::verify {
+namespace {
+
+using net::Comm;
+using net::Message;
+using net::Reliable;
+
+/// Application tags used by the model: frame i carries kBaseTag + i, so
+/// the in-order assertion is a pure tag check on the delivery stream.
+constexpr int kBaseTag = 100;
+
+struct Action {
+  enum Kind : std::uint8_t { kSend, kDeliver, kDrop, kDup, kTick };
+  Kind kind = kSend;
+  std::uint8_t dir = 0;  ///< 0: data net (toward rank 1), 1: ack net
+  std::uint8_t idx = 0;  ///< position in the in-flight queue
+
+  std::string to_string() const {
+    std::ostringstream os;
+    switch (kind) {
+      case kSend: os << "send"; break;
+      case kDeliver: os << "deliver"; break;
+      case kDrop: os << "drop"; break;
+      case kDup: os << "dup"; break;
+      case kTick: os << "tick"; break;
+    }
+    if (kind == kDeliver || kind == kDrop || kind == kDup) {
+      os << (dir == 0 ? "(data@" : "(ack@") << static_cast<int>(idx) << ')';
+    }
+    return os.str();
+  }
+};
+
+std::string render_path(const std::vector<Action>& path) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i != 0) os << "; ";
+    os << path[i].to_string();
+  }
+  os << ']';
+  return os.str();
+}
+
+/// One execution prefix's live state: a real two-rank Comm with a
+/// Reliable endpoint on each side, plus the two adversarially scheduled
+/// in-flight queues. Non-copyable (Comm owns mutexes); the checker
+/// rebuilds a World by replaying its action path from the initial state.
+class World {
+ public:
+  explicit World(const ReliableModelOptions& opt)
+      : opt_(opt),
+        comm_(2),
+        a_(comm_, 0, params()),
+        b_(comm_, 1, params()),
+        base_(std::chrono::steady_clock::now()) {}
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  bool violated() const { return !violation_.empty(); }
+  const std::string& violation() const { return violation_; }
+  int delivered() const { return delivered_; }
+
+  /// Every action applicable in this state. A violated world enables
+  /// nothing — the execution stops at the first broken assertion.
+  void enabled(std::vector<Action>& out) const {
+    out.clear();
+    if (violated()) return;
+    if (sends_ < opt_.window) out.push_back({Action::kSend, 0, 0});
+    for (std::uint8_t d = 0; d < 2; ++d) {
+      for (std::size_t i = 0; i < net_[d].size(); ++i) {
+        const auto idx = static_cast<std::uint8_t>(i);
+        out.push_back({Action::kDeliver, d, idx});
+        if (faults_ < opt_.max_faults) {
+          out.push_back({Action::kDrop, d, idx});
+          out.push_back({Action::kDup, d, idx});
+        }
+      }
+    }
+    // Timeout recovery: one tick = "every unacked frame times out at
+    // once" (the clock jumps past all backoff deadlines). Enabled only
+    // when the network is empty — a retransmission racing an in-flight
+    // original is observationally a duplicate, which the kDup fault
+    // already explores — and budgeted so recovery terminates.
+    if (net_[0].empty() && net_[1].empty() && ticks_ < tick_cap() &&
+        unacked_frames()) {
+      out.push_back({Action::kTick, 0, 0});
+    }
+  }
+
+  void apply(const Action& a) {
+    switch (a.kind) {
+      case Action::kSend: {
+        Packet p = Packet::make(16, sends_);
+        p.doubles()[0] = static_cast<double>(sends_);
+        p.doubles()[1] = static_cast<double>(1000 + sends_);
+        a_.send(1, kBaseTag + sends_, p, sends_);
+        ++sends_;
+        drain_mailbox(1);
+        break;
+      }
+      case Action::kDeliver: {
+        Message m = take(a);
+        std::deque<Message> dq;
+        if (a.dir == 0) {
+          b_.on_receive(std::move(m), dq);
+          for (Message& d : dq) record_delivery(d);
+          b_.flush_acks();
+          drain_mailbox(0);
+        } else {
+          a_.on_receive(std::move(m), dq);
+          if (!dq.empty()) fail("ack channel delivered data to the sender");
+        }
+        break;
+      }
+      case Action::kDrop:
+        take(a);
+        ++faults_;
+        break;
+      case Action::kDup:
+        net_[a.dir].push_back(net_[a.dir][a.idx]);
+        ++faults_;
+        break;
+      case Action::kTick: {
+        ++ticks_;
+        // Each tick jumps a day further: monotone, and past every backoff
+        // deadline any frame could have accumulated.
+        const auto now = base_ + std::chrono::hours(24) * ticks_;
+        if (!a_.poll(now)) {
+          fail("sender reported link failure (retry budget exhausted)");
+        }
+        drain_mailbox(1);
+        break;
+      }
+    }
+  }
+
+  /// Canonical state rendering for deduplication. The in-flight queues
+  /// are rendered as sorted multisets: delivery order is adversarial, so
+  /// queue permutations are behaviorally identical.
+  std::string fingerprint() const {
+    std::ostringstream os;
+    os << sends_ << '|' << delivered_ << '|' << faults_ << '|' << ticks_
+       << '|' << a_.state_fingerprint() << '|' << b_.state_fingerprint();
+    for (int d = 0; d < 2; ++d) {
+      std::vector<std::string> ms;
+      ms.reserve(net_[d].size());
+      for (const Message& m : net_[d]) {
+        std::ostringstream one;
+        one << m.tag << '/' << m.seq << '/' << m.ack << '/'
+            << (m.is_ack ? 1 : 0);
+        ms.push_back(one.str());
+      }
+      std::sort(ms.begin(), ms.end());
+      os << "|n" << d << ':';
+      for (const std::string& s : ms) os << s << ';';
+    }
+    return os.str();
+  }
+
+ private:
+  static Reliable::Params params() {
+    Reliable::Params p;
+    p.rto_us = 1000;
+    p.backoff = 2.0;
+    // Never exhausted within the tick budget; exhaustion would otherwise
+    // masquerade as the link-failure violation below.
+    p.max_retries = 1000;
+    return p;
+  }
+
+  int tick_cap() const {
+    return opt_.max_ticks >= 0 ? opt_.max_ticks : opt_.max_faults + 2;
+  }
+
+  bool unacked_frames() const {
+    for (const net::LinkGap& g : a_.gaps()) {
+      if (g.src == 0 && g.unacked > 0) return true;
+    }
+    return false;
+  }
+
+  void fail(const std::string& what) {
+    if (violation_.empty()) violation_ = what;
+  }
+
+  Message take(const Action& a) {
+    Message m = std::move(net_[a.dir][a.idx]);
+    net_[a.dir].erase(net_[a.dir].begin() + a.idx);
+    return m;
+  }
+
+  /// Move everything the endpoints just isend'ed out of the rank's
+  /// mailbox into the corresponding adversarial in-flight queue.
+  void drain_mailbox(int rank) {
+    std::deque<Message> got = comm_.drain(rank);
+    auto& net = net_[rank == 1 ? 0 : 1];
+    for (Message& m : got) net.push_back(std::move(m));
+  }
+
+  void record_delivery(const Message& m) {
+    std::ostringstream os;
+    if (m.tag != kBaseTag + delivered_) {
+      os << "delivery #" << delivered_ << " carried tag " << m.tag
+         << ", expected " << (kBaseTag + delivered_)
+         << " (out-of-order or duplicate delivery)";
+      fail(os.str());
+      return;
+    }
+    if (m.meta != delivered_) {
+      os << "delivery #" << delivered_ << " carried meta " << m.meta;
+      fail(os.str());
+      return;
+    }
+    if (m.payload.size() != 16 ||
+        m.payload.doubles()[0] != static_cast<double>(delivered_) ||
+        m.payload.doubles()[1] != static_cast<double>(1000 + delivered_)) {
+      os << "delivery #" << delivered_ << " payload corrupted";
+      fail(os.str());
+      return;
+    }
+    ++delivered_;
+  }
+
+  const ReliableModelOptions& opt_;
+  Comm comm_;
+  Reliable a_;  ///< sender endpoint, rank 0
+  Reliable b_;  ///< receiver endpoint, rank 1
+  std::chrono::steady_clock::time_point base_;
+  std::vector<Message> net_[2];  ///< [0] toward rank 1, [1] toward rank 0
+  int sends_ = 0;
+  int delivered_ = 0;
+  int faults_ = 0;
+  int ticks_ = 0;
+  std::string violation_;
+};
+
+}  // namespace
+
+std::string ReliableModelResult::to_string() const {
+  std::ostringstream os;
+  os << "reliable model: " << states << " states, " << transitions
+     << " transitions, " << executions << " complete executions, depth "
+     << depth;
+  if (truncated) os << " [TRUNCATED at max_states]";
+  if (violations.empty()) {
+    os << "\n  all assertions held: exactly-once in-order delivery, no "
+          "livelock";
+  } else {
+    for (const std::string& v : violations) os << "\n  VIOLATION: " << v;
+  }
+  return os.str();
+}
+
+ReliableModelResult check_reliable(const ReliableModelOptions& opt) {
+  ReliableModelResult res;
+  // Parent-link tree of actions: Worlds are non-copyable, so each state
+  // is reconstructed by replaying its root path. With pop-time
+  // deduplication each distinct state replays once (plus once per
+  // redundant edge into it).
+  struct Node {
+    int parent;
+    Action a;
+  };
+  std::vector<Node> tree;
+  std::vector<int> stack;  ///< node ids; -1 = root (empty path)
+  std::unordered_set<std::string> seen;
+  constexpr std::size_t kMaxViolations = 16;
+
+  auto path_of = [&](int node) {
+    std::vector<Action> p;
+    for (int n = node; n >= 0; n = tree[n].parent) p.push_back(tree[n].a);
+    std::reverse(p.begin(), p.end());
+    return p;
+  };
+  auto record = [&](const std::vector<Action>& path, const std::string& what) {
+    if (res.violations.size() < kMaxViolations) {
+      res.violations.push_back(what + " after " + render_path(path));
+    }
+  };
+
+  stack.push_back(-1);
+  std::vector<Action> acts;
+  while (!stack.empty() && !res.truncated &&
+         res.violations.size() < kMaxViolations) {
+    const int node = stack.back();
+    stack.pop_back();
+    const std::vector<Action> path = path_of(node);
+
+    World w(opt);
+    for (const Action& a : path) {
+      w.apply(a);
+      if (w.violated()) break;
+    }
+    if (w.violated()) {
+      record(path, w.violation());
+      continue;
+    }
+    if (!seen.insert(w.fingerprint()).second) continue;
+    ++res.states;
+    if (res.states > opt.max_states) {
+      res.truncated = true;
+      break;
+    }
+    if (static_cast<int>(path.size()) > res.depth) {
+      res.depth = static_cast<int>(path.size());
+    }
+    if (static_cast<int>(path.size()) > opt.max_depth) {
+      record(path, "livelock guard: execution exceeds the depth bound");
+      continue;
+    }
+    w.enabled(acts);
+    if (acts.empty()) {
+      ++res.executions;
+      if (w.delivered() < opt.window) {
+        std::ostringstream os;
+        os << "quiescent with " << w.delivered() << '/' << opt.window
+           << " frames delivered (lost data)";
+        record(path, os.str());
+      }
+      continue;
+    }
+    for (const Action& a : acts) {
+      tree.push_back({node, a});
+      stack.push_back(static_cast<int>(tree.size()) - 1);
+      ++res.transitions;
+    }
+  }
+  return res;
+}
+
+}  // namespace pulsarqr::prt::verify

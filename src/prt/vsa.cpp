@@ -208,13 +208,18 @@ void Vsa::declare_input_packets(const Tuple& vdp, int in_slot,
 }
 
 void Vsa::connect(const Tuple& src, int out_slot, const Tuple& dst,
-                  int in_slot, std::size_t max_bytes, bool enabled) {
-  edges_.push_back({src, out_slot, dst, in_slot, max_bytes, enabled});
+                  int in_slot, std::size_t max_bytes, bool enabled,
+                  int capacity) {
+  require(capacity >= 0, "connect: capacity must be >= 0 (0 = unbounded)");
+  edges_.push_back(
+      {src, out_slot, dst, in_slot, max_bytes, enabled, capacity});
 }
 
 void Vsa::feed(const Tuple& dst, int in_slot, std::size_t max_bytes,
-               std::vector<Packet> initial, bool enabled) {
-  feeds_.push_back({dst, in_slot, max_bytes, std::move(initial), enabled});
+               std::vector<Packet> initial, bool enabled, int capacity) {
+  require(capacity >= 0, "feed: capacity must be >= 0 (0 = unbounded)");
+  feeds_.push_back(
+      {dst, in_slot, max_bytes, std::move(initial), enabled, capacity});
 }
 
 void Vsa::map_vdp(const Tuple& tuple, int global_thread) {
@@ -282,7 +287,7 @@ void Vsa::validate_and_wire() {
     require(dst.inputs_[f.in_slot] == nullptr,
             "feed: input slot already connected on " + f.dst.to_string());
     auto ch = std::make_unique<Channel>(f.max_bytes, f.enabled,
-                                        cfg_.channel_impl);
+                                        cfg_.channel_impl, f.capacity);
     for (auto& p : f.initial) ch->push(std::move(p));
     dst.inputs_[f.in_slot] = std::move(ch);
   }
@@ -302,7 +307,7 @@ void Vsa::validate_and_wire() {
             "connect: input slot already connected on " + e.dst.to_string());
 
     auto ch = std::make_unique<Channel>(e.max_bytes, e.enabled,
-                                        cfg_.channel_impl);
+                                        cfg_.channel_impl, e.capacity);
     Channel* chp = ch.get();
     dst.inputs_[e.in_slot] = std::move(ch);
 
@@ -313,6 +318,7 @@ void Vsa::validate_and_wire() {
     const int dst_node = dst.global_thread_ / cfg_.workers_per_node;
     if (src_node == dst_node) {
       out.local = chp;  // zero-copy shared-memory path
+      if (chp->bounded()) src.gate_outputs_ = true;
     } else {
       const int tag = next_tag[{src_node, dst_node}]++;
       out.dst_node = dst_node;
@@ -359,12 +365,26 @@ void Vsa::validate_and_wire() {
       waker->node = node;
       waker->vdp = v;
       for (auto& ch : v->inputs_) ch->set_waker(waker.get());
+      // Backpressure liveness: a pop on a bounded local output of v frees
+      // room, so v (stalled by its firing rule) becomes a candidate again.
+      for (OutputRef& out : v->outputs_) {
+        if (out.local != nullptr && out.local->bounded()) {
+          out.local->set_pop_waker(waker.get());
+        }
+      }
       pool_wakers_.push_back(std::move(waker));
     }
   } else {
     for (Vdp* v : creation_order_) {
       for (auto& ch : v->inputs_) {
         ch->set_waker(workers_[v->global_thread_].get());
+      }
+      // Backpressure liveness (sweep executor): wake the producer's bound
+      // worker when the consumer pops a bounded local channel.
+      for (OutputRef& out : v->outputs_) {
+        if (out.local != nullptr && out.local->bounded()) {
+          out.local->set_pop_waker(workers_[v->global_thread_].get());
+        }
       }
     }
   }

@@ -178,13 +178,24 @@ class Vsa {
   /// prt_channel_new + channel_insert on both endpoints: connect output
   /// slot `out_slot` of `src` to input slot `in_slot` of `dst`. Channels
   /// may start disabled and be enabled from VDP code at runtime.
+  ///
+  /// `capacity` bounds the channel's resident packets (0 = unbounded, the
+  /// default). A bounded intra-node channel backpressures its producer:
+  /// the producer's firing rule stalls while the channel is full and
+  /// resumes when the consumer pops. GraphCheck's flow analysis verifies
+  /// statically that declared bounds cannot deadlock the graph (and that
+  /// feeds never prefill past them); an inter-node bound is analyzed
+  /// statically but not enforced at runtime (the proxy decouples the
+  /// endpoints).
   void connect(const Tuple& src, int out_slot, const Tuple& dst, int in_slot,
-               std::size_t max_bytes, bool enabled = true);
+               std::size_t max_bytes, bool enabled = true, int capacity = 0);
 
   /// A source channel: an input channel with no producer VDP, prefilled
-  /// with `initial` packets before the run starts.
+  /// with `initial` packets before the run starts. `capacity` as in
+  /// connect(); a feed larger than its own bound is a GraphCheck error.
   void feed(const Tuple& dst, int in_slot, std::size_t max_bytes,
-            std::vector<Packet> initial, bool enabled = true);
+            std::vector<Packet> initial, bool enabled = true,
+            int capacity = 0);
 
   /// Explicit VDP -> global worker thread mapping (thread / workers_per_node
   /// is the node). Unmapped VDPs fall back to the default mapping.
@@ -244,6 +255,7 @@ class Vsa {
     int in_slot;
     std::size_t max_bytes;
     bool enabled;
+    int capacity;  ///< resident-packet bound; 0 = unbounded
   };
   struct PendingFeed {
     Tuple dst;
@@ -251,6 +263,7 @@ class Vsa {
     std::size_t max_bytes;
     std::vector<Packet> initial;
     bool enabled;
+    int capacity;  ///< resident-packet bound; 0 = unbounded
   };
   std::vector<PendingEdge> edges_;
   std::vector<PendingFeed> feeds_;

@@ -292,6 +292,71 @@ TEST(Comm, BarrierImmediateReentryStress) {
 }
 
 // The channels' lifetime counters feed the stuck-VDP diagnostics.
+// ---- reserved tag space -----------------------------------------------------
+
+TEST(Tags, RegistryClassifiesReservedValues) {
+  static_assert(net::is_reserved_tag(net::kPureAckTag));
+  static_assert(net::is_reserved_tag(net::kAggregateTag));
+  static_assert(!net::is_reserved_tag(net::kFirstUserTag));
+  static_assert(!net::is_reserved_tag(7));
+  EXPECT_STREQ(net::reserved_tag_name(net::kPureAckTag),
+               "reliable-protocol pure ack");
+  EXPECT_STREQ(net::reserved_tag_name(net::kAggregateTag),
+               "coalesced aggregate");
+  EXPECT_EQ(net::reserved_tag_name(0), nullptr);
+  EXPECT_EQ(net::reserved_tag_name(-3), nullptr);
+}
+
+TEST(Tags, IsendRejectsReservedAndNegativeTags) {
+  net::Comm comm(2);
+  const Packet p = Packet::make(8);
+  // A data frame aliasing the pure-ack tag would vanish into the peer's
+  // protocol endpoint instead of reaching a channel.
+  try {
+    comm.isend(0, 1, net::kPureAckTag, p, 0);
+    FAIL() << "isend accepted the pure-ack tag for data";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("reserved"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("pure ack"), std::string::npos)
+        << e.what();
+  }
+  // Any other negative value is a latent aliasing hazard: rejected too.
+  try {
+    comm.isend(0, 1, -7, p, 0);
+    FAIL() << "isend accepted an arbitrary negative tag";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("negative"), std::string::npos)
+        << e.what();
+  }
+  // Nothing leaked into the mailbox from the rejected sends.
+  EXPECT_FALSE(comm.try_recv(1).has_value());
+}
+
+TEST(Tags, IsendAcceptsTheReservedTagsOnlyForTheirOwners) {
+  net::Comm comm(2);
+  const Packet p = Packet::make(8);
+  // Aggregates are proxy traffic, pure acks are protocol traffic; both
+  // remain sendable through their designated code paths.
+  EXPECT_NO_THROW(comm.isend(0, 1, net::kAggregateTag, p, 1));
+  EXPECT_NO_THROW(
+      comm.isend(0, 1, net::kPureAckTag, Packet(), 0, -1, 3, true));
+  // An "ack" with a data tag is a protocol bug, not an application one.
+  EXPECT_THROW(comm.isend(0, 1, 4, Packet(), 0, -1, 3, true), Error);
+}
+
+TEST(Tags, ReliableSendAndStagerRejectReservedTags) {
+  net::Comm comm(2);
+  net::Reliable rel(comm, 0, {});
+  const Packet p = Packet::make(8);
+  EXPECT_THROW(rel.send(1, net::kPureAckTag, p, 0), Error);
+  EXPECT_THROW(rel.send(1, -9, p, 0), Error);
+  net::FrameStager stager(256);
+  EXPECT_THROW(stager.add(net::kAggregateTag, 0, p), Error);  // no nesting
+  EXPECT_THROW(stager.add(net::kPureAckTag, 0, p), Error);
+  EXPECT_NO_THROW(stager.add(0, 0, p));
+}
+
 TEST_P(ChannelImplParam, PushedPoppedCounters) {
   Channel ch(64, true, GetParam());
   EXPECT_EQ(ch.pushed(), 0);

@@ -1,26 +1,43 @@
-// vsa_lint — statically verify a VSA plan without executing it.
+// vsa_lint — static verification of VSA plans and the transport protocol.
 //
-// Builds the requested systolic array (QR, Cholesky, LU, or all three)
-// for a given tile shape and runs prt::GraphCheck over the constructed
-// graph: wiring, packet balance, enabled-channel cycles, feed capacity
-// and reachability. No kernel ever runs and no thread is spawned, so
+// Subcommand `lint` (the default) builds the requested systolic array
+// (QR, Cholesky, LU, or all three) for a given tile shape and runs
+// prt::GraphCheck over the constructed graph: wiring, packet balance,
+// enabled-channel cycles, feed capacity, flow/occupancy bounds and
+// reachability. No kernel ever runs and no thread is spawned, so
 // arbitrarily large plans lint in milliseconds.
 //
-//   vsa_lint [--algo qr|chol|lu|all] --mt 8 --nt 6
+//   vsa_lint [lint] [--algo qr|chol|lu|all] --mt 8 --nt 6
 //            [--nb 8 --ib 4 --tree hier --h 2 --boundary shifted
-//             --nodes 2 --workers 2 --panels 3 --verbose]
+//             --nodes 2 --workers 2 --panels 3 --verbose --json]
+//
+// Subcommand `verify-protocol` runs the bounded model checker over the
+// net::Reliable ack/retransmit protocol (prt::verify): every
+// drop/duplicate/reorder/timeout interleaving within the budgets,
+// asserting exactly-once in-order delivery and livelock freedom.
+//
+//   vsa_lint verify-protocol [--window 3 --faults 2 --ticks -1
+//                             --max-states 4000000 --json]
 //
 // mt/nt are TILE counts (the matrix is mt*nb by nt*nb; chol and lu use
-// mt x mt). Exits 0 when every linted plan is clean, 1 when any plan has
-// an error-severity finding, 2 on usage errors.
+// mt x mt). `--json` replaces the human output with one machine-readable
+// JSON object on stdout for CI gating.
+//
+// Exit codes, one per failure class:
+//   0  everything verified clean
+//   1  a linted plan has an error-severity graph finding
+//   2  usage error (unknown flag/value, plan construction failure)
+//   3  protocol violation or truncated (incomplete) model exploration
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "chol/vsa_chol.hpp"
 #include "lu/vsa_lu.hpp"
+#include "prt/verify.hpp"
 #include "vsaqr/tree_qr.hpp"
 
 using namespace pulsarqr;
@@ -28,12 +45,17 @@ using namespace pulsarqr;
 namespace {
 
 struct Args {
+  std::string subcommand = "lint";
   std::map<std::string, std::string> kv;
 
   bool has(const std::string& k) const { return kv.count(k) > 0; }
   int geti(const std::string& k, int dflt) const {
     auto it = kv.find(k);
     return it == kv.end() ? dflt : std::atoi(it->second.c_str());
+  }
+  long long getll(const std::string& k, long long dflt) const {
+    auto it = kv.find(k);
+    return it == kv.end() ? dflt : std::atoll(it->second.c_str());
   }
   std::string gets(const std::string& k, const std::string& dflt) const {
     auto it = kv.find(k);
@@ -43,7 +65,11 @@ struct Args {
 
 Args parse(int argc, char** argv) {
   Args a;
-  for (int i = 1; i < argc; ++i) {
+  int i = 1;
+  if (i < argc && std::strncmp(argv[i], "--", 2) != 0) {
+    a.subcommand = argv[i++];
+  }
+  for (; i < argc; ++i) {
     const char* arg = argv[i];
     if (arg[0] != '-' || arg[1] != '-') {
       std::fprintf(stderr, "unexpected argument: %s\n", arg);
@@ -59,37 +85,65 @@ Args parse(int argc, char** argv) {
   return a;
 }
 
-/// Print one plan's verdict; returns the number of error findings.
-int report(const char* what, const std::string& shape,
-           const prt::GraphReport& rep, bool verbose) {
-  if (rep.ok() && rep.diagnostics.empty()) {
-    std::printf("%-5s %s: OK\n", what, shape.c_str());
-  } else {
-    std::printf("%-5s %s: %d error(s), %d warning(s)\n", what, shape.c_str(),
-                rep.errors(), rep.warnings());
-    verbose = true;
+void json_escape(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
   }
-  if (verbose && !rep.diagnostics.empty()) {
-    std::printf("%s\n", rep.to_string().c_str());
-  }
-  return rep.errors();
 }
 
-}  // namespace
+/// One linted plan, retained so --json can emit them all at the end.
+struct PlanVerdict {
+  std::string algo;
+  std::string shape;
+  prt::GraphReport report;
+};
 
-int main(int argc, char** argv) {
-  const Args a = parse(argc, argv);
+/// Print one plan's verdict (human mode); returns its error count.
+int report(const PlanVerdict& v, bool verbose, bool json) {
+  if (json) return v.report.errors();
+  if (v.report.ok() && v.report.diagnostics.empty()) {
+    std::printf("%-5s %s: OK\n", v.algo.c_str(), v.shape.c_str());
+  } else {
+    std::printf("%-5s %s: %d error(s), %d warning(s)\n", v.algo.c_str(),
+                v.shape.c_str(), v.report.errors(), v.report.warnings());
+    verbose = true;
+  }
+  if (verbose && !v.report.diagnostics.empty()) {
+    std::printf("%s\n", v.report.to_string().c_str());
+  }
+  return v.report.errors();
+}
+
+int run_lint(const Args& a) {
   const std::string algo = a.gets("algo", "all");
   const int mt = a.geti("mt", 8);
   const int nt = a.geti("nt", 6);
   const int nb = a.geti("nb", 8);
   const bool verbose = a.has("verbose");
+  const bool json = a.has("json");
   if (mt < 1 || nt < 1 || nb < 1) {
     std::fprintf(stderr, "need --mt >= 1, --nt >= 1, --nb >= 1\n");
     return 2;
   }
+  if (algo != "qr" && algo != "chol" && algo != "lu" && algo != "all") {
+    std::fprintf(stderr, "unknown --algo %s (qr|chol|lu|all)\n", algo.c_str());
+    return 2;
+  }
 
-  int errors = 0;
+  std::vector<PlanVerdict> verdicts;
   try {
     if (algo == "qr" || algo == "all") {
       vsaqr::TreeQrOptions opt;
@@ -114,36 +168,97 @@ int main(int argc, char** argv) {
       opt.workers_per_node = a.geti("workers", 2);
       opt.panel_columns = a.geti("panels", -1);
       const TileMatrix zero(mt * nb, nt * nb, nb);
-      errors += report(
-          "qr",
-          "mt=" + std::to_string(mt) + " nt=" + std::to_string(nt) +
-              " tree=" + tree + " h=" + std::to_string(opt.tree.domain_size),
-          vsaqr::lint_tree_qr(zero, opt), verbose);
+      verdicts.push_back(
+          {"qr",
+           "mt=" + std::to_string(mt) + " nt=" + std::to_string(nt) +
+               " tree=" + tree + " h=" + std::to_string(opt.tree.domain_size),
+           vsaqr::lint_tree_qr(zero, opt)});
     }
     if (algo == "chol" || algo == "all") {
       chol::VsaCholOptions opt;
       opt.nodes = a.geti("nodes", 1);
       opt.workers_per_node = a.geti("workers", 2);
       const TileMatrix zero(mt * nb, mt * nb, nb);
-      errors += report("chol", "mt=" + std::to_string(mt),
-                       chol::lint_vsa_cholesky(zero, opt), verbose);
+      verdicts.push_back({"chol", "mt=" + std::to_string(mt),
+                          chol::lint_vsa_cholesky(zero, opt)});
     }
     if (algo == "lu" || algo == "all") {
       lu::VsaLuOptions opt;
       opt.nodes = a.geti("nodes", 1);
       opt.workers_per_node = a.geti("workers", 2);
       const TileMatrix zero(mt * nb, mt * nb, nb);
-      errors += report("lu", "mt=" + std::to_string(mt),
-                       lu::lint_vsa_lu(zero, opt), verbose);
-    }
-    if (algo != "qr" && algo != "chol" && algo != "lu" && algo != "all") {
-      std::fprintf(stderr, "unknown --algo %s (qr|chol|lu|all)\n",
-                   algo.c_str());
-      return 2;
+      verdicts.push_back(
+          {"lu", "mt=" + std::to_string(mt), lu::lint_vsa_lu(zero, opt)});
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
+
+  int errors = 0;
+  for (const PlanVerdict& v : verdicts) errors += report(v, verbose, json);
+  if (json) {
+    std::string out = "{\"plans\":[";
+    for (std::size_t i = 0; i < verdicts.size(); ++i) {
+      if (i != 0) out += ',';
+      out += "{\"algo\":\"";
+      json_escape(out, verdicts[i].algo);
+      out += "\",\"shape\":\"";
+      json_escape(out, verdicts[i].shape);
+      out += "\",\"report\":";
+      out += verdicts[i].report.to_json();
+      out += '}';
+    }
+    out += "],\"errors\":" + std::to_string(errors) + "}";
+    std::printf("%s\n", out.c_str());
+  }
   return errors > 0 ? 1 : 0;
+}
+
+int run_verify_protocol(const Args& a) {
+  prt::verify::ReliableModelOptions opt;
+  opt.window = a.geti("window", opt.window);
+  opt.max_faults = a.geti("faults", opt.max_faults);
+  opt.max_ticks = a.geti("ticks", opt.max_ticks);
+  opt.max_depth = a.geti("max-depth", opt.max_depth);
+  opt.max_states = a.getll("max-states", opt.max_states);
+  if (opt.window < 1 || opt.max_faults < 0) {
+    std::fprintf(stderr, "need --window >= 1 and --faults >= 0\n");
+    return 2;
+  }
+  const prt::verify::ReliableModelResult res =
+      prt::verify::check_reliable(opt);
+  if (a.has("json")) {
+    std::string out = "{\"window\":" + std::to_string(opt.window) +
+                      ",\"max_faults\":" + std::to_string(opt.max_faults) +
+                      ",\"states\":" + std::to_string(res.states) +
+                      ",\"transitions\":" + std::to_string(res.transitions) +
+                      ",\"executions\":" + std::to_string(res.executions) +
+                      ",\"depth\":" + std::to_string(res.depth) +
+                      ",\"truncated\":";
+    out += res.truncated ? "true" : "false";
+    out += ",\"violations\":[";
+    for (std::size_t i = 0; i < res.violations.size(); ++i) {
+      if (i != 0) out += ',';
+      out += '"';
+      json_escape(out, res.violations[i]);
+      out += '"';
+    }
+    out += "]}";
+    std::printf("%s\n", out.c_str());
+  } else {
+    std::printf("%s\n", res.to_string().c_str());
+  }
+  return res.ok() ? 0 : 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+  if (a.subcommand == "lint") return run_lint(a);
+  if (a.subcommand == "verify-protocol") return run_verify_protocol(a);
+  std::fprintf(stderr, "unknown subcommand %s (lint|verify-protocol)\n",
+               a.subcommand.c_str());
+  return 2;
 }
