@@ -125,6 +125,45 @@ void BM_channel_ping_internode(benchmark::State& state) {
   prt::PacketPool::set_enabled(true);
 }
 
+// The same inter-node ping over the out-of-process Socket backend: one
+// forked OS process per node, frames over Unix-domain sockets. Measures
+// the full fork + mesh + run + epilogue cycle per iteration — the honest
+// cost of process isolation against the in-process rows above.
+void BM_channel_ping_internode_socket(benchmark::State& state) {
+  const int length = 8;
+  const int packets = 256;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Vsa::Config cfg;
+    cfg.nodes = 2;
+    cfg.workers_per_node = 1;
+    cfg.transport = prt::Transport::Socket;
+    Vsa vsa(cfg);
+    for (int i = 0; i < length; ++i) {
+      const bool last = i == length - 1;
+      vsa.add_vdp(
+          prt::tuple2(2, i), packets,
+          [last](prt::VdpContext& ctx) {
+            Packet p = ctx.pop(0);
+            if (!last) ctx.push(0, std::move(p));
+          },
+          1, last ? 0 : 1);
+      vsa.map_vdp(prt::tuple2(2, i), i % 2);
+    }
+    std::vector<Packet> init;
+    for (int k = 0; k < packets; ++k) init.push_back(Packet::make(64));
+    vsa.feed(prt::tuple2(2, 0), 0, 64, std::move(init));
+    for (int i = 0; i + 1 < length; ++i) {
+      vsa.connect(prt::tuple2(2, i), 0, prt::tuple2(2, i + 1), 0, 64);
+    }
+    state.ResumeTiming();
+    auto stats = vsa.run();
+    benchmark::DoNotOptimize(stats.remote_messages);
+  }
+  state.SetItemsProcessed(state.iterations() * length * packets);
+  state.SetLabel("socket/fork-per-node");
+}
+
 // End-to-end tree QR at small tiles, where per-packet runtime overhead —
 // channel ops and wakeups — is the limiter (the regime of arXiv:1110.1553
 // / arXiv:0809.2407). A/B of the channel implementations.
@@ -256,6 +295,8 @@ BENCHMARK(BM_channel_ping_internode)
     ->Args({1, 0, 1})->Args({0, 0, 1})  // coalesce A/B, reliable off
     ->Args({1, 1, 1})->Args({0, 1, 1})  // coalesce A/B, reliable on
     ->Args({1, 0, 0})->Args({0, 0, 0})  // pool off, coalesce A/B
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_channel_ping_internode_socket)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 BENCHMARK(BM_qr_small_nb)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)
     ->UseRealTime();

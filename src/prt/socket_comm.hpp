@@ -1,0 +1,138 @@
+// Out-of-process transport backend: Unix-domain stream sockets between
+// one real OS process per node (the paper's §IV-B MPI process model made
+// concrete). One SocketComm instance lives in each node process and
+// implements the same six-call Comm surface as the in-process
+// MailboxComm; the Vsa run path forks the node processes and hands each
+// one its row of a pre-opened socketpair mesh.
+//
+// Wire format — one frame per message, fixed 44-byte little-endian
+// header (wire.hpp codec, never host-endian memcpy) followed by the
+// payload bytes:
+//
+//   offset  field         encoding
+//   0       kind          u32   0 = data, 1 = barrier, 2 = interrupt
+//   4       flags         u32   bit 0 = is_ack
+//   8       source        i32   sending rank
+//   12      tag           i32   Message::tag (reserved tags included)
+//   16      meta          i32   Message::meta
+//   20      payload_len   u64   bytes following the header
+//   28      seq           i64   Reliable sequence number (-1 = none)
+//   36      ack           i64   cumulative ack (-1 = none)
+//
+// Data frames carry the full Message header, so the Reliable layer and
+// the proxy's aggregate split run unchanged over either backend. Barrier
+// frames carry the sender's barrier generation in `seq` (dissemination
+// barrier: everyone sends its generation to everyone, then waits until
+// it has seen its own generation from every peer). Interrupt frames wake
+// a peer blocked in recv_wait.
+//
+// Fault injection happens on the SEND side, before any bytes hit the
+// wire, using the same FaultOracle pure-hash decisions as MailboxComm —
+// a chaos seed therefore replays the identical drop/dup/delay/reorder
+// schedule on both backends. Delayed/reordered messages wait in a
+// sender-side limbo and are flushed opportunistically by the sending
+// process's own transport calls. Barrier and interrupt frames bypass the
+// fault plan (they are control, not data).
+#pragma once
+
+#include <thread>
+
+#include "prt/transport.hpp"
+
+namespace pulsarqr::prt::net {
+
+class SocketComm : public Comm {
+ public:
+  /// Frame kinds on the wire (header field 0).
+  enum : std::uint32_t { kData = 0, kBarrier = 1, kInterrupt = 2 };
+  static constexpr std::size_t kFrameHeaderBytes = 44;
+
+  /// Build the full nranks x nranks socketpair mesh (AF_UNIX,
+  /// SOCK_STREAM). mesh[a][b] is the fd rank `a` uses to talk to rank
+  /// `b` (mesh[a][a] = -1); mesh[a][b] and mesh[b][a] are the two ends
+  /// of one socketpair. Called by the parent BEFORE forking; each child
+  /// keeps its own row (closing the rest) and the parent closes all.
+  static std::vector<std::vector<int>> socketpair_mesh(int nranks);
+
+  /// Take ownership of this rank's row of the mesh (peer_fds[rank] is
+  /// ignored / may be -1). Starts the receiver thread.
+  SocketComm(int nranks, int rank, std::vector<int> peer_fds);
+  ~SocketComm() override;
+
+  int rank() const { return rank_; }
+
+  int isend(int src, int dst, int tag, const Packet& payload, int meta,
+            long long seq = -1, long long ack = -1, bool is_ack = false,
+            bool shared = false) override;
+  std::optional<Message> try_recv(int rank) override;
+  std::deque<Message> drain(int rank) override;
+  std::optional<Message> recv_wait(int rank, int timeout_us) override;
+  void barrier() override;
+  void cancel(int rank) override;
+  void interrupt(int rank) override;
+
+  /// Frames of any kind accepted by the receiver thread — a liveness
+  /// signal for the per-process watchdog (acks arriving while no local
+  /// VDP fires still count as progress).
+  long long frames_received() const {
+    return frames_received_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// A message held back by the send-side fault plan.
+  struct Limbo {
+    std::chrono::steady_clock::time_point release;
+    bool after_next = false;  ///< reorder: release on the next send to dst
+    int dst = -1;
+    Message m;
+  };
+
+  /// Serialize + write one data frame to dst (or deliver locally when
+  /// dst == rank_). Returns false when the destination is unreachable
+  /// (peer gone, mailbox cancelled) — the frame is silently dropped, as
+  /// a real wire would; the Reliable layer repairs or reports it.
+  bool transmit(int dst, const Message& m);
+  bool write_frame(int dst, std::uint32_t kind, std::uint32_t flags,
+                   int source, int tag, int meta, const std::byte* payload,
+                   std::size_t len, long long seq, long long ack);
+  /// Deliver one message into this process's own mailbox.
+  bool local_enqueue(Message m);
+  /// Transmit limbo messages whose release time has passed (any dst);
+  /// returns the earliest release still pending.
+  std::optional<std::chrono::steady_clock::time_point> flush_due_limbo();
+  /// Transmit limbo messages held "until the next send" to dst.
+  void flush_after_next(int dst);
+  void receiver_loop();
+  /// Parse and dispatch every complete frame at the front of a peer's
+  /// receive buffer, compacting it afterwards.
+  void parse_frames(int peer, std::vector<std::byte>& buf);
+
+  int rank_;
+  std::vector<int> peer_fds_;                   ///< owned; -1 for self/dead
+  std::vector<std::unique_ptr<std::mutex>> wmu_;  ///< per-peer write lock
+  int wake_pipe_[2] = {-1, -1};  ///< receiver-thread shutdown nudge
+
+  // This process's own mailbox (the only receivable rank).
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> q_;
+  bool wake_pending_ = false;   ///< latched interrupt (guarded by mu_)
+  bool cancelled_self_ = false; ///< latched cancel of our own rank
+
+  // Send-side fault limbo + per-destination cancel latches.
+  std::mutex lmu_;
+  std::vector<Limbo> limbo_;
+  std::vector<char> cancelled_to_;
+
+  // Dissemination-barrier state.
+  std::mutex bmu_;
+  std::condition_variable bcv_;
+  std::uint64_t barrier_gen_ = 0;          ///< our own generation
+  std::vector<long long> barrier_seen_;    ///< highest gen seen per peer
+
+  std::atomic<long long> frames_received_{0};
+  std::atomic<bool> stop_{false};
+  std::thread receiver_;
+};
+
+}  // namespace pulsarqr::prt::net

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "prt/wire.hpp"
+
 namespace pulsarqr::prt::net {
 
 namespace {
@@ -66,34 +68,95 @@ std::string LinkGap::to_string() const {
   return os.str();
 }
 
-// ---- Comm -------------------------------------------------------------------
+// ---- FaultOracle ------------------------------------------------------------
 
-Comm::Comm(int nranks) {
-  require(nranks >= 1, "Comm: need at least one rank");
-  boxes_.reserve(nranks);
-  for (int r = 0; r < nranks; ++r) boxes_.push_back(std::make_unique<Mailbox>());
-}
-
-void Comm::set_fault_plan(const FaultPlan& plan) {
-  std::lock_guard<std::mutex> lock(fmu_);
+void FaultOracle::set_plan(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
   plan_ = plan;
-  faults_ = plan.any();
-  if (faults_ && limbo_.empty()) limbo_.resize(boxes_.size());
+  // Fresh plan, fresh schedule: the stream counters restart from index 0
+  // (and the map shrinks back to nothing), so a long-lived communicator
+  // re-seeded per run replays schedules instead of leaking one map entry
+  // per (src, dst, tag) stream forever.
+  stream_idx_.clear();
+  active_.store(plan.any(), std::memory_order_release);
 }
 
-FaultCounters Comm::fault_counters() const {
-  std::lock_guard<std::mutex> lock(fmu_);
+FaultFate FaultOracle::decide(int src, int dst, int tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t key = stream_key(src, dst, tag);
+  const long long idx = stream_idx_[key]++;
+  FaultFate f;
+  if (u01(plan_.seed, key, idx, 1) < plan_.drop) {
+    f.drop = true;
+    ++counters_.dropped;
+    return f;
+  }
+  f.dup = u01(plan_.seed, key, idx, 2) < plan_.dup;
+  f.delay = u01(plan_.seed, key, idx, 3) < plan_.delay;
+  f.reorder = !f.delay && u01(plan_.seed, key, idx, 4) < plan_.reorder;
+  if (f.dup) ++counters_.duplicated;
+  if (f.delay) ++counters_.delayed;
+  if (f.reorder) ++counters_.reordered;
+  return f;
+}
+
+int FaultOracle::delay_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plan_.delay_us;
+}
+
+FaultCounters FaultOracle::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
   return counters_;
 }
 
-void Comm::enqueue(int dst, Message m) {
+std::size_t FaultOracle::streams() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stream_idx_.size();
+}
+
+// ---- Comm (shared surface) --------------------------------------------------
+
+Comm::Comm(int nranks) : nranks_(nranks) {
+  require(nranks >= 1, "Comm: need at least one rank");
+}
+
+Comm::~Comm() = default;
+
+namespace {
+/// Tag-space gate (see prt/tags.hpp): protocol traffic must carry exactly
+/// its reserved tag, and application traffic must stay out of the
+/// reserved (negative) range — a user-supplied negative tag would
+/// otherwise alias ack or aggregate handling on the receive side.
+void check_send_tag(int tag, bool is_ack) {
+  if (is_ack) {
+    require(tag == kPureAckTag,
+            "isend: an ack frame must use the reserved pure-ack tag " +
+                std::to_string(kPureAckTag) + ", got " + std::to_string(tag));
+  } else if (tag != kAggregateTag) {
+    require_user_tag(tag, "isend");
+  }
+}
+}  // namespace
+
+// ---- MailboxComm ------------------------------------------------------------
+
+MailboxComm::MailboxComm(int nranks) : Comm(nranks) {
+  boxes_.reserve(nranks);
+  for (int r = 0; r < nranks; ++r) boxes_.push_back(std::make_unique<Mailbox>());
+  limbo_.resize(nranks);
+  cancelled_.assign(nranks, 0);
+}
+
+bool MailboxComm::enqueue(int dst, Message m) {
   auto& box = *boxes_[dst];
   {
     std::lock_guard<std::mutex> lock(box.mu);
+    if (box.cancelled) return false;  // latched: post-cancel sends vanish
     box.q.push_back(std::move(m));
   }
   box.cv.notify_one();
-  if (faults_) {
+  if (oracle_.active()) {
     // A delivery landed: release any reorder-held message for this rank
     // (it now sits BEHIND the newer one — the reordering happened).
     std::vector<Message> held;
@@ -111,64 +174,63 @@ void Comm::enqueue(int dst, Message m) {
     }
     if (!held.empty()) {
       std::lock_guard<std::mutex> lock(box.mu);
-      for (auto& h : held) box.q.push_back(std::move(h));
-      box.cv.notify_one();
+      if (!box.cancelled) {
+        for (auto& h : held) box.q.push_back(std::move(h));
+        box.cv.notify_one();
+      }
     }
   }
+  return true;
 }
 
-int Comm::isend(int src, int dst, int tag, const Packet& payload, int meta,
-                long long seq, long long ack, bool is_ack, bool shared) {
+int MailboxComm::isend(int src, int dst, int tag, const Packet& payload,
+                       int meta, long long seq, long long ack, bool is_ack,
+                       bool shared) {
   PQR_ASSERT(dst >= 0 && dst < size(), "isend: bad destination rank");
-  // Tag-space gate (see prt/tags.hpp): protocol traffic must carry exactly
-  // its reserved tag, and application traffic must stay out of the
-  // reserved (negative) range — a user-supplied negative tag would
-  // otherwise alias ack or aggregate handling on the receive side.
-  if (is_ack) {
-    require(tag == kPureAckTag,
-            "isend: an ack frame must use the reserved pure-ack tag " +
-                std::to_string(kPureAckTag) + ", got " + std::to_string(tag));
-  } else if (tag != kAggregateTag) {
-    require_user_tag(tag, "isend");
-  }
+  check_send_tag(tag, is_ack);
+  offered_.fetch_add(1, std::memory_order_relaxed);
   // Default: deep copy, emulating separate address spaces. `shared` hands
   // over a reference for payloads immutable on both sides (coalesced wire
   // buffers, retransmissions) — see the declaration for the contract.
   Message m{src, tag, meta, seq, ack, is_ack,
             shared ? payload : payload.clone()};
-  sent_.fetch_add(1, std::memory_order_relaxed);
-  bytes_.fetch_add(static_cast<long long>(payload.size()),
-                   std::memory_order_relaxed);
-  if (!faults_) {
-    enqueue(dst, std::move(m));
+  if (!oracle_.active()) {
+    // Fate first, count second: a message the cancel latch discards is
+    // offered but never sent.
+    if (enqueue(dst, std::move(m))) {
+      sent_.fetch_add(1, std::memory_order_relaxed);
+      bytes_.fetch_add(static_cast<long long>(payload.size()),
+                       std::memory_order_relaxed);
+    }
     return 0;  // request handle; completion is immediate
   }
   // Fault plan: every decision is a pure function of (seed, stream,
   // message index) — deterministic per seed, independent per fault kind.
-  // Decisions and limbo bookkeeping happen under fmu_; mailbox delivery
-  // (box.mu) happens strictly after it is released — the two locks never
-  // nest, in either order.
+  // The cancel latch, the decision, limbo bookkeeping and the post-fate
+  // accounting all happen under fmu_ (the oracle's own lock nests inside
+  // it, never the reverse); mailbox delivery (box.mu) happens strictly
+  // after fmu_ is released — box.mu and fmu_ never nest, in either order.
   bool dup = false;
   bool held = false;
   {
     std::lock_guard<std::mutex> lock(fmu_);
-    const std::uint64_t key = stream_key(src, dst, tag);
-    const long long idx = stream_idx_[key]++;
-    if (u01(plan_.seed, key, idx, 1) < plan_.drop) {
-      ++counters_.dropped;
-      return 0;  // vanished on the wire
-    }
-    dup = u01(plan_.seed, key, idx, 2) < plan_.dup;
-    const bool delay = u01(plan_.seed, key, idx, 3) < plan_.delay;
-    const bool reorder = !delay && u01(plan_.seed, key, idx, 4) < plan_.reorder;
-    if (dup) ++counters_.duplicated;
-    if (delay) ++counters_.delayed;
-    if (reorder) ++counters_.reordered;
-    if (delay || reorder) {
-      held = true;
+    if (cancelled_[dst] != 0) return 0;  // latched: discard, don't decide
+    const FaultFate f = oracle_.decide(src, dst, tag);
+    if (f.drop) return 0;  // vanished on the wire: offered, never sent
+    dup = f.dup;
+    held = f.delay || f.reorder;
+    // Post-fate accounting: what actually goes toward a mailbox — twice
+    // for a duplicate, zero for a drop (satellite invariant:
+    // sent == offered - dropped + duplicated, absent cancels).
+    const long long copies = dup ? 2 : 1;
+    sent_.fetch_add(copies, std::memory_order_relaxed);
+    bytes_.fetch_add(copies * static_cast<long long>(payload.size()),
+                     std::memory_order_relaxed);
+    if (held) {
       Limbo l;
-      l.release = Clock::now() + std::chrono::microseconds(plan_.delay_us);
-      l.after_next = reorder;
+      l.release =
+          Clock::now() + std::chrono::microseconds(oracle_.delay_us());
+      l.after_next = f.reorder;
       if (dup) {
         // The duplicate travels normally (below) while the original waits.
         Message copy = m;
@@ -190,14 +252,11 @@ int Comm::isend(int src, int dst, int tag, const Packet& payload, int meta,
   return 0;
 }
 
-bool Comm::test(int /*request*/) const { return true; }
-
-std::optional<Clock::time_point> Comm::release_due(int rank) {
+std::optional<Clock::time_point> MailboxComm::release_due(int rank) {
   std::vector<Message> due;
   std::optional<Clock::time_point> earliest;
   {
     std::lock_guard<std::mutex> lock(fmu_);
-    if (limbo_.empty()) return std::nullopt;
     auto& limbo = limbo_[rank];
     if (limbo.empty()) return std::nullopt;
     const auto now = Clock::now();
@@ -214,14 +273,16 @@ std::optional<Clock::time_point> Comm::release_due(int rank) {
   if (!due.empty()) {
     auto& box = *boxes_[rank];
     std::lock_guard<std::mutex> lock(box.mu);
-    for (auto& m : due) box.q.push_back(std::move(m));
-    box.cv.notify_one();
+    if (!box.cancelled) {
+      for (auto& m : due) box.q.push_back(std::move(m));
+      box.cv.notify_one();
+    }
   }
   return earliest;
 }
 
-std::optional<Message> Comm::try_recv(int rank) {
-  if (faults_) release_due(rank);
+std::optional<Message> MailboxComm::try_recv(int rank) {
+  if (oracle_.active()) release_due(rank);
   auto& box = *boxes_[rank];
   std::lock_guard<std::mutex> lock(box.mu);
   if (box.q.empty()) return std::nullopt;
@@ -230,8 +291,8 @@ std::optional<Message> Comm::try_recv(int rank) {
   return m;
 }
 
-std::deque<Message> Comm::drain(int rank) {
-  if (faults_) release_due(rank);
+std::deque<Message> MailboxComm::drain(int rank) {
+  if (oracle_.active()) release_due(rank);
   auto& box = *boxes_[rank];
   std::deque<Message> out;
   std::lock_guard<std::mutex> lock(box.mu);
@@ -239,7 +300,7 @@ std::deque<Message> Comm::drain(int rank) {
   return out;
 }
 
-std::optional<Message> Comm::recv_wait(int rank, int timeout_us) {
+std::optional<Message> MailboxComm::recv_wait(int rank, int timeout_us) {
   auto& box = *boxes_[rank];
   const auto deadline = Clock::now() + std::chrono::microseconds(timeout_us);
   for (;;) {
@@ -248,7 +309,7 @@ std::optional<Message> Comm::recv_wait(int rank, int timeout_us) {
     // caller's full timeout. Computed BEFORE taking box.mu (never nest
     // box.mu under fmu_ or vice versa).
     auto until = deadline;
-    if (faults_) {
+    if (oracle_.active()) {
       if (auto next = release_due(rank); next && *next < until) until = *next;
     }
     {
@@ -273,7 +334,7 @@ std::optional<Message> Comm::recv_wait(int rank, int timeout_us) {
   }
 }
 
-void Comm::barrier() {
+void MailboxComm::barrier() {
   std::unique_lock<std::mutex> lock(bmu_);
   const std::uint64_t gen = barrier_gen_;
   if (++barrier_count_ == size()) {
@@ -285,17 +346,25 @@ void Comm::barrier() {
   }
 }
 
-void Comm::cancel(int rank) {
-  if (faults_) {
+void MailboxComm::cancel(int rank) {
+  // Latch BOTH sides of the race: the per-rank flag under fmu_ stops a
+  // concurrent isend from re-populating the limbo after the clear below,
+  // and the mailbox flag under box.mu stops a concurrent enqueue from
+  // re-populating the queue. Either the racing send wins its lock first
+  // (and its message is cleared here) or cancel does (and the send sees
+  // the latch and discards) — nothing survives.
+  {
     std::lock_guard<std::mutex> lock(fmu_);
-    if (!limbo_.empty()) limbo_[rank].clear();
+    cancelled_[rank] = 1;
+    limbo_[rank].clear();
   }
   auto& box = *boxes_[rank];
   std::lock_guard<std::mutex> lock(box.mu);
+  box.cancelled = true;
   box.q.clear();
 }
 
-void Comm::interrupt(int rank) {
+void MailboxComm::interrupt(int rank) {
   auto& box = *boxes_[rank];
   {
     std::lock_guard<std::mutex> lock(box.mu);
@@ -475,12 +544,12 @@ void FrameStager::add(int tag, int meta, const Packet& p) {
   require_user_tag(tag, "FrameStager::add");
   if (buf_.empty()) buf_ = Packet::make(capacity_);
   std::byte* at = buf_.bytes() + used_;
-  const std::int32_t tag32 = tag;
-  const std::int32_t meta32 = meta;
-  const std::uint64_t size64 = p.size();
-  std::memcpy(at, &tag32, 4);
-  std::memcpy(at + 4, &meta32, 4);
-  std::memcpy(at + 8, &size64, 8);
+  // Explicit little-endian header (wire.hpp), NOT a memcpy of host
+  // integers: an aggregate staged on one host must parse identically on
+  // any other, and on the golden frames recorded in the tests.
+  wire::put_i32(at, tag);
+  wire::put_i32(at + 4, meta);
+  wire::put_u64(at + 8, static_cast<std::uint64_t>(p.size()));
   if (p.size() > 0) std::memcpy(at + kHeaderBytes, p.bytes(), p.size());
   used_ += wire_size(p.size());
   ++frames_;
@@ -500,15 +569,9 @@ Packet FrameStager::take() {
 bool FrameCursor::next(WireFrame& out) {
   if (off_ >= size_) return false;
   PQR_ASSERT(off_ + 16 <= size_, "FrameCursor: truncated frame header");
-  std::int32_t tag32 = 0;
-  std::int32_t meta32 = 0;
-  std::uint64_t size64 = 0;
-  std::memcpy(&tag32, data_ + off_, 4);
-  std::memcpy(&meta32, data_ + off_ + 4, 4);
-  std::memcpy(&size64, data_ + off_ + 8, 8);
-  out.tag = tag32;
-  out.meta = meta32;
-  out.size = static_cast<std::size_t>(size64);
+  out.tag = wire::get_i32(data_ + off_);
+  out.meta = wire::get_i32(data_ + off_ + 4);
+  out.size = static_cast<std::size_t>(wire::get_u64(data_ + off_ + 8));
   out.data = data_ + off_ + 16;
   PQR_ASSERT(off_ + FrameStager::wire_size(out.size) <= size_,
              "FrameCursor: truncated frame payload");

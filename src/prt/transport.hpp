@@ -90,12 +90,69 @@ struct LinkGap {
   std::string to_string() const;
 };
 
-/// A "communicator" over nranks in-process ranks.
+/// The outcome the fault plan assigned to one message.
+struct FaultFate {
+  bool drop = false;
+  bool dup = false;
+  bool delay = false;
+  bool reorder = false;
+};
+
+/// Deterministic fault oracle shared by every transport backend: holds the
+/// plan, the per-(src, dst, tag) stream counters, and the injected-fault
+/// totals. Each decide() is a pure hash of (seed, stream, index), so the
+/// in-process mailbox backend and the socket backend replay the exact same
+/// schedule from the same seed — the send side decides the fate before the
+/// message touches any wire.
+///
+/// The stream-counter map is reset every time a plan is installed: a
+/// long-lived communicator re-seeded per run (the VSA-as-a-service
+/// direction) starts each schedule from index 0 instead of accumulating
+/// one map entry per stream forever. streams() surfaces the live size.
+class FaultOracle {
+ public:
+  void set_plan(const FaultPlan& plan);
+  bool active() const { return active_.load(std::memory_order_acquire); }
+  /// Decide the idx-th message of the (src, dst, tag) stream (advancing
+  /// its index) and tally the counters.
+  FaultFate decide(int src, int dst, int tag);
+  int delay_us() const;
+  FaultCounters counters() const;
+  /// Number of distinct (src, dst, tag) streams seen under the current
+  /// plan — the bound satellite accounting exposes via RunStats.
+  std::size_t streams() const;
+
+ private:
+  std::atomic<bool> active_{false};
+  mutable std::mutex mu_;
+  FaultPlan plan_;
+  std::unordered_map<std::uint64_t, long long> stream_idx_;
+  FaultCounters counters_;
+};
+
+/// Abstract "communicator" over nranks ranks — the six-call MPI surface of
+/// the paper (Isend/Test, Irecv as try_recv/drain/recv_wait, Get_count,
+/// Barrier, Cancel) plus the chaos and accounting hooks every backend
+/// shares. Backends: MailboxComm (in-process per-rank mailboxes, the
+/// original thread-emulated transport) and net::SocketComm
+/// (socket_comm.hpp — Unix-domain stream sockets between real processes).
+///
+/// Accounting contract (chaos-invariant, asserted in chaos_test):
+///   messages_offered  = isend calls accepted from callers
+///   messages_sent     = what actually went to a mailbox/wire — dropped
+///                       messages count zero, duplicated messages twice,
+///   so  sent == offered - dropped + duplicated
+/// in the absence of cancel (sends to a cancelled rank are discarded after
+/// being offered, without counting as sent).
 class Comm {
  public:
   explicit Comm(int nranks);
+  virtual ~Comm();
 
-  int size() const { return static_cast<int>(boxes_.size()); }
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+  int size() const { return nranks_; }
 
   /// Nonblocking send: copies the payload and delivers it to dst's mailbox
   /// (through the fault plan, if one is set). Returns a request handle;
@@ -111,54 +168,87 @@ class Comm {
   /// frame is either the only copy ever delivered or suppressed unread by
   /// the receiver's sequence dedup). The default path keeps the deep copy
   /// that emulates separate address spaces.
-  int isend(int src, int dst, int tag, const Packet& payload, int meta,
-            long long seq = -1, long long ack = -1, bool is_ack = false,
-            bool shared = false);
+  virtual int isend(int src, int dst, int tag, const Packet& payload, int meta,
+                    long long seq = -1, long long ack = -1, bool is_ack = false,
+                    bool shared = false) = 0;
 
-  /// MPI_Test equivalent: true once the send completed.
-  bool test(int request) const;
+  /// MPI_Test equivalent: true once the send completed. Both backends
+  /// complete sends synchronously (mailbox enqueue / blocking write).
+  virtual bool test(int /*request*/) const { return true; }
 
   /// MPI_Irecv+Test pattern collapsed into a non-blocking poll of the
   /// rank's mailbox. Empty optional when nothing has arrived.
-  std::optional<Message> try_recv(int rank);
+  virtual std::optional<Message> try_recv(int rank) = 0;
 
   /// Batch receive: every queued message for the rank in arrival order,
   /// taken in a single mailbox swap (one lock round-trip total — the
   /// proxy's bulk path). Empty deque when nothing has arrived.
-  std::deque<Message> drain(int rank);
+  virtual std::deque<Message> drain(int rank) = 0;
 
   /// Blocking receive with a deadline; used by proxies to idle
   /// efficiently. The deadline is absolute: spurious condition-variable
   /// wakeups never extend the effective timeout. Returns early (empty)
   /// when an interrupt is pending for the rank.
-  std::optional<Message> recv_wait(int rank, int timeout_us);
+  virtual std::optional<Message> recv_wait(int rank, int timeout_us) = 0;
 
   /// MPI_Get_count equivalent.
   static std::size_t get_count(const Message& m) { return m.payload.size(); }
 
-  /// MPI_Barrier equivalent over all ranks. The generation counter is
-  /// 64-bit and monotone, so a rank re-entering the barrier immediately
-  /// can never alias a generation an earlier waiter is still testing.
-  void barrier();
+  /// MPI_Barrier equivalent over all ranks.
+  virtual void barrier() = 0;
 
   /// MPI_Cancel equivalent: drop all undelivered messages for a rank
-  /// (including ones held back by the fault plan).
-  void cancel(int rank);
+  /// (including ones held back by the fault plan), and latch the rank as
+  /// cancelled — later sends to it are discarded instead of re-filling
+  /// the mailbox or limbo a racing isend could otherwise repopulate.
+  virtual void cancel(int rank) = 0;
 
   /// Wake a rank blocked in recv_wait (used for shutdown and to nudge an
   /// idle proxy). The wake is latched: an interrupt delivered while no
   /// one waits makes the next recv_wait return immediately instead of
   /// being lost. Idempotent — repeated interrupts collapse into one latch.
-  void interrupt(int rank);
+  virtual void interrupt(int rank) = 0;
 
   /// Install the fault plan. Must be called before any traffic; a plan
   /// with all probabilities zero leaves the fast path untouched.
-  void set_fault_plan(const FaultPlan& plan);
+  void set_fault_plan(const FaultPlan& plan) { oracle_.set_plan(plan); }
 
-  /// Totals for RunStats.
+  /// Totals for RunStats (see the accounting contract above).
+  long long messages_offered() const { return offered_.load(); }
   long long messages_sent() const { return sent_.load(); }
   long long bytes_sent() const { return bytes_.load(); }
-  FaultCounters fault_counters() const;
+  FaultCounters fault_counters() const { return oracle_.counters(); }
+  /// Distinct fault streams tracked under the current plan (bounded by
+  /// the run's (src, dst, tag) topology; reset per plan install).
+  std::size_t fault_streams() const { return oracle_.streams(); }
+
+ protected:
+  int nranks_;
+  FaultOracle oracle_;
+  std::atomic<long long> offered_{0};
+  std::atomic<long long> sent_{0};
+  std::atomic<long long> bytes_{0};
+};
+
+/// The in-process backend: per-rank mailboxes between threads of one
+/// process, deep-copying payloads to emulate separate address spaces.
+class MailboxComm : public Comm {
+ public:
+  explicit MailboxComm(int nranks);
+
+  int isend(int src, int dst, int tag, const Packet& payload, int meta,
+            long long seq = -1, long long ack = -1, bool is_ack = false,
+            bool shared = false) override;
+  std::optional<Message> try_recv(int rank) override;
+  std::deque<Message> drain(int rank) override;
+  std::optional<Message> recv_wait(int rank, int timeout_us) override;
+
+  /// The generation counter is 64-bit and monotone, so a rank re-entering
+  /// the barrier immediately can never alias a generation an earlier
+  /// waiter is still testing.
+  void barrier() override;
+  void cancel(int rank) override;
+  void interrupt(int rank) override;
 
  private:
   struct Mailbox {
@@ -166,6 +256,7 @@ class Comm {
     std::condition_variable cv;
     std::deque<Message> q;
     bool wake_pending = false;  ///< latched interrupt (guarded by mu)
+    bool cancelled = false;     ///< latched cancel (guarded by mu)
   };
   /// A message held back by the fault plan.
   struct Limbo {
@@ -174,26 +265,24 @@ class Comm {
     Message m;
   };
 
-  void enqueue(int dst, Message m);
+  /// Returns false when the destination rank is cancelled (the message is
+  /// discarded under the same lock that latched the cancel — no race).
+  bool enqueue(int dst, Message m);
   /// Move due limbo messages of the rank into its mailbox; returns the
   /// earliest release time still pending (if any).
   std::optional<std::chrono::steady_clock::time_point> release_due(int rank);
 
   std::vector<std::unique_ptr<Mailbox>> boxes_;
-  std::atomic<long long> sent_{0};
-  std::atomic<long long> bytes_{0};
   // Barrier state.
   std::mutex bmu_;
   std::condition_variable bcv_;
   int barrier_count_ = 0;
   std::uint64_t barrier_gen_ = 0;
-  // Fault-injection state (all guarded by fmu_; untouched when !faults_).
-  bool faults_ = false;
-  FaultPlan plan_;
+  // Limbo + cancel-latch state (guarded by fmu_; the fault-free fast path
+  // never takes this lock — its cancel check rides the mailbox lock).
   mutable std::mutex fmu_;
-  std::unordered_map<std::uint64_t, long long> stream_idx_;
   std::vector<std::vector<Limbo>> limbo_;  ///< per destination rank
-  FaultCounters counters_;
+  std::vector<char> cancelled_;            ///< per-rank latched cancel
 };
 
 /// Reliable-delivery endpoint for one rank: per-(src,dst) monotone

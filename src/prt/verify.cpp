@@ -17,7 +17,7 @@
 namespace pulsarqr::prt::verify {
 namespace {
 
-using net::Comm;
+using Comm = net::MailboxComm;
 using net::Message;
 using net::Reliable;
 

@@ -4,8 +4,18 @@
 
 #include "prt/graph_check.hpp"
 #include "prt/packet_pool.hpp"
+#include "prt/socket_comm.hpp"
+#include "prt/wire.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstring>
 #include <deque>
 #include <map>
@@ -818,7 +828,9 @@ Vsa::RunStats Vsa::run() {
     spin_us_ = (hw != 0 && workers_.size() <= hw) ? 50 : 0;
   }
 
-  comm_ = std::make_unique<net::Comm>(cfg_.nodes);
+  if (cfg_.transport == Transport::Socket) return run_socket();
+
+  comm_ = std::make_unique<net::MailboxComm>(cfg_.nodes);
   if (cfg_.fault_plan.any()) comm_->set_fault_plan(cfg_.fault_plan);
   // Pool counters are process-global; snapshot them so RunStats reports
   // this run's delta (a warmed pool shows zero misses here).
@@ -930,8 +942,10 @@ Vsa::RunStats Vsa::run() {
   stats.fires = fires_.load();
   stats.remote_messages = total_remote_msgs_.load(std::memory_order_relaxed);
   stats.remote_bytes = total_remote_bytes_.load(std::memory_order_relaxed);
+  stats.wire_offered = comm_->messages_offered();
   stats.wire_messages = comm_->messages_sent();
   stats.wire_bytes = comm_->bytes_sent();
+  stats.fault_streams = static_cast<long long>(comm_->fault_streams());
   stats.coalesced_frames = total_coalesced_.load(std::memory_order_relaxed);
   stats.aggregates_sent = total_aggregates_.load(std::memory_order_relaxed);
   const PacketPool::Stats pool1 = PacketPool::stats();
@@ -960,12 +974,567 @@ Vsa::RunStats Vsa::run() {
   return stats;
 }
 
-Vsa::RunReport Vsa::make_run_report() const {
+// ---- socket transport: one process per node ---------------------------------
+//
+// run_socket() forks after the graph is built and wired but before any
+// thread exists, so every node process inherits an identical copy-on-write
+// image of the VSA (VDPs, channels, feeds, globals). Each child runs ONLY
+// its own node's workers and proxy over a SocketComm wired into a
+// pre-opened socketpair mesh; the parent runs no VDPs at all — it is the
+// control plane. Per-child results and stats travel back over a dedicated
+// control socketpair as little-endian blobs (wire.hpp).
+//
+// Control protocol (child c <-> parent):
+//   c -> p  'D'                    local workers finished cleanly
+//   p -> c  'G'                    every node finished; tear down
+//   p -> c  'C'                    another node failed; abandon the run
+//   c -> p  'E' u64 len  blob      success epilogue (stats + app blob)
+//   c -> p  'F' u64 len  blob      serialized RunReport (local failure)
+// A child that gets 'C' (or loses the parent) exits silently with
+// status 1; a child EOF without 'E'/'F' means it crashed outright.
+
+namespace {
+
+bool fd_send_all(int fd, const void* buf, std::size_t n) {
+  const char* p = static_cast<const char*>(buf);
+  while (n > 0) {
+    const ssize_t k = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += k;
+    n -= static_cast<std::size_t>(k);
+  }
+  return true;
+}
+
+bool fd_read_exact(int fd, void* buf, std::size_t n) {
+  char* p = static_cast<char*>(buf);
+  while (n > 0) {
+    const ssize_t k = ::recv(fd, p, n, 0);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (k == 0) return false;  // EOF
+    p += k;
+    n -= static_cast<std::size_t>(k);
+  }
+  return true;
+}
+
+bool ctl_send_blob(int fd, char type, const net::wire::Blob& b) {
+  std::byte hdr[9];
+  hdr[0] = static_cast<std::byte>(type);
+  net::wire::put_u64(hdr + 1, b.size());
+  if (!fd_send_all(fd, hdr, sizeof hdr)) return false;
+  return b.size() == 0 || fd_send_all(fd, b.data(), b.size());
+}
+
+void serialize_report(net::wire::Blob& b, const Vsa::RunReport& r) {
+  b.str(r.reason);
+  b.u32(static_cast<std::uint32_t>(r.stuck_vdps.size()));
+  for (const auto& s : r.stuck_vdps) b.str(s);
+  b.i32(r.vdps_alive);
+  b.u32(static_cast<std::uint32_t>(r.links.size()));
+  for (const auto& g : r.links) {
+    b.i32(g.src);
+    b.i32(g.dst);
+    b.i64(g.next_seq);
+    b.i64(g.acked);
+    b.i64(g.expected);
+    b.i32(g.unacked);
+    b.i32(g.buffered_out_of_order);
+    b.u32(g.exhausted ? 1 : 0);
+    b.u32(static_cast<std::uint32_t>(g.pending_tags.size()));
+    for (int t : g.pending_tags) b.i32(t);
+  }
+  b.i64(r.faults.dropped);
+  b.i64(r.faults.duplicated);
+  b.i64(r.faults.delayed);
+  b.i64(r.faults.reordered);
+  b.i64(r.retransmits);
+}
+
+Vsa::RunReport deserialize_report(const std::byte* p, std::size_t n) {
+  net::wire::BlobReader br(p, n);
+  Vsa::RunReport r;
+  r.reason = br.str();
+  const std::uint32_t ns = br.u32();
+  for (std::uint32_t i = 0; i < ns; ++i) r.stuck_vdps.push_back(br.str());
+  r.vdps_alive = br.i32();
+  const std::uint32_t nl = br.u32();
+  for (std::uint32_t i = 0; i < nl; ++i) {
+    net::LinkGap g;
+    g.src = br.i32();
+    g.dst = br.i32();
+    g.next_seq = br.i64();
+    g.acked = br.i64();
+    g.expected = br.i64();
+    g.unacked = br.i32();
+    g.buffered_out_of_order = br.i32();
+    g.exhausted = br.u32() != 0;
+    const std::uint32_t nt = br.u32();
+    for (std::uint32_t t = 0; t < nt; ++t) g.pending_tags.push_back(br.i32());
+    r.links.push_back(std::move(g));
+  }
+  r.faults.dropped = br.i64();
+  r.faults.duplicated = br.i64();
+  r.faults.delayed = br.i64();
+  r.faults.reordered = br.i64();
+  r.retransmits = br.i64();
+  return r;
+}
+
+std::string failure_header(const std::string& reason, const Vsa::Config& cfg) {
+  if (reason == "transport") {
+    return "PRT transport: reliable delivery failed (retransmit limit "
+           "reached after " +
+           std::to_string(cfg.max_retransmits) +
+           " attempts); tearing the run down.\n";
+  }
+  if (reason == "watchdog") {
+    return "PRT watchdog: no VDP fired for " +
+           std::to_string(cfg.watchdog_seconds) +
+           "s; the VSA is deadlocked.\n";
+  }
+  return "PRT socket transport: a node process exited without a report "
+         "(crash or abort in a forked node); tearing the run down.\n";
+}
+
+}  // namespace
+
+void Vsa::child_main(int rank, std::vector<int> peer_fds, int control_fd) {
+  auto sock_comm = std::make_unique<net::SocketComm>(cfg_.nodes, rank,
+                                                     std::move(peer_fds));
+  net::SocketComm* sock = sock_comm.get();
+  comm_ = std::move(sock_comm);
+  if (cfg_.fault_plan.any()) comm_->set_fault_plan(cfg_.fault_plan);
+  const PacketPool::Stats pool0 = PacketPool::stats();
+  recorder_ = std::make_unique<trace::Recorder>(total_threads(),
+                                                /*enabled=*/false, cfg_.nodes);
+  recorder_->start_clock();
+
+  Node& node = *nodes_[rank];
+  std::vector<Worker*> local;
+  for (auto& w : workers_) {
+    if (w->node_id == rank) local.push_back(w.get());
+  }
+  workers_running_.store(static_cast<int>(local.size()));
+  if (cfg_.work_stealing) {
+    // Seed only OUR node's VDPs as fire candidates; the rest of the graph
+    // belongs to sibling processes.
+    for (Vdp* v : creation_order_) {
+      if (v->global_thread_ / cfg_.workers_per_node == rank) node.enqueue(v);
+    }
+  }
+  for (Worker* w : local) {
+    w->thread = std::thread([this, w, &node] {
+      if (cfg_.work_stealing) {
+        worker_loop_stealing(*w, node);
+      } else {
+        worker_loop(*w);
+      }
+    });
+  }
+  if (node.has_remote) {
+    node.proxy = std::thread([this, &node] { proxy_loop(node); });
+  }
+
+  bool parent_cancel = false;
+  auto cancel_locally = [&] {
+    cancelled_.store(true, std::memory_order_release);
+    for (Worker* w : local) w->wake();
+    {
+      std::lock_guard<std::mutex> lock(node.pool_mu);
+      node.pool_cv.notify_all();
+    }
+    comm_->interrupt(rank);
+  };
+  auto check_parent = [&] {
+    pollfd pfd{control_fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 0) <= 0 ||
+        (pfd.revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+      return;
+    }
+    char c = 0;
+    (void)fd_read_exact(control_fd, &c, 1);
+    // 'C', garbage, or EOF (the parent died) all mean the same thing
+    // here: the run is over and nobody wants our results.
+    parent_cancel = true;
+    cancel_locally();
+  };
+
+  // Per-process watchdog: local progress is a completed or in-flight
+  // firing OR any frame accepted off the wire — a node whose VDPs are all
+  // blocked on remote input is not deadlocked while its peers talk to it.
+  long long last_fires = -1;
+  long long last_rx = -1;
+  std::vector<std::uint64_t> last_hb(local.size(), 0);
+  auto last_progress = std::chrono::steady_clock::now();
+  while (workers_running_.load(std::memory_order_acquire) > 0) {
+    std::this_thread::sleep_for(1ms);
+    check_parent();
+    bool progress = false;
+    const long long f = fires_.load(std::memory_order_relaxed);
+    if (f != last_fires) {
+      last_fires = f;
+      progress = true;
+    }
+    const long long rx = sock->frames_received();
+    if (rx != last_rx) {
+      last_rx = rx;
+      progress = true;
+    }
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      const std::uint64_t hb =
+          local[i]->fire_epoch.load(std::memory_order_relaxed);
+      if (hb != last_hb[i]) {
+        last_hb[i] = hb;
+        progress = true;
+      } else if ((hb & 1u) != 0) {
+        progress = true;
+      }
+    }
+    if (progress) {
+      last_progress = std::chrono::steady_clock::now();
+    } else if (cfg_.watchdog_seconds > 0 &&
+               std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             last_progress)
+                       .count() > cfg_.watchdog_seconds) {
+      cancel_locally();
+      break;
+    }
+  }
+
+  for (Worker* w : local) w->wake();
+  {
+    std::lock_guard<std::mutex> lock(node.pool_mu);
+    node.pool_cv.notify_all();
+  }
+  for (Worker* w : local) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+
+  // Local workers done. Keep the proxy alive (late acks, retransmits for
+  // peers still running) until the parent declares the whole run over.
+  bool ok = !cancelled_.load(std::memory_order_acquire);
+  if (ok) {
+    const char d = 'D';
+    ok = fd_send_all(control_fd, &d, 1);
+  }
+  while (ok) {
+    if (cancelled_.load(std::memory_order_acquire)) {
+      // Transport failure surfaced while waiting (exhausted retransmits
+      // to a peer): downgrade to the failure path below.
+      ok = false;
+      break;
+    }
+    pollfd pfd{control_fd, POLLIN, 0};
+    const int pn = ::poll(&pfd, 1, /*ms=*/10);
+    if (pn < 0 && errno != EINTR) {
+      ok = false;
+      parent_cancel = true;
+      break;
+    }
+    if (pn <= 0) continue;
+    char c = 0;
+    if (!fd_read_exact(control_fd, &c, 1) || c == 'C') {
+      ok = false;
+      parent_cancel = true;
+      cancelled_.store(true, std::memory_order_release);
+      break;
+    }
+    if (c == 'G') break;
+  }
+
+  done_.store(true, std::memory_order_release);
+  comm_->interrupt(rank);
+  if (node.proxy.joinable()) node.proxy.join();
+
+  if (!ok) {
+    if (!parent_cancel) {
+      net::wire::Blob b;
+      serialize_report(b, make_run_report(rank));
+      (void)ctl_send_blob(control_fd, 'F', b);
+    }
+    comm_.reset();  // join the receiver thread before exiting
+    ::_exit(1);
+  }
+
+  // Success epilogue: this node's stats contribution plus the
+  // application blob (collect hook) for the parent to merge.
+  net::wire::Blob b;
+  b.i64(fires_.load(std::memory_order_relaxed));
+  b.u32(static_cast<std::uint32_t>(local.size()));
+  for (Worker* w : local) b.f64(w->busy);
+  b.f64(node.proxy_busy);
+  b.i64(total_remote_msgs_.load(std::memory_order_relaxed));
+  b.i64(total_remote_bytes_.load(std::memory_order_relaxed));
+  b.i64(total_coalesced_.load(std::memory_order_relaxed));
+  b.i64(total_aggregates_.load(std::memory_order_relaxed));
+  b.i64(total_retransmits_.load(std::memory_order_relaxed));
+  b.i64(total_dups_suppressed_.load(std::memory_order_relaxed));
+  b.i64(total_acks_sent_.load(std::memory_order_relaxed));
+  b.i64(comm_->messages_offered());
+  b.i64(comm_->messages_sent());
+  b.i64(comm_->bytes_sent());
+  const net::FaultCounters fc = comm_->fault_counters();
+  b.i64(fc.dropped);
+  b.i64(fc.duplicated);
+  b.i64(fc.delayed);
+  b.i64(fc.reordered);
+  b.u64(comm_->fault_streams());
+  long long leftover = 0;
+  for (Vdp* v : creation_order_) {
+    if (v->global_thread_ / cfg_.workers_per_node != rank) continue;
+    for (auto& ch : v->inputs_) leftover += ch->size();
+  }
+  while (auto m = comm_->try_recv(rank)) {
+    if (!m->is_ack && m->seq < 0) ++leftover;
+  }
+  b.i64(leftover);
+  const PacketPool::Stats pool1 = PacketPool::stats();
+  b.i64(pool1.hits - pool0.hits);
+  b.i64(pool1.misses - pool0.misses);
+  if (collect_hook_) {
+    const Packet app = collect_hook_();
+    b.u64(app.size());
+    if (app.size() > 0) b.bytes(app.bytes(), app.size());
+  } else {
+    b.u64(0);
+  }
+  (void)ctl_send_blob(control_fd, 'E', b);
+  comm_.reset();  // join the receiver thread before exiting
+  ::_exit(0);
+}
+
+Vsa::RunStats Vsa::run_socket() {
+  require(!cfg_.trace,
+          "run: Config::trace is not supported with the Socket transport "
+          "(per-process trace recorders are not merged)");
+  const int N = cfg_.nodes;
+  auto mesh = net::SocketComm::socketpair_mesh(N);
+  std::vector<int> ctl_parent(N, -1), ctl_child(N, -1);
+  for (int r = 0; r < N; ++r) {
+    int sv[2];
+    require(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) == 0,
+            "run: control socketpair failed: " +
+                std::string(std::strerror(errno)));
+    ctl_parent[r] = sv[0];
+    ctl_child[r] = sv[1];
+  }
+
+  const auto t_start = std::chrono::steady_clock::now();
+  std::vector<pid_t> pids(N, -1);
+  for (int r = 0; r < N; ++r) {
+    const pid_t pid = ::fork();
+    require(pid >= 0,
+            "run: fork failed: " + std::string(std::strerror(errno)));
+    if (pid == 0) {
+      // Node process r: drop every inherited fd that is not ours (other
+      // ranks' mesh rows, their control ends, all parent control ends).
+      for (int a = 0; a < N; ++a) {
+        if (a == r) continue;
+        for (int bfd : mesh[a]) {
+          if (bfd >= 0) ::close(bfd);
+        }
+      }
+      for (int s = 0; s < N; ++s) {
+        if (ctl_parent[s] >= 0) ::close(ctl_parent[s]);
+        if (s != r && ctl_child[s] >= 0) ::close(ctl_child[s]);
+      }
+      child_main(r, std::move(mesh[r]), ctl_child[r]);  // never returns
+    }
+    pids[r] = pid;
+  }
+  for (auto& row : mesh) {
+    for (int fd : row) {
+      if (fd >= 0) ::close(fd);
+    }
+  }
+  for (int r = 0; r < N; ++r) ::close(ctl_child[r]);
+
+  // Control plane: collect 'D' from everyone, broadcast 'G', collect
+  // epilogues; on any 'F' or unexplained child exit, broadcast 'C' and
+  // re-throw the (first) failure after reaping every child.
+  enum ChildState { kRunning, kDone, kEnded, kFailed };
+  std::vector<int> state(N, kRunning);
+  std::vector<std::vector<std::byte>> epilogue(N);
+  bool go_sent = false, cancel_sent = false, failed = false;
+  RunReport fail_report;
+  const bool bounded = cfg_.watchdog_seconds > 0;
+  // Generous backstop over the children's own watchdogs: if it trips,
+  // a child is wedged beyond reporting (SIGKILL is all that is left).
+  const auto kill_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(cfg_.watchdog_seconds + 120.0));
+  auto fail_with = [&](RunReport r) {
+    if (!failed) {
+      failed = true;
+      fail_report = std::move(r);
+    }
+  };
+  auto read_blob = [&](int fd, std::vector<std::byte>& out) {
+    std::byte len8[8];
+    if (!fd_read_exact(fd, len8, 8)) return false;
+    const std::uint64_t len = net::wire::get_u64(len8);
+    out.resize(len);
+    return len == 0 || fd_read_exact(fd, out.data(), len);
+  };
+
+  for (;;) {
+    int terminal = 0;
+    bool all_past_running = true;
+    for (int r = 0; r < N; ++r) {
+      if (state[r] == kEnded || state[r] == kFailed) ++terminal;
+      if (state[r] == kRunning) all_past_running = false;
+    }
+    if (terminal == N) break;
+    if (failed && !cancel_sent) {
+      const char c = 'C';
+      for (int r = 0; r < N; ++r) {
+        if (state[r] == kRunning || state[r] == kDone) {
+          (void)fd_send_all(ctl_parent[r], &c, 1);
+        }
+      }
+      cancel_sent = true;
+    }
+    if (!go_sent && !failed && all_past_running) {
+      const char g = 'G';
+      for (int r = 0; r < N; ++r) (void)fd_send_all(ctl_parent[r], &g, 1);
+      go_sent = true;
+    }
+
+    std::vector<pollfd> pfds;
+    std::vector<int> owners;
+    for (int r = 0; r < N; ++r) {
+      if (state[r] == kEnded || state[r] == kFailed) continue;
+      pfds.push_back({ctl_parent[r], POLLIN, 0});
+      owners.push_back(r);
+    }
+    const int pn = ::poll(pfds.data(), pfds.size(), /*ms=*/100);
+    if (bounded && std::chrono::steady_clock::now() > kill_deadline) {
+      for (int r = 0; r < N; ++r) ::kill(pids[r], SIGKILL);
+      for (int r = 0; r < N; ++r) {
+        int st = 0;
+        ::waitpid(pids[r], &st, 0);
+        ::close(ctl_parent[r]);
+      }
+      throw RunError(
+          "PRT socket transport: node processes stopped responding; "
+          "killed.\n",
+          make_run_report());
+    }
+    if (pn <= 0) continue;
+    for (std::size_t i = 0; i < pfds.size(); ++i) {
+      if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const int r = owners[i];
+      char t = 0;
+      if (!fd_read_exact(pfds[i].fd, &t, 1)) {
+        state[r] = kFailed;  // died without a report
+        RunReport rep;
+        rep.reason = "process";
+        fail_with(std::move(rep));
+        continue;
+      }
+      if (t == 'D') {
+        state[r] = kDone;
+      } else if (t == 'E') {
+        if (read_blob(pfds[i].fd, epilogue[r])) {
+          state[r] = kEnded;
+        } else {
+          state[r] = kFailed;
+          RunReport rep;
+          rep.reason = "process";
+          fail_with(std::move(rep));
+        }
+      } else if (t == 'F') {
+        std::vector<std::byte> blob;
+        state[r] = kFailed;
+        if (read_blob(pfds[i].fd, blob)) {
+          fail_with(deserialize_report(blob.data(), blob.size()));
+        } else {
+          RunReport rep;
+          rep.reason = "process";
+          fail_with(std::move(rep));
+        }
+      } else {
+        state[r] = kFailed;
+        RunReport rep;
+        rep.reason = "process";
+        fail_with(std::move(rep));
+      }
+    }
+  }
+
+  for (int r = 0; r < N; ++r) {
+    int st = 0;
+    ::waitpid(pids[r], &st, 0);
+    ::close(ctl_parent[r]);
+  }
+  if (failed) {
+    // Header first: argument evaluation is unsequenced, so reading
+    // fail_report.reason inline could see the already-moved-from report.
+    std::string header = failure_header(fail_report.reason, cfg_);
+    throw RunError(std::move(header), std::move(fail_report));
+  }
+
+  RunStats stats;
+  stats.busy_per_thread.assign(total_threads(), 0.0);
+  stats.proxy_busy_per_node.assign(N, 0.0);
+  for (int r = 0; r < N; ++r) {
+    net::wire::BlobReader br(epilogue[r].data(), epilogue[r].size());
+    stats.fires += br.i64();
+    const std::uint32_t nw = br.u32();
+    for (std::uint32_t l = 0; l < nw; ++l) {
+      stats.busy_per_thread[r * cfg_.workers_per_node + l] = br.f64();
+    }
+    stats.proxy_busy_per_node[r] = br.f64();
+    stats.remote_messages += br.i64();
+    stats.remote_bytes += br.i64();
+    stats.coalesced_frames += br.i64();
+    stats.aggregates_sent += br.i64();
+    stats.retransmits += br.i64();
+    stats.duplicates_suppressed += br.i64();
+    stats.acks_sent += br.i64();
+    stats.wire_offered += br.i64();
+    stats.wire_messages += br.i64();
+    stats.wire_bytes += br.i64();
+    stats.faults.dropped += br.i64();
+    stats.faults.duplicated += br.i64();
+    stats.faults.delayed += br.i64();
+    stats.faults.reordered += br.i64();
+    stats.fault_streams += static_cast<long long>(br.u64());
+    stats.leftover_packets += static_cast<int>(br.i64());
+    stats.pool_hits += br.i64();
+    stats.pool_misses += br.i64();
+    const std::uint64_t app_len = br.u64();
+    Packet app;
+    if (app_len > 0) {
+      app = Packet::make(app_len);
+      std::memcpy(app.bytes(), br.take(app_len), app_len);
+    }
+    if (merge_hook_) merge_hook_(r, app);
+  }
+  stats.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
+          .count();
+  return stats;
+}
+
+Vsa::RunReport Vsa::make_run_report(int only_node) const {
   RunReport r;
   r.reason = transport_failed_.load(std::memory_order_acquire) ? "transport"
                                                                : "watchdog";
   int shown = 0;
   for (const Vdp* v : creation_order_) {
+    if (only_node >= 0 &&
+        v->global_thread_ / cfg_.workers_per_node != only_node) {
+      continue;
+    }
     if (v->dead()) continue;
     ++r.vdps_alive;
     if (shown >= 20) continue;
@@ -974,7 +1543,9 @@ Vsa::RunReport Vsa::make_run_report() const {
                            " counter=" + std::to_string(v->counter_) +
                            " inputs=" + describe_input_slots(*v));
   }
-  r.faults = comm_->fault_counters();
+  // comm_ is null in the socket-transport parent (the control plane never
+  // opens a communicator); its report carries no fault totals.
+  if (comm_) r.faults = comm_->fault_counters();
   r.retransmits = total_retransmits_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(fail_mu_);

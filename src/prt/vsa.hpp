@@ -27,6 +27,14 @@ namespace pulsarqr::prt {
 /// paper's best scheme for tree QR); Aggressive re-fires while ready.
 enum class Scheduling { Lazy, Aggressive };
 
+/// Which transport backend carries inter-node traffic (paper §IV-B).
+/// InProcess: every node is a thread group in this process and frames
+/// move through per-rank mailboxes (net::MailboxComm). Socket: run()
+/// forks one real OS process per node and frames cross Unix-domain
+/// stream sockets (net::SocketComm) — real address-space isolation,
+/// selectable per run with no change to the VSA graph.
+enum class Transport { InProcess, Socket };
+
 class Vsa {
  public:
   struct Config {
@@ -91,6 +99,11 @@ class Vsa {
     /// Deadline for a non-full staged aggregate: a proxy flushes any
     /// destination whose oldest staged frame has waited this long.
     int coalesce_flush_us = 50;
+    /// Transport backend for inter-node traffic (see prt::Transport).
+    /// Socket mode forks one process per node at run(); it requires
+    /// trace == false and, for results to reach the parent, process
+    /// hooks (set_process_hooks) or side effects written to files.
+    Transport transport = Transport::InProcess;
   };
 
   struct RunStats {
@@ -104,8 +117,17 @@ class Vsa {
     /// What actually hit the wire: aggregates count once however many
     /// frames they carry, and wire_bytes includes framing headers. With
     /// coalescing off, wire_messages == remote_messages (+ protocol acks).
+    /// wire_offered counts isend calls accepted from callers BEFORE the
+    /// fault plan decided their fate; under chaos the accounting
+    /// invariant wire_messages == wire_offered - faults.dropped +
+    /// faults.duplicated holds (absent cancels).
+    long long wire_offered = 0;
     long long wire_messages = 0;
     long long wire_bytes = 0;
+    /// Distinct (src, dst, tag) fault streams tracked by the oracle under
+    /// the current plan — bounded by the run's topology and reset per
+    /// plan install (debug visibility for the stream-counter map).
+    long long fault_streams = 0;
     long long coalesced_frames = 0;  ///< frames shipped inside aggregates
     long long aggregates_sent = 0;   ///< aggregate wire messages
     // Packet-pool health for this run (steady state: misses stop growing).
@@ -218,6 +240,19 @@ class Vsa {
     return **p;
   }
 
+  /// Socket-transport result plumbing. Each node process runs with a
+  /// copy-on-write copy of the whole application state; whatever its
+  /// VDPs computed dies with it unless shipped back. `collect` runs in
+  /// each child after a clean local finish and returns an opaque blob
+  /// (the child's contribution — e.g. serialized result tiles); `merge`
+  /// runs in the parent once per child, with the child's rank and blob.
+  /// Unused (and unnecessary) under the in-process transport.
+  void set_process_hooks(std::function<Packet()> collect,
+                         std::function<void(int, const Packet&)> merge) {
+    collect_hook_ = std::move(collect);
+    merge_hook_ = std::move(merge);
+  }
+
   /// Execute the VSA to completion. Throws pulsarqr::Error on watchdog
   /// expiry (deadlocked VSA) or invalid wiring.
   RunStats run();
@@ -239,7 +274,15 @@ class Vsa {
   void worker_loop_stealing(Worker& w, Node& n);
   void proxy_loop(Node& n);
   void fire(Vdp& v, Worker& w);
-  RunReport make_run_report() const;
+  /// `only_node` >= 0 restricts the stuck-VDP census to that node — a
+  /// forked node process reports only what it was responsible for.
+  RunReport make_run_report(int only_node = -1) const;
+  /// Socket transport: fork one process per node, run the control plane,
+  /// merge child epilogues into RunStats (or re-throw a child failure).
+  RunStats run_socket();
+  /// Body of one forked node process; never returns (always _exit).
+  [[noreturn]] void child_main(int rank, std::vector<int> peer_fds,
+                               int control_fd);
   /// First-failure path (called from a proxy): mark the run failed and
   /// wake every worker and proxy so the shutdown join in run() completes.
   void cancel_run_from_transport();
@@ -300,6 +343,9 @@ class Vsa {
   mutable std::mutex fail_mu_;
   std::vector<net::LinkGap> link_gaps_;  ///< guarded by fail_mu_
 
+  // Socket-transport result plumbing (set_process_hooks).
+  std::function<Packet()> collect_hook_;
+  std::function<void(int, const Packet&)> merge_hook_;
 };
 
 template <class T>

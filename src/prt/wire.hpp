@@ -1,0 +1,141 @@
+// Explicit little-endian wire codec shared by every byte format the
+// transport puts on (or prepares for) a wire: the aggregate frame headers
+// of FrameStager/FrameCursor, the socket transport's frame headers, and
+// the control-plane blobs (stats epilogues, failure reports, result
+// deposits) exchanged between node processes.
+//
+// Every value is written byte-by-byte in little-endian order, never by
+// memcpy of a host integer, so two heterogeneous hosts (or a host and a
+// recorded golden frame) always agree on the encoding. Signed values
+// travel as their two's-complement unsigned image; doubles as their
+// IEEE-754 bit pattern.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace pulsarqr::prt::net::wire {
+
+inline void put_u32(std::byte* p, std::uint32_t v) {
+  p[0] = static_cast<std::byte>(v & 0xff);
+  p[1] = static_cast<std::byte>((v >> 8) & 0xff);
+  p[2] = static_cast<std::byte>((v >> 16) & 0xff);
+  p[3] = static_cast<std::byte>((v >> 24) & 0xff);
+}
+
+inline void put_u64(std::byte* p, std::uint64_t v) {
+  put_u32(p, static_cast<std::uint32_t>(v & 0xffffffffULL));
+  put_u32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+inline void put_i32(std::byte* p, std::int32_t v) {
+  put_u32(p, static_cast<std::uint32_t>(v));
+}
+
+inline void put_i64(std::byte* p, std::int64_t v) {
+  put_u64(p, static_cast<std::uint64_t>(v));
+}
+
+inline void put_f64(std::byte* p, double v) {
+  put_u64(p, std::bit_cast<std::uint64_t>(v));
+}
+
+inline std::uint32_t get_u32(const std::byte* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline std::uint64_t get_u64(const std::byte* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+inline std::int32_t get_i32(const std::byte* p) {
+  return static_cast<std::int32_t>(get_u32(p));
+}
+
+inline std::int64_t get_i64(const std::byte* p) {
+  return static_cast<std::int64_t>(get_u64(p));
+}
+
+inline double get_f64(const std::byte* p) {
+  return std::bit_cast<double>(get_u64(p));
+}
+
+/// Append-only little-endian blob builder for variable-length payloads
+/// (control-plane messages, serialized deposits and reports).
+class Blob {
+ public:
+  void u32(std::uint32_t v) { grow(4, [&](std::byte* p) { put_u32(p, v); }); }
+  void u64(std::uint64_t v) { grow(8, [&](std::byte* p) { put_u64(p, v); }); }
+  void i32(std::int32_t v) { grow(4, [&](std::byte* p) { put_i32(p, v); }); }
+  void i64(std::int64_t v) { grow(8, [&](std::byte* p) { put_i64(p, v); }); }
+  void f64(double v) { grow(8, [&](std::byte* p) { put_f64(p, v); }); }
+  void str(const std::string& s) {
+    u64(s.size());
+    bytes(reinterpret_cast<const std::byte*>(s.data()), s.size());
+  }
+  void bytes(const std::byte* p, std::size_t n) {
+    buf_.insert(buf_.end(), p, p + n);
+  }
+  /// Column-major doubles of a matrix view, each as its LE bit pattern.
+  void f64s(const double* p, std::size_t n) {
+    const std::size_t at = buf_.size();
+    buf_.resize(at + 8 * n);
+    for (std::size_t i = 0; i < n; ++i) put_f64(buf_.data() + at + 8 * i, p[i]);
+  }
+
+  const std::byte* data() const { return buf_.data(); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  template <class Fn>
+  void grow(std::size_t n, Fn write) {
+    const std::size_t at = buf_.size();
+    buf_.resize(at + n);
+    write(buf_.data() + at);
+  }
+  std::vector<std::byte> buf_;
+};
+
+/// Sequential reader over a Blob's bytes; throws past-the-end reads
+/// instead of walking off the buffer (a truncated control message is a
+/// peer bug or a dead peer, either way a named error beats UB).
+class BlobReader {
+ public:
+  BlobReader(const std::byte* p, std::size_t n) : p_(p), n_(n) {}
+
+  std::uint32_t u32() { return get_u32(take(4)); }
+  std::uint64_t u64() { return get_u64(take(8)); }
+  std::int32_t i32() { return get_i32(take(4)); }
+  std::int64_t i64() { return get_i64(take(8)); }
+  double f64() { return get_f64(take(8)); }
+  std::string str() {
+    const std::size_t len = static_cast<std::size_t>(u64());
+    const std::byte* p = take(len);
+    return std::string(reinterpret_cast<const char*>(p), len);
+  }
+  const std::byte* take(std::size_t n) {
+    require(off_ + n <= n_, "wire::BlobReader: truncated blob");
+    const std::byte* p = p_ + off_;
+    off_ += n;
+    return p;
+  }
+  bool done() const { return off_ == n_; }
+  std::size_t remaining() const { return n_ - off_; }
+
+ private:
+  const std::byte* p_;
+  std::size_t n_;
+  std::size_t off_ = 0;
+};
+
+}  // namespace pulsarqr::prt::net::wire

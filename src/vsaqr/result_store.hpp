@@ -8,9 +8,12 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
+#include "prt/packet.hpp"
 #include "ref/reference_qr.hpp"
 #include "tile/tile_matrix.hpp"
 
@@ -34,12 +37,39 @@ class ResultStore {
   /// factors out. `plan` must describe the run that filled the store.
   ref::TreeQrFactors finish(plan::ReductionPlan plan, int ib);
 
+  // ---- socket-transport result shipping ----
+  //
+  // Under the Socket transport every node process fills a copy-on-write
+  // copy of this store with ONLY its own deposits; the parent's copy
+  // stays empty. With the deposit log enabled, each put_* also records
+  // (kind, i, j), and serialize_deposits() re-reads the deposited slots
+  // into one little-endian blob the child ships home in its run
+  // epilogue; apply_deposits() replays a child's blob into the parent's
+  // store (re-asserting the exactly-once discipline across processes).
+
+  /// Start recording deposits. Call BEFORE the run (i.e. pre-fork).
+  void enable_deposit_log();
+  /// Little-endian blob of every logged deposit (shape + data).
+  prt::Packet serialize_deposits() const;
+  /// Replay one child's blob into this store.
+  void apply_deposits(const prt::Packet& blob);
+
  private:
+  struct Deposit {
+    std::uint8_t kind;  ///< 0 = tile, 1 = tg, 2 = tt
+    int i;
+    int j;
+  };
+  void log_deposit(std::uint8_t kind, int i, int j);
+
   TileMatrix a_;
   ref::TStore tg_;
   ref::TStore tt_;
   int ib_;
   std::vector<std::atomic<bool>> tile_written_;
+  bool log_enabled_ = false;
+  mutable std::mutex log_mu_;
+  std::vector<Deposit> log_;  ///< guarded by log_mu_
 };
 
 }  // namespace pulsarqr::vsaqr

@@ -289,6 +289,16 @@ class Builder {
                                              opt.ib)),
         total_threads_(opt.nodes * opt.workers_per_node) {
     vsa_.set_global(store_);
+    if (opt.transport == prt::Transport::Socket) {
+      // Each node process deposits into its own copy-on-write store; the
+      // deposit log ships every child's tiles back for the parent to
+      // merge before finish().
+      store_->enable_deposit_log();
+      auto store = store_;
+      vsa_.set_process_hooks(
+          [store] { return store->serialize_deposits(); },
+          [store](int, const Packet& blob) { store->apply_deposits(blob); });
+    }
     tile_bytes_ = tile_packet_bytes(a.nb(), a.nb());
     vt_bytes_ = vt_packet_bytes(a.nb(), a.nb(), opt.ib);
   }
@@ -338,6 +348,7 @@ class Builder {
     c.max_retransmits = opt.max_retransmits;
     c.coalesce_bytes = opt.coalesce_bytes;
     c.coalesce_flush_us = opt.coalesce_flush_us;
+    c.transport = opt.transport;
     return c;
   }
 
@@ -584,6 +595,13 @@ class ApplyBuilder {
     require(b.cols() >= 1, "apply_qt: B must have at least one column");
     store_ = std::make_shared<ResultStore>(b.rows(), b.cols(), b.nb(), f.ib);
     vsa_.set_global(store_);
+    if (opt.transport == prt::Transport::Socket) {
+      store_->enable_deposit_log();
+      auto store = store_;
+      vsa_.set_process_hooks(
+          [store] { return store->serialize_deposits(); },
+          [store](int, const Packet& blob) { store->apply_deposits(blob); });
+    }
     tile_bytes_ = tile_packet_bytes(b.nb(), b.nb());
     vt_bytes_ = vt_packet_bytes(f.a.nb(), f.a.nb(), f.ib);
     total_threads_ = opt.nodes * opt.workers_per_node;
@@ -621,6 +639,7 @@ class ApplyBuilder {
     c.max_retransmits = opt.max_retransmits;
     c.coalesce_bytes = opt.coalesce_bytes;
     c.coalesce_flush_us = opt.coalesce_flush_us;
+    c.transport = opt.transport;
     return c;
   }
 

@@ -56,6 +56,11 @@ struct TreeQrOptions {
   /// prt::Vsa::Config::coalesce_bytes / coalesce_flush_us). 0 disables.
   std::size_t coalesce_bytes = 64 * 1024;
   int coalesce_flush_us = 50;
+  /// Transport backend for inter-node traffic: InProcess threads (the
+  /// default) or one forked OS process per node over Unix-domain sockets
+  /// (see prt::Transport). Socket mode ships result tiles back to the
+  /// parent through the ResultStore deposit log.
+  prt::Transport transport = prt::Transport::InProcess;
 };
 
 struct TreeQrRun {

@@ -30,7 +30,7 @@ namespace pulsarqr {
 namespace {
 
 using prt::Packet;
-using prt::net::Comm;
+using Comm = prt::net::MailboxComm;
 using prt::net::FaultPlan;
 using prt::net::Message;
 using prt::net::Reliable;
@@ -73,7 +73,78 @@ TEST(FaultPlanTest, DroppedMessagesVanishAndAreCounted) {
   for (int i = 0; i < 10; ++i) comm.isend(0, 1, 0, Packet::make(8), i);
   EXPECT_FALSE(comm.try_recv(1).has_value());
   EXPECT_EQ(comm.fault_counters().dropped, 10);
-  EXPECT_EQ(comm.messages_sent(), 10);  // sent counts the caller's isends
+  // Accounting contract: offered counts the caller's isends; sent counts
+  // what actually reached a mailbox. A dropped message was offered but
+  // never sent — the old code counted it as sent and broke the invariant.
+  EXPECT_EQ(comm.messages_offered(), 10);
+  EXPECT_EQ(comm.messages_sent(), 0);
+  EXPECT_EQ(comm.bytes_sent(), 0);
+}
+
+TEST(FaultPlanTest, AccountingInvariantHoldsUnderMixedFaults) {
+  Comm comm(2);
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.drop = 0.2;
+  plan.dup = 0.2;
+  plan.delay = 0.2;
+  plan.reorder = 0.2;
+  plan.delay_us = 100;
+  comm.set_fault_plan(plan);
+  for (int i = 0; i < 300; ++i) comm.isend(0, 1, 4, Packet::make(8), i);
+  // Drain everything (late limbo releases included).
+  int received = 0;
+  while (comm.recv_wait(1, 50'000).has_value()) ++received;
+  const auto f = comm.fault_counters();
+  EXPECT_EQ(comm.messages_offered(), 300);
+  EXPECT_EQ(comm.messages_sent(), 300 - f.dropped + f.duplicated);
+  EXPECT_EQ(received, comm.messages_sent());
+  EXPECT_GT(comm.fault_streams(), 0u);  // one (src,dst,tag) stream used
+}
+
+TEST(FaultPlanTest, StreamIndexStateResetsOnPlanInstall) {
+  // Installing a plan resets the per-stream fault indices, so the same
+  // plan replays the same schedule on a reused communicator instead of
+  // continuing (and growing) the previous run's stream counters.
+  Comm comm(2);
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.drop = 0.3;
+  auto play = [&] {
+    comm.set_fault_plan(plan);
+    std::vector<int> metas;
+    for (int i = 0; i < 100; ++i) comm.isend(0, 1, 6, Packet::make(8), i);
+    while (auto m = comm.try_recv(1)) metas.push_back(m->meta);
+    return metas;
+  };
+  const auto first = play();
+  EXPECT_EQ(comm.fault_streams(), 1u);
+  const auto second = play();
+  EXPECT_EQ(first, second) << "reinstalling the plan must replay it";
+  EXPECT_EQ(comm.fault_streams(), 1u) << "stream state must not accumulate";
+}
+
+TEST(FaultPlanTest, CancelLatchesAgainstLimboReinsertion) {
+  // Regression: cancel(rank) used to clear the mailbox and limbo once,
+  // but a concurrent (or later) isend whose fault fate was delay/reorder
+  // would re-insert into limbo and eventually re-fill the cancelled
+  // mailbox. The latch must make every later send to the rank a no-op.
+  Comm comm(2);
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.delay = 1.0;  // every message goes through limbo
+  plan.delay_us = 1000;
+  comm.set_fault_plan(plan);
+  comm.isend(0, 1, 0, Packet::make(8), 0);
+  comm.cancel(1);
+  for (int i = 1; i < 20; ++i) comm.isend(0, 1, 0, Packet::make(8), i);
+  EXPECT_FALSE(comm.recv_wait(1, 20'000).has_value())
+      << "a cancelled rank received a message from limbo";
+  // Only the pre-cancel send was counted (at fate time, before the cancel
+  // discarded it from limbo — the documented cancel exception to the
+  // accounting invariant); the 19 post-cancel sends hit the latch.
+  EXPECT_EQ(comm.messages_offered(), 20);
+  EXPECT_EQ(comm.messages_sent(), 1);
 }
 
 TEST(FaultPlanTest, DelayedMessagesArriveWithinTheBound) {
@@ -513,6 +584,12 @@ TEST(ChaosTest, SoakManySeededSchedulesStayCorrect) {
     total_retransmits += run.stats.retransmits;
     ASSERT_EQ(run.stats.leftover_packets, 0)
         << "schedule " << opt.fault_plan.seed;
+    // Transport accounting invariant (clean runs never cancel a rank):
+    // what hit the mailboxes = what was offered, minus drops, plus dups.
+    ASSERT_EQ(run.stats.wire_messages,
+              run.stats.wire_offered - run.stats.faults.dropped +
+                  run.stats.faults.duplicated)
+        << "schedule " << opt.fault_plan.seed;
 
     // Bitwise against the fault-free sequential reference: reliable
     // delivery must make the chaos completely invisible.
@@ -555,6 +632,75 @@ TEST(ChaosTest, SoakManySeededSchedulesStayCorrect) {
   }
   // Sanity: the soak actually exercised the machinery — faults were
   // injected and at least one lost frame was repaired by retransmission.
+  EXPECT_GT(total_faults, 0);
+  EXPECT_GT(total_retransmits, 0);
+}
+
+// The same soak over the Socket transport: one forked OS process per
+// node, frames over Unix-domain sockets, FaultPlan applied send-side
+// before the wire — so each seed replays the identical chaos schedule the
+// in-process soak saw, and the factors must still come out bit-for-bit
+// equal to the fault-free sequential reference. Process startup costs
+// real time, so this leg caps itself at 24 schedules; the three shapes
+// still rotate, covering >= 20 seeds on >= 2 shapes.
+TEST(ChaosTest, SocketSoakSeededSchedulesStayCorrect) {
+  const std::vector<SoakShape> shapes = {
+      {40, 10, 5, 2, {plan::TreeKind::BinaryOnFlat, 2,
+                      plan::BoundaryMode::Shifted}, 2, 2},
+      {48, 12, 6, 3, {plan::TreeKind::Binary, 1,
+                      plan::BoundaryMode::Shifted}, 3, 1},
+      {30, 10, 5, 5, {plan::TreeKind::Flat, 1,
+                      plan::BoundaryMode::Fixed}, 2, 2},
+  };
+  std::vector<Matrix> inputs;
+  std::vector<ref::TreeQrFactors> references;
+  for (std::size_t s = 0; s < shapes.size(); ++s) {
+    const auto& sh = shapes[s];
+    Matrix a0(sh.m, sh.n);
+    fill_random(a0.view(), 900 + static_cast<int>(s));
+    references.push_back(ref::tree_qr(TileMatrix::from_dense(a0.view(), sh.nb),
+                                      sh.ib, sh.tree));
+    inputs.push_back(std::move(a0));
+  }
+  const int schedules = std::min(soak_schedules(), 24);
+  long long total_faults = 0;
+  long long total_retransmits = 0;
+  for (int s = 0; s < schedules; ++s) {
+    const std::size_t which = static_cast<std::size_t>(s) % shapes.size();
+    const auto& sh = shapes[which];
+    TileMatrix a = TileMatrix::from_dense(inputs[which].view(), sh.nb);
+
+    vsaqr::TreeQrOptions opt;
+    opt.tree = sh.tree;
+    opt.ib = sh.ib;
+    opt.nodes = sh.nodes;
+    opt.workers_per_node = sh.workers;
+    opt.watchdog_seconds = 60.0;
+    opt.transport = prt::Transport::Socket;
+    opt.reliable_transport = true;
+    opt.retransmit_timeout_us = 800;
+    opt.max_retransmits = 30;
+    opt.fault_plan.seed = 1000 + static_cast<std::uint64_t>(s);
+    opt.fault_plan.drop = 0.08;
+    opt.fault_plan.dup = 0.08;
+    opt.fault_plan.delay = 0.12;
+    opt.fault_plan.reorder = 0.10;
+    opt.fault_plan.delay_us = 200;
+
+    auto run = vsaqr::tree_qr(a, opt);
+    total_faults += run.stats.faults.total();
+    total_retransmits += run.stats.retransmits;
+    ASSERT_EQ(run.stats.leftover_packets, 0)
+        << "schedule " << opt.fault_plan.seed;
+    const auto& ref = references[which];
+    for (int j = 0; j < ref.a.cols(); ++j) {
+      for (int i = 0; i < ref.a.rows(); ++i) {
+        ASSERT_EQ(run.factors.a.at(i, j), ref.a.at(i, j))
+            << "schedule " << opt.fault_plan.seed << " diverged at (" << i
+            << "," << j << ")";
+      }
+    }
+  }
   EXPECT_GT(total_faults, 0);
   EXPECT_GT(total_retransmits, 0);
 }

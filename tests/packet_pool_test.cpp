@@ -7,10 +7,12 @@
 #include <thread>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "prt/packet.hpp"
 #include "prt/packet_pool.hpp"
 #include "prt/transport.hpp"
+#include "prt/wire.hpp"
 #include "vsaqr/tree_qr.hpp"
 
 namespace {
@@ -194,6 +196,62 @@ TEST(FrameCodecTest, FitsTracksTheWireFormatExactly) {
   stager.add(1, 0, p);
   EXPECT_FALSE(stager.fits(8));  // full to the byte
   EXPECT_EQ(stager.bytes(), 48u);
+}
+
+// Byte-exact golden frame: the aggregate header is explicit little-endian
+// (wire.hpp), not a memcpy of host integers, so a frame staged anywhere
+// must produce exactly these bytes. Catches a regression to host-endian
+// headers (which happened to pass the round-trip tests on x86).
+TEST(FrameCodecTest, GoldenFrameBytesAreLittleEndian) {
+  prt::net::FrameStager stager(256);
+  Packet p = Packet::make(3);
+  p.bytes()[0] = std::byte{0xAA};
+  p.bytes()[1] = std::byte{0xBB};
+  p.bytes()[2] = std::byte{0xCC};
+  stager.add(/*tag=*/0x01020304, /*meta=*/-2, p);
+  const Packet wire = stager.take();
+  ASSERT_EQ(wire.size(), 24u);  // 16-byte header + 3 bytes padded to 8
+  const unsigned char golden[19] = {
+      0x04, 0x03, 0x02, 0x01,                          // tag, LE
+      0xFE, 0xFF, 0xFF, 0xFF,                          // meta = -2, LE
+      0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // payload length, LE
+      0xAA, 0xBB, 0xCC,                                // payload
+  };
+  // Compare header + payload only; the pad bytes are uninitialized.
+  EXPECT_EQ(std::memcmp(wire.bytes(), golden, sizeof(golden)), 0);
+}
+
+// The shared scalar codec the aggregate header and the socket frame
+// header are built from.
+TEST(WireCodecTest, ScalarsRoundTripAndSerializeLittleEndian) {
+  namespace wire = prt::net::wire;
+  std::byte buf[8];
+  wire::put_u32(buf, 0xDEADBEEFu);
+  const unsigned char le32[4] = {0xEF, 0xBE, 0xAD, 0xDE};
+  EXPECT_EQ(std::memcmp(buf, le32, 4), 0);
+  EXPECT_EQ(wire::get_u32(buf), 0xDEADBEEFu);
+  wire::put_u64(buf, 0x0102030405060708ULL);
+  const unsigned char le64[8] = {0x08, 0x07, 0x06, 0x05,
+                                 0x04, 0x03, 0x02, 0x01};
+  EXPECT_EQ(std::memcmp(buf, le64, 8), 0);
+  EXPECT_EQ(wire::get_u64(buf), 0x0102030405060708ULL);
+  wire::put_i32(buf, -123456789);
+  EXPECT_EQ(wire::get_i32(buf), -123456789);
+  wire::put_i64(buf, -987654321012345LL);
+  EXPECT_EQ(wire::get_i64(buf), -987654321012345LL);
+  wire::put_f64(buf, -0.15625);  // exactly representable
+  EXPECT_EQ(wire::get_f64(buf), -0.15625);
+
+  wire::Blob b;
+  b.u32(7);
+  b.str("hello");
+  b.f64(2.5);
+  wire::BlobReader r(b.data(), b.size());
+  EXPECT_EQ(r.u32(), 7u);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.f64(), 2.5);
+  EXPECT_TRUE(r.done());
+  EXPECT_THROW(r.u32(), Error);  // reading past the end throws, not UB
 }
 
 }  // namespace

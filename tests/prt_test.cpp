@@ -157,7 +157,7 @@ TEST(Channel, PushWakesOwner) {
 }
 
 TEST(Comm, DeliversWithDeepCopy) {
-  net::Comm comm(2);
+  net::MailboxComm comm(2);
   Packet p = Packet::make(2 * sizeof(double), 9);
   p.doubles()[0] = 3.25;
   comm.isend(0, 1, 5, p, p.meta());
@@ -174,7 +174,7 @@ TEST(Comm, DeliversWithDeepCopy) {
 }
 
 TEST(Comm, FifoPerSenderAndCounts) {
-  net::Comm comm(2);
+  net::MailboxComm comm(2);
   for (int i = 0; i < 10; ++i) comm.isend(0, 1, i, Packet::make(8), i);
   for (int i = 0; i < 10; ++i) {
     auto m = comm.try_recv(1);
@@ -186,7 +186,7 @@ TEST(Comm, FifoPerSenderAndCounts) {
 }
 
 TEST(Comm, DrainTakesEverythingInOrder) {
-  net::Comm comm(2);
+  net::MailboxComm comm(2);
   for (int i = 0; i < 6; ++i) comm.isend(0, 1, i, Packet::make(8), i);
   auto batch = comm.drain(1);
   ASSERT_EQ(batch.size(), 6u);
@@ -199,7 +199,7 @@ TEST(Comm, DrainTakesEverythingInOrder) {
 }
 
 TEST(Comm, RecvWaitTimesOutAndWakes) {
-  net::Comm comm(1);
+  net::MailboxComm comm(1);
   const auto t0 = std::chrono::steady_clock::now();
   auto m = comm.recv_wait(0, 2000);
   EXPECT_FALSE(m.has_value());
@@ -213,7 +213,7 @@ TEST(Comm, RecvWaitTimesOutAndWakes) {
 }
 
 TEST(Comm, BarrierSynchronizesRanks) {
-  net::Comm comm(3);
+  net::MailboxComm comm(3);
   std::atomic<int> before{0};
   std::vector<std::thread> threads;
   std::atomic<bool> ok{true};
@@ -230,7 +230,7 @@ TEST(Comm, BarrierSynchronizesRanks) {
 }
 
 TEST(Comm, CancelDropsQueued) {
-  net::Comm comm(2);
+  net::MailboxComm comm(2);
   comm.isend(0, 1, 0, Packet::make(8), 0);
   comm.cancel(1);
   EXPECT_FALSE(comm.try_recv(1).has_value());
@@ -240,7 +240,7 @@ TEST(Comm, CancelDropsQueued) {
 // recv_wait return immediately instead of being lost, and repeated
 // interrupts collapse into one latch (idempotent across re-shutdowns).
 TEST(Comm, InterruptIsLatchedAndIdempotent) {
-  net::Comm comm(1);
+  net::MailboxComm comm(1);
   comm.interrupt(0);
   comm.interrupt(0);
   comm.interrupt(0);
@@ -269,7 +269,7 @@ TEST(Comm, InterruptIsLatchedAndIdempotent) {
 TEST(Comm, BarrierImmediateReentryStress) {
   const int ranks = 4;
   const int iters = 2000;
-  net::Comm comm(ranks);
+  net::MailboxComm comm(ranks);
   std::atomic<long long> count{0};
   std::atomic<bool> ok{true};
   std::vector<std::thread> threads;
@@ -308,7 +308,7 @@ TEST(Tags, RegistryClassifiesReservedValues) {
 }
 
 TEST(Tags, IsendRejectsReservedAndNegativeTags) {
-  net::Comm comm(2);
+  net::MailboxComm comm(2);
   const Packet p = Packet::make(8);
   // A data frame aliasing the pure-ack tag would vanish into the peer's
   // protocol endpoint instead of reaching a channel.
@@ -334,7 +334,7 @@ TEST(Tags, IsendRejectsReservedAndNegativeTags) {
 }
 
 TEST(Tags, IsendAcceptsTheReservedTagsOnlyForTheirOwners) {
-  net::Comm comm(2);
+  net::MailboxComm comm(2);
   const Packet p = Packet::make(8);
   // Aggregates are proxy traffic, pure acks are protocol traffic; both
   // remain sendable through their designated code paths.
@@ -346,7 +346,7 @@ TEST(Tags, IsendAcceptsTheReservedTagsOnlyForTheirOwners) {
 }
 
 TEST(Tags, ReliableSendAndStagerRejectReservedTags) {
-  net::Comm comm(2);
+  net::MailboxComm comm(2);
   net::Reliable rel(comm, 0, {});
   const Packet p = Packet::make(8);
   EXPECT_THROW(rel.send(1, net::kPureAckTag, p, 0), Error);

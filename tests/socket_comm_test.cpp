@@ -1,0 +1,312 @@
+// The out-of-process transport backend: net::SocketComm over a Unix-
+// domain socketpair mesh, and the Vsa fork-per-node run path on top of
+// it. The unit tests drive two SocketComm instances inside one process
+// (the mesh does not care which side of a socketpair lives where); the
+// end-to-end tests fork real node processes through Vsa::run().
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "common/rng.hpp"
+#include "prt/transport.hpp"
+#include "prt/socket_comm.hpp"
+#include "prt/vsa.hpp"
+#include "ref/reference_qr.hpp"
+#include "vsaqr/tree_qr.hpp"
+
+namespace pulsarqr {
+namespace {
+
+using prt::Packet;
+using prt::net::FaultPlan;
+using prt::net::MailboxComm;
+using prt::net::Message;
+using prt::net::SocketComm;
+
+/// A 2-rank mesh with both ends living in this test process.
+struct Pair {
+  std::unique_ptr<SocketComm> a;  // rank 0
+  std::unique_ptr<SocketComm> b;  // rank 1
+  Pair() {
+    auto mesh = SocketComm::socketpair_mesh(2);
+    a = std::make_unique<SocketComm>(2, 0, mesh[0]);
+    b = std::make_unique<SocketComm>(2, 1, mesh[1]);
+  }
+};
+
+TEST(SocketCommTest, FullMessageHeaderSurvivesTheWire) {
+  Pair p;
+  Packet payload = Packet::make(24, /*meta=*/0);
+  for (int i = 0; i < 24; ++i) {
+    payload.bytes()[i] = static_cast<std::byte>(i * 7);
+  }
+  p.a->isend(0, 1, /*tag=*/5, payload, /*meta=*/-3, /*seq=*/42, /*ack=*/7,
+             /*is_ack=*/false);
+  auto m = p.b->recv_wait(1, 2'000'000);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->source, 0);
+  EXPECT_EQ(m->tag, 5);
+  EXPECT_EQ(m->meta, -3);
+  EXPECT_EQ(m->seq, 42);
+  EXPECT_EQ(m->ack, 7);
+  EXPECT_FALSE(m->is_ack);
+  ASSERT_EQ(prt::net::Comm::get_count(*m), 24u);
+  for (int i = 0; i < 24; ++i) {
+    EXPECT_EQ(m->payload.bytes()[i], static_cast<std::byte>(i * 7));
+  }
+  EXPECT_EQ(p.a->messages_offered(), 1);
+  EXPECT_EQ(p.a->messages_sent(), 1);
+  EXPECT_EQ(p.a->bytes_sent(), 24);
+}
+
+TEST(SocketCommTest, SelfSendStaysLocal) {
+  Pair p;
+  p.a->isend(0, 0, 1, Packet::make(8), 11);
+  auto m = p.a->try_recv(0);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->meta, 11);
+  // drain() empties the own mailbox in one call.
+  p.a->isend(0, 0, 1, Packet::make(8), 12);
+  p.a->isend(0, 0, 1, Packet::make(8), 13);
+  auto all = p.a->drain(0);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].meta, 12);
+  EXPECT_EQ(all[1].meta, 13);
+}
+
+TEST(SocketCommTest, StreamOrderIsPreservedPerPeer) {
+  Pair p;
+  for (int i = 0; i < 200; ++i) p.a->isend(0, 1, 2, Packet::make(8), i);
+  for (int i = 0; i < 200; ++i) {
+    auto m = p.b->recv_wait(1, 2'000'000);
+    ASSERT_TRUE(m.has_value()) << "message " << i << " never arrived";
+    EXPECT_EQ(m->meta, i);  // SOCK_STREAM + in-order parse
+  }
+}
+
+TEST(SocketCommTest, InterruptWakesABlockedReceiver) {
+  Pair p;
+  std::atomic<bool> woke{false};
+  std::thread waiter([&] {
+    auto m = p.b->recv_wait(1, 30'000'000);
+    EXPECT_FALSE(m.has_value());  // interrupt, not a message
+    woke.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  p.a->interrupt(1);  // remote interrupt travels as a control frame
+  waiter.join();
+  EXPECT_TRUE(woke.load());
+  // Local interrupt latches even when nobody waits yet.
+  p.b->interrupt(1);
+  EXPECT_FALSE(p.b->recv_wait(1, 30'000'000).has_value());
+}
+
+TEST(SocketCommTest, BarrierSynchronizesAllRanks) {
+  auto mesh = SocketComm::socketpair_mesh(3);
+  std::vector<std::unique_ptr<SocketComm>> comms;
+  for (int r = 0; r < 3; ++r) {
+    comms.push_back(std::make_unique<SocketComm>(3, r, mesh[r]));
+  }
+  std::atomic<int> arrived{0};
+  std::vector<std::thread> ts;
+  for (int r = 0; r < 3; ++r) {
+    ts.emplace_back([&, r] {
+      for (int round = 0; round < 5; ++round) {
+        arrived.fetch_add(1);
+        comms[static_cast<std::size_t>(r)]->barrier();
+        // After every barrier, all 3 * (round + 1) arrivals so far must
+        // be visible to every rank.
+        EXPECT_GE(arrived.load(), 3 * (round + 1));
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(arrived.load(), 15);
+}
+
+TEST(SocketCommTest, CancelLatchesOwnMailboxAgainstLateFrames) {
+  Pair p;
+  p.a->isend(0, 1, 0, Packet::make(8), 0);
+  auto first = p.b->recv_wait(1, 2'000'000);
+  ASSERT_TRUE(first.has_value());
+  p.b->cancel(1);  // a rank cancels its own mailbox on shutdown
+  p.a->isend(0, 1, 0, Packet::make(8), 1);  // late frame: must vanish
+  EXPECT_FALSE(p.b->recv_wait(1, 50'000).has_value());
+}
+
+TEST(SocketCommTest, CancelLatchesDestinationOnTheSendSide) {
+  Pair p;
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.delay = 1.0;  // everything goes through the sender-side limbo
+  plan.delay_us = 1000;
+  p.a->set_fault_plan(plan);
+  p.a->isend(0, 1, 0, Packet::make(8), 0);
+  p.a->cancel(1);  // clears the limbo AND latches dst 1
+  for (int i = 1; i < 10; ++i) p.a->isend(0, 1, 0, Packet::make(8), i);
+  // Nothing may ever reach rank 1 — not from limbo, not from new sends.
+  EXPECT_FALSE(p.b->recv_wait(1, 20'000).has_value());
+}
+
+TEST(SocketCommTest, FaultScheduleMatchesTheInProcessBackend) {
+  // Same seed, same (src, dst, tag) stream, same message indices: the
+  // pure-hash oracle must replay the identical drop/dup schedule on both
+  // backends, delivering the same meta sequence and counters.
+  FaultPlan plan;
+  plan.seed = 31;
+  plan.drop = 0.25;
+  plan.dup = 0.25;  // no delay/reorder: those depend on wall-clock timing
+
+  MailboxComm mc(2);
+  mc.set_fault_plan(plan);
+  for (int i = 0; i < 300; ++i) mc.isend(0, 1, 4, Packet::make(8), i);
+  std::vector<int> expect_metas;
+  while (auto m = mc.try_recv(1)) expect_metas.push_back(m->meta);
+
+  Pair p;
+  p.a->set_fault_plan(plan);
+  for (int i = 0; i < 300; ++i) p.a->isend(0, 1, 4, Packet::make(8), i);
+  std::vector<int> metas;
+  while (metas.size() < expect_metas.size()) {
+    auto m = p.b->recv_wait(1, 2'000'000);
+    ASSERT_TRUE(m.has_value()) << "socket backend lost scheduled messages";
+    metas.push_back(m->meta);
+  }
+  EXPECT_FALSE(p.b->try_recv(1).has_value());
+  EXPECT_EQ(metas, expect_metas);
+  EXPECT_EQ(p.a->fault_counters().dropped, mc.fault_counters().dropped);
+  EXPECT_EQ(p.a->fault_counters().duplicated, mc.fault_counters().duplicated);
+  EXPECT_EQ(p.a->messages_sent(), mc.messages_sent());
+  EXPECT_EQ(p.a->messages_offered(), mc.messages_offered());
+}
+
+// ---- end to end through Vsa::run() ------------------------------------------
+
+vsaqr::TreeQrOptions socket_qr_options(int nodes, int workers) {
+  vsaqr::TreeQrOptions opt;
+  opt.tree = {plan::TreeKind::BinaryOnFlat, 2, plan::BoundaryMode::Shifted};
+  opt.ib = 2;
+  opt.nodes = nodes;
+  opt.workers_per_node = workers;
+  opt.watchdog_seconds = 60.0;
+  opt.transport = prt::Transport::Socket;
+  return opt;
+}
+
+TEST(SocketVsaTest, FactorizationMatchesTheReferenceBitwise) {
+  Matrix a0(40, 10);
+  fill_random(a0.view(), 17);
+  const auto reference = ref::tree_qr(TileMatrix::from_dense(a0.view(), 5), 2,
+                                      socket_qr_options(2, 2).tree);
+  TileMatrix a = TileMatrix::from_dense(a0.view(), 5);
+  auto run = vsaqr::tree_qr(a, socket_qr_options(2, 2));
+  EXPECT_GT(run.stats.fires, 0);
+  EXPECT_GT(run.stats.remote_messages, 0);
+  // Clean fabric, no cancels: everything offered went out.
+  EXPECT_EQ(run.stats.wire_messages, run.stats.wire_offered);
+  EXPECT_EQ(run.stats.fault_streams, 0);
+  EXPECT_EQ(run.stats.leftover_packets, 0);
+  for (int j = 0; j < reference.a.cols(); ++j) {
+    for (int i = 0; i < reference.a.rows(); ++i) {
+      ASSERT_EQ(run.factors.a.at(i, j), reference.a.at(i, j))
+          << "factors differ at (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(SocketVsaTest, ThreeNodesWithReliableProtocolStayCorrect) {
+  Matrix a0(48, 12);
+  fill_random(a0.view(), 18);
+  vsaqr::TreeQrOptions opt;
+  opt.tree = {plan::TreeKind::Binary, 1, plan::BoundaryMode::Shifted};
+  opt.ib = 3;
+  opt.nodes = 3;
+  opt.workers_per_node = 1;
+  opt.watchdog_seconds = 60.0;
+  opt.transport = prt::Transport::Socket;
+  opt.reliable_transport = true;
+  opt.retransmit_timeout_us = 60'000'000;  // clean fabric: never fires
+  const auto reference =
+      ref::tree_qr(TileMatrix::from_dense(a0.view(), 6), 3, opt.tree);
+  TileMatrix a = TileMatrix::from_dense(a0.view(), 6);
+  auto run = vsaqr::tree_qr(a, opt);
+  EXPECT_EQ(run.stats.retransmits, 0);
+  EXPECT_EQ(run.stats.faults.total(), 0);
+  for (int j = 0; j < reference.a.cols(); ++j) {
+    for (int i = 0; i < reference.a.rows(); ++i) {
+      ASSERT_EQ(run.factors.a.at(i, j), reference.a.at(i, j))
+          << "factors differ at (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(SocketVsaTest, ExhaustedRetriesSurfaceTheChildRunReport) {
+  // A fully lossy fabric fails in a CHILD process; the structured report
+  // must travel back over the control socket and come out of the parent's
+  // throw exactly like the in-process backend's.
+  Matrix a0(40, 10);
+  fill_random(a0.view(), 19);
+  TileMatrix a = TileMatrix::from_dense(a0.view(), 5);
+  auto opt = socket_qr_options(2, 2);
+  opt.fault_plan.seed = 1;
+  opt.fault_plan.drop = 1.0;
+  opt.reliable_transport = true;
+  opt.retransmit_timeout_us = 200;
+  opt.max_retransmits = 3;
+  try {
+    vsaqr::tree_qr(a, opt);
+    FAIL() << "a fully lossy link must fail the run";
+  } catch (const prt::Vsa::RunError& e) {
+    const auto& r = e.report();
+    EXPECT_EQ(r.reason, "transport");
+    EXPECT_GT(r.faults.dropped, 0);
+    EXPECT_GT(r.retransmits, 0);
+    ASSERT_FALSE(r.links.empty()) << "report must name the broken streams";
+    bool named = false;
+    for (const auto& g : r.links) {
+      if (g.exhausted && !g.pending_tags.empty()) named = true;
+    }
+    EXPECT_TRUE(named);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("RETRANSMITS_EXHAUSTED"), std::string::npos);
+    EXPECT_NE(what.find("retransmit limit"), std::string::npos);
+  }
+}
+
+TEST(SocketVsaTest, TracingIsRejectedUpFront) {
+  Matrix a0(40, 10);
+  fill_random(a0.view(), 20);
+  TileMatrix a = TileMatrix::from_dense(a0.view(), 5);
+  auto opt = socket_qr_options(2, 2);
+  opt.trace = true;  // per-process event buffers are not merged (yet)
+  EXPECT_THROW(vsaqr::tree_qr(a, opt), Error);
+}
+
+TEST(SocketVsaTest, SolveRunsOverTheSocketBackend) {
+  const int m = 40, n = 10, nrhs = 2;
+  Matrix a0(m, n);
+  fill_random_well_conditioned(a0.view(), 23);
+  Matrix b(m, nrhs);
+  fill_random(b.view(), 24);
+  auto opt = socket_qr_options(2, 2);
+  Matrix x = vsaqr::tree_qr_solve(TileMatrix::from_dense(a0.view(), 5),
+                                  b.view(), opt);
+  // Residual orthogonality: A^T (b - A x) ~ 0 for least squares.
+  for (int r = 0; r < nrhs; ++r) {
+    std::vector<double> rhs(m), xr(n);
+    for (int i = 0; i < m; ++i) rhs[i] = b(i, r);
+    for (int i = 0; i < n; ++i) xr[i] = x(i, r);
+    std::vector<double> res = rhs;
+    blas::gemv(blas::Trans::No, -1.0, a0.view(), xr.data(), 1.0, res.data());
+    std::vector<double> atr(n, 0.0);
+    blas::gemv(blas::Trans::Yes, 1.0, a0.view(), res.data(), 0.0, atr.data());
+    EXPECT_LT(blas::nrm2(n, atr.data()), 1e-9 * m) << "rhs " << r;
+  }
+}
+
+}  // namespace
+}  // namespace pulsarqr

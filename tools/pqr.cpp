@@ -7,7 +7,8 @@
 //                 --chaos-seed 42 --drop 0.05 --dup 0.05 --reorder 0.1
 //                 --delay 0.1 --delay-us 200 --reliable
 //                 --rto-us 2000 --max-retransmits 10
-//                 --coalesce-bytes 65536 --flush-us 50 --no-packet-pool]
+//                 --coalesce-bytes 65536 --flush-us 50 --no-packet-pool
+//                 --transport inproc|socket]
 //
 // The chaos flags install a deterministic FaultPlan on the inter-node
 // transport (same seed => same fault schedule); --reliable layers the
@@ -123,6 +124,16 @@ vsaqr::TreeQrOptions qr_options(const Args& a) {
                          ? prt::ChannelImpl::Mutex
                          : prt::ChannelImpl::Spsc;
   opt.spin_us = a.geti("spin-us", opt.spin_us);
+  // Transport backend: in-process mailbox threads (default) or one forked
+  // OS process per node over Unix-domain sockets.
+  const std::string transport = a.gets("transport", "inproc");
+  if (transport == "socket") {
+    opt.transport = prt::Transport::Socket;
+  } else if (transport != "inproc") {
+    std::fprintf(stderr, "unknown --transport %s (inproc|socket)\n",
+                 transport.c_str());
+    std::exit(2);
+  }
   // Chaos engineering: a seeded deterministic fault schedule plus the
   // reliable-delivery protocol that tolerates it.
   opt.fault_plan.seed = static_cast<std::uint64_t>(a.geti("chaos-seed", 0));
@@ -170,12 +181,12 @@ int cmd_factor(const Args& a) {
   }
   if (opt.fault_plan.any() || opt.reliable_transport) {
     std::printf("transport: dropped=%lld duplicated=%lld delayed=%lld "
-                "reordered=%lld | retransmits=%lld dups_suppressed=%lld "
-                "acks=%lld\n",
+                "reordered=%lld streams=%lld | retransmits=%lld "
+                "dups_suppressed=%lld acks=%lld\n",
                 run.stats.faults.dropped, run.stats.faults.duplicated,
                 run.stats.faults.delayed, run.stats.faults.reordered,
-                run.stats.retransmits, run.stats.duplicates_suppressed,
-                run.stats.acks_sent);
+                run.stats.fault_streams, run.stats.retransmits,
+                run.stats.duplicates_suppressed, run.stats.acks_sent);
   }
   if (a.has("trace")) {
     std::ofstream os(a.gets("trace", "trace.csv"));
