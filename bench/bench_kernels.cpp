@@ -165,6 +165,83 @@ void BM_ttmqr(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 
+// ---- Single-precision rows (templated kernel path) ------------------------
+
+MatrixF random_matrix_f(int m, int n, std::uint64_t seed) {
+  MatrixF a(m, n);
+  Rng rng(seed);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) {
+      a(i, j) = static_cast<float>(rng.next_symmetric());
+    }
+  }
+  return a;
+}
+
+MatrixF upper_f(const MatrixF& a) {
+  MatrixF r(a.rows(), a.cols());
+  for (int j = 0; j < a.cols(); ++j) {
+    for (int i = 0; i <= j && i < a.rows(); ++i) r(i, j) = a(i, j);
+    if (j < a.rows()) r(j, j) += 2.0f;
+  }
+  return r;
+}
+
+void BM_gemm_f32(benchmark::State& state) {
+  const int nb = static_cast<int>(state.range(0));
+  MatrixF a = random_matrix_f(nb, nb, 40);
+  MatrixF b = random_matrix_f(nb, nb, 41);
+  MatrixF c = random_matrix_f(nb, nb, 42);
+  for (auto _ : state) {
+    blas::gemm_packed(blas::Trans::No, blas::Trans::No, 1.0f, a.view(),
+                      b.view(), 1.0f, c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["Gflop/s"] = benchmark::Counter(
+      2.0 * nb * nb * nb * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_tsmqr_f32(benchmark::State& state) {
+  const int nb = static_cast<int>(state.range(0));
+  const int ib = static_cast<int>(state.range(1));
+  kernels::Workspace ws;
+  MatrixF r = upper_f(random_matrix_f(nb, nb, 43));
+  MatrixF v = random_matrix_f(nb, nb, 44);
+  MatrixF t(ib, nb);
+  kernels::tsqrt(r.view(), v.view(), ib, t.view(), ws);
+  MatrixF c1 = random_matrix_f(nb, nb, 45);
+  MatrixF c2 = random_matrix_f(nb, nb, 46);
+  for (auto _ : state) {
+    kernels::tsmqr(blas::Trans::Yes, v.view(), t.view(), ib, c1.view(),
+                   c2.view(), ws);
+    benchmark::DoNotOptimize(c2.data());
+  }
+  state.counters["Gflop/s"] = benchmark::Counter(
+      plan::flops_tsmqr(nb, nb, nb) * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_ttmqr_f32(benchmark::State& state) {
+  const int nb = static_cast<int>(state.range(0));
+  const int ib = static_cast<int>(state.range(1));
+  kernels::Workspace ws;
+  MatrixF r = upper_f(random_matrix_f(nb, nb, 47));
+  MatrixF v = upper_f(random_matrix_f(nb, nb, 48));
+  MatrixF t(ib, nb);
+  kernels::ttqrt(r.view(), v.view(), ib, t.view(), ws);
+  MatrixF c1 = random_matrix_f(nb, nb, 49);
+  MatrixF c2 = random_matrix_f(nb, nb, 50);
+  for (auto _ : state) {
+    kernels::ttmqr(blas::Trans::Yes, v.view(), t.view(), ib, c1.view(),
+                   c2.view(), ws);
+    benchmark::DoNotOptimize(c2.data());
+  }
+  state.counters["Gflop/s"] = benchmark::Counter(
+      plan::flops_ttmqr(nb, nb) * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
 void BM_potrf_tile(benchmark::State& state) {
   const int nb = static_cast<int>(state.range(0));
   Matrix spd = pulsarqr::chol::random_spd(nb, 20);
@@ -239,6 +316,13 @@ BENCHMARK(BM_tsmqr)->Args({64, 16})->Args({128, 32})->Args({192, 48})
     ->Args({240, 48})->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ttmqr)->Args({64, 16})->Args({128, 32})->Args({192, 48})
     ->Args({240, 48})->Unit(benchmark::kMillisecond);
+// Single-precision path: packed float gemm and the float stacked kernels
+// (double-width SIMD lanes; compare against the f64 rows above).
+BENCHMARK(BM_gemm_f32)->Arg(128)->Arg(192)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_tsmqr_f32)->Args({128, 32})->Args({192, 48})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ttmqr_f32)->Args({128, 32})->Args({192, 48})
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_potrf_tile)->Arg(64)->Arg(192)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_getrf_tile)->Arg(64)->Arg(192)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_dense_geqrf)->Args({768, 192})->Args({1024, 64})

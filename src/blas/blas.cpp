@@ -2,94 +2,121 @@
 
 #include <atomic>
 #include <cmath>
+#include <limits>
+
+#include "blas/simd.hpp"
 
 namespace pulsarqr::blas {
 
 // ---- Level 1 -------------------------------------------------------------
+//
+// axpy and dot are the innermost loops of every panel factorization; they
+// route through the runtime-dispatched SIMD kernel table (an atomic pointer
+// load — the table itself is immutable once published).
 
 void axpy(int n, double a, const double* x, double* y) {
-  for (int i = 0; i < n; ++i) y[i] += a * x[i];
+  simd::kernels<double>().axpy(n, a, x, y);
 }
 
-void scal(int n, double a, double* x) {
-  for (int i = 0; i < n; ++i) x[i] *= a;
+void axpy(int n, float a, const float* x, float* y) {
+  simd::kernels<float>().axpy(n, a, x, y);
 }
 
 double dot(int n, const double* x, const double* y) {
-  double s = 0.0;
-  for (int i = 0; i < n; ++i) s += x[i] * y[i];
-  return s;
+  return simd::kernels<double>().dot(n, x, y);
 }
 
-double nrm2(int n, const double* x) {
+float dot(int n, const float* x, const float* y) {
+  return simd::kernels<float>().dot(n, x, y);
+}
+
+namespace {
+
+template <class T>
+void scal_t(int n, T a, T* x) {
+  for (int i = 0; i < n; ++i) x[i] *= a;
+}
+
+template <class T>
+T nrm2_t(int n, const T* x) {
   // Scaled sum of squares, as in LAPACK dlassq, to avoid overflow/underflow.
-  double scale = 0.0;
-  double ssq = 1.0;
+  T scale = T(0);
+  T ssq = T(1);
   for (int i = 0; i < n; ++i) {
-    const double ax = std::fabs(x[i]);
-    if (ax == 0.0) continue;
+    const T ax = std::fabs(x[i]);
+    if (ax == T(0)) continue;
     if (scale < ax) {
-      const double r = scale / ax;
-      ssq = 1.0 + ssq * r * r;
+      const T r = scale / ax;
+      ssq = T(1) + ssq * r * r;
       scale = ax;
     } else {
-      const double r = ax / scale;
+      const T r = ax / scale;
       ssq += r * r;
     }
   }
   return scale * std::sqrt(ssq);
 }
 
+}  // namespace
+
+void scal(int n, double a, double* x) { scal_t(n, a, x); }
+void scal(int n, float a, float* x) { scal_t(n, a, x); }
+
+double nrm2(int n, const double* x) { return nrm2_t(n, x); }
+float nrm2(int n, const float* x) { return nrm2_t(n, x); }
+
 void copy(int n, const double* x, double* y) {
+  for (int i = 0; i < n; ++i) y[i] = x[i];
+}
+
+void copy(int n, const float* x, float* y) {
   for (int i = 0; i < n; ++i) y[i] = x[i];
 }
 
 // ---- Level 2 -------------------------------------------------------------
 
-void gemv(Trans trans, double alpha, ConstMatrixView a, const double* x,
-          double beta, double* y) {
+namespace {
+
+template <class T>
+void gemv_t(Trans trans, T alpha, ConstMatrixViewT<T> a, const T* x, T beta,
+            T* y) {
   const int m = a.rows;
   const int n = a.cols;
+  const auto& kt = simd::kernels<T>();
   if (trans == Trans::No) {
-    if (beta != 1.0) scal(m, beta, y);
-    if (alpha == 0.0 || n == 0) return;
-    for (int j = 0; j < n; ++j) {
-      const double t = alpha * x[j];
-      if (t != 0.0) axpy(m, t, a.col(j), y);
-    }
+    if (beta != T(1)) scal(m, beta, y);
+    if (alpha == T(0) || n == 0 || m == 0) return;
+    // y += alpha * sum_j x[j] * A(:, j), four columns fused per sweep.
+    kt.axpy_cols(m, alpha, x, 1, a.data, a.ld, n, y);
   } else {
-    if (alpha == 0.0 || m == 0) {
-      if (beta != 1.0) scal(n, beta, y);
-      return;
-    }
-    for (int j = 0; j < n; ++j) {
-      y[j] = beta * y[j] + alpha * dot(m, a.col(j), x);
-    }
+    if (beta != T(1)) scal(n, beta, y);
+    if (alpha == T(0) || m == 0 || n == 0) return;
+    // y[j] += alpha * dot(A(:, j), x), four columns per pass of x.
+    kt.dot_cols(m, alpha, x, a.data, a.ld, n, y, 1);
   }
 }
 
-void ger(double alpha, const double* x, const double* y, MatrixView a) {
-  if (alpha == 0.0 || a.rows == 0) return;
-  for (int j = 0; j < a.cols; ++j) {
-    const double t = alpha * y[j];
-    if (t != 0.0) axpy(a.rows, t, x, a.col(j));
-  }
+template <class T>
+void ger_t(T alpha, const T* x, const T* y, MatrixViewT<T> a) {
+  if (alpha == T(0) || a.rows == 0 || a.cols == 0) return;
+  simd::kernels<T>().ger_cols(a.rows, alpha, x, y, 1, a.data, a.ld, a.cols);
 }
 
-void trmv(Uplo uplo, Trans trans, Diag diag, ConstMatrixView a, double* x) {
+template <class T>
+void trmv_t(Uplo uplo, Trans trans, Diag diag, ConstMatrixViewT<T> a, T* x) {
   const int n = a.rows;
   PQR_ASSERT(a.cols == n, "trmv: A must be square");
   const bool unit = diag == Diag::Unit;
   if (trans == Trans::No) {
     if (uplo == Uplo::Upper) {
       for (int i = 0; i < n; ++i) {
-        double s = unit ? x[i] : a(i, i) * x[i];
+        T s = unit ? x[i] : a(i, i) * x[i];
         for (int j = i + 1; j < n; ++j) s += a(i, j) * x[j];
         x[i] = s;
       }
     } else {
       for (int i = n - 1; i >= 0; --i) {
-        double s = unit ? x[i] : a(i, i) * x[i];
+        T s = unit ? x[i] : a(i, i) * x[i];
         for (int j = 0; j < i; ++j) s += a(i, j) * x[j];
         x[i] = s;
       }
@@ -97,18 +124,46 @@ void trmv(Uplo uplo, Trans trans, Diag diag, ConstMatrixView a, double* x) {
   } else {
     if (uplo == Uplo::Upper) {
       for (int j = n - 1; j >= 0; --j) {
-        double s = unit ? x[j] : a(j, j) * x[j];
+        T s = unit ? x[j] : a(j, j) * x[j];
         for (int i = 0; i < j; ++i) s += a(i, j) * x[i];
         x[j] = s;
       }
     } else {
       for (int j = 0; j < n; ++j) {
-        double s = unit ? x[j] : a(j, j) * x[j];
+        T s = unit ? x[j] : a(j, j) * x[j];
         for (int i = j + 1; i < n; ++i) s += a(i, j) * x[i];
         x[j] = s;
       }
     }
   }
+}
+
+}  // namespace
+
+void gemv(Trans trans, double alpha, ConstMatrixView a, const double* x,
+          double beta, double* y) {
+  gemv_t(trans, alpha, a, x, beta, y);
+}
+
+void gemv(Trans trans, float alpha, ConstMatrixViewF a, const float* x,
+          float beta, float* y) {
+  gemv_t(trans, alpha, a, x, beta, y);
+}
+
+void ger(double alpha, const double* x, const double* y, MatrixView a) {
+  ger_t(alpha, x, y, a);
+}
+
+void ger(float alpha, const float* x, const float* y, MatrixViewF a) {
+  ger_t(alpha, x, y, a);
+}
+
+void trmv(Uplo uplo, Trans trans, Diag diag, ConstMatrixView a, double* x) {
+  trmv_t(uplo, trans, diag, a, x);
+}
+
+void trmv(Uplo uplo, Trans trans, Diag diag, ConstMatrixViewF a, float* x) {
+  trmv_t(uplo, trans, diag, a, x);
 }
 
 void trsv(Uplo uplo, Trans trans, Diag diag, ConstMatrixView a, double* x) {
@@ -152,50 +207,56 @@ namespace {
 
 // C := C + alpha * A * B. The inner kernels are 4-way unrolled over k so
 // each sweep of a C column touches it once per four A columns — the
-// no-dependency accumulator form the compiler can vectorize.
-void gemm_nn(double alpha, ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+// no-dependency accumulator form the compiler can vectorize. These stay
+// plain loops on purpose: gemm_ref is the scalar reference the SIMD
+// kernels are fuzz-checked against.
+template <class T>
+void gemm_nn(T alpha, ConstMatrixViewT<T> a, ConstMatrixViewT<T> b,
+             MatrixViewT<T> c) {
   const int m = c.rows;
   const int kk = a.cols;
   for (int j = 0; j < c.cols; ++j) {
-    double* cj = c.col(j);
+    T* cj = c.col(j);
     int k = 0;
     for (; k + 4 <= kk; k += 4) {
-      const double t0 = alpha * b(k, j);
-      const double t1 = alpha * b(k + 1, j);
-      const double t2 = alpha * b(k + 2, j);
-      const double t3 = alpha * b(k + 3, j);
-      const double* a0 = a.col(k);
-      const double* a1 = a.col(k + 1);
-      const double* a2 = a.col(k + 2);
-      const double* a3 = a.col(k + 3);
+      const T t0 = alpha * b(k, j);
+      const T t1 = alpha * b(k + 1, j);
+      const T t2 = alpha * b(k + 2, j);
+      const T t3 = alpha * b(k + 3, j);
+      const T* a0 = a.col(k);
+      const T* a1 = a.col(k + 1);
+      const T* a2 = a.col(k + 2);
+      const T* a3 = a.col(k + 3);
       for (int i = 0; i < m; ++i) {
         cj[i] += t0 * a0[i] + t1 * a1[i] + t2 * a2[i] + t3 * a3[i];
       }
     }
     for (; k < kk; ++k) {
-      const double t = alpha * b(k, j);
-      if (t == 0.0) continue;
-      const double* ak = a.col(k);
+      const T t = alpha * b(k, j);
+      if (t == T(0)) continue;
+      const T* ak = a.col(k);
       for (int i = 0; i < m; ++i) cj[i] += t * ak[i];
     }
   }
 }
 
-void gemm_tn(double alpha, ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+template <class T>
+void gemm_tn(T alpha, ConstMatrixViewT<T> a, ConstMatrixViewT<T> b,
+             MatrixViewT<T> c) {
   // C(i,j) += alpha * dot(A(:,i), B(:,j)); four rows of C share one pass
   // over B's column.
   const int kk = a.rows;
   for (int j = 0; j < c.cols; ++j) {
-    const double* bj = b.col(j);
+    const T* bj = b.col(j);
     int i = 0;
     for (; i + 4 <= c.rows; i += 4) {
-      const double* a0 = a.col(i);
-      const double* a1 = a.col(i + 1);
-      const double* a2 = a.col(i + 2);
-      const double* a3 = a.col(i + 3);
-      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+      const T* a0 = a.col(i);
+      const T* a1 = a.col(i + 1);
+      const T* a2 = a.col(i + 2);
+      const T* a3 = a.col(i + 3);
+      T s0 = T(0), s1 = T(0), s2 = T(0), s3 = T(0);
       for (int p = 0; p < kk; ++p) {
-        const double bp = bj[p];
+        const T bp = bj[p];
         s0 += a0[p] * bp;
         s1 += a1[p] * bp;
         s2 += a2[p] * bp;
@@ -207,53 +268,59 @@ void gemm_tn(double alpha, ConstMatrixView a, ConstMatrixView b, MatrixView c) {
       c(i + 3, j) += alpha * s3;
     }
     for (; i < c.rows; ++i) {
-      c(i, j) += alpha * dot(kk, a.col(i), bj);
+      T s = T(0);
+      for (int p = 0; p < kk; ++p) s += a(p, i) * bj[p];
+      c(i, j) += alpha * s;
     }
   }
 }
 
-void gemm_nt(double alpha, ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+template <class T>
+void gemm_nt(T alpha, ConstMatrixViewT<T> a, ConstMatrixViewT<T> b,
+             MatrixViewT<T> c) {
   const int m = c.rows;
   const int kk = a.cols;
   for (int j = 0; j < c.cols; ++j) {
-    double* cj = c.col(j);
+    T* cj = c.col(j);
     int k = 0;
     for (; k + 4 <= kk; k += 4) {
-      const double t0 = alpha * b(j, k);
-      const double t1 = alpha * b(j, k + 1);
-      const double t2 = alpha * b(j, k + 2);
-      const double t3 = alpha * b(j, k + 3);
-      const double* a0 = a.col(k);
-      const double* a1 = a.col(k + 1);
-      const double* a2 = a.col(k + 2);
-      const double* a3 = a.col(k + 3);
+      const T t0 = alpha * b(j, k);
+      const T t1 = alpha * b(j, k + 1);
+      const T t2 = alpha * b(j, k + 2);
+      const T t3 = alpha * b(j, k + 3);
+      const T* a0 = a.col(k);
+      const T* a1 = a.col(k + 1);
+      const T* a2 = a.col(k + 2);
+      const T* a3 = a.col(k + 3);
       for (int i = 0; i < m; ++i) {
         cj[i] += t0 * a0[i] + t1 * a1[i] + t2 * a2[i] + t3 * a3[i];
       }
     }
     for (; k < kk; ++k) {
-      const double t = alpha * b(j, k);
-      if (t == 0.0) continue;
-      const double* ak = a.col(k);
+      const T t = alpha * b(j, k);
+      if (t == T(0)) continue;
+      const T* ak = a.col(k);
       for (int i = 0; i < m; ++i) cj[i] += t * ak[i];
     }
   }
 }
 
-void gemm_tt(double alpha, ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+template <class T>
+void gemm_tt(T alpha, ConstMatrixViewT<T> a, ConstMatrixViewT<T> b,
+             MatrixViewT<T> c) {
   // C(i,j) += alpha * dot(A(:,i), B(j,:)); like gemm_tn, four rows of C
   // share one (strided) pass over B's row j, with independent accumulators.
   const int kk = a.rows;
   for (int j = 0; j < c.cols; ++j) {
     int i = 0;
     for (; i + 4 <= c.rows; i += 4) {
-      const double* a0 = a.col(i);
-      const double* a1 = a.col(i + 1);
-      const double* a2 = a.col(i + 2);
-      const double* a3 = a.col(i + 3);
-      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+      const T* a0 = a.col(i);
+      const T* a1 = a.col(i + 1);
+      const T* a2 = a.col(i + 2);
+      const T* a3 = a.col(i + 3);
+      T s0 = T(0), s1 = T(0), s2 = T(0), s3 = T(0);
       for (int p = 0; p < kk; ++p) {
-        const double bp = b(j, p);
+        const T bp = b(j, p);
         s0 += a0[p] * bp;
         s1 += a1[p] * bp;
         s2 += a2[p] * bp;
@@ -265,7 +332,7 @@ void gemm_tt(double alpha, ConstMatrixView a, ConstMatrixView b, MatrixView c) {
       c(i + 3, j) += alpha * s3;
     }
     for (; i < c.rows; ++i) {
-      double s = 0.0;
+      T s = T(0);
       for (int p = 0; p < kk; ++p) s += a(p, i) * b(j, p);
       c(i, j) += alpha * s;
     }
@@ -274,27 +341,29 @@ void gemm_tt(double alpha, ConstMatrixView a, ConstMatrixView b, MatrixView c) {
 
 std::atomic<GemmImpl> g_gemm_impl{GemmImpl::Packed};
 
-}  // namespace
-
-void set_gemm_impl(GemmImpl impl) {
-  g_gemm_impl.store(impl, std::memory_order_relaxed);
+template <class T>
+void laset_all_t(T off, T diag, MatrixViewT<T> a) {
+  for (int j = 0; j < a.cols; ++j) {
+    T* cj = a.col(j);
+    for (int i = 0; i < a.rows; ++i) cj[i] = off;
+    if (j < a.rows) cj[j] = diag;
+  }
 }
 
-GemmImpl gemm_impl() { return g_gemm_impl.load(std::memory_order_relaxed); }
-
-void gemm_ref(Trans ta, Trans tb, double alpha, ConstMatrixView a,
-              ConstMatrixView b, double beta, MatrixView c) {
+template <class T>
+void gemm_ref_t(Trans ta, Trans tb, T alpha, ConstMatrixViewT<T> a,
+                ConstMatrixViewT<T> b, T beta, MatrixViewT<T> c) {
   const int ka = (ta == Trans::No) ? a.cols : a.rows;
   const int kb = (tb == Trans::No) ? b.rows : b.cols;
   const int ma = (ta == Trans::No) ? a.rows : a.cols;
   const int nb_ = (tb == Trans::No) ? b.cols : b.rows;
   PQR_ASSERT(ka == kb && ma == c.rows && nb_ == c.cols, "gemm: shape mismatch");
-  if (beta == 0.0) {
-    laset_all(0.0, 0.0, c);
-  } else if (beta != 1.0) {
+  if (beta == T(0)) {
+    laset_all_t(T(0), T(0), c);
+  } else if (beta != T(1)) {
     for (int j = 0; j < c.cols; ++j) scal(c.rows, beta, c.col(j));
   }
-  if (alpha == 0.0 || ka == 0) return;
+  if (alpha == T(0) || ka == 0) return;
   if (ta == Trans::No && tb == Trans::No) {
     gemm_nn(alpha, a, b, c);
   } else if (ta == Trans::Yes && tb == Trans::No) {
@@ -306,8 +375,9 @@ void gemm_ref(Trans ta, Trans tb, double alpha, ConstMatrixView a,
   }
 }
 
-void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView a,
-          ConstMatrixView b, double beta, MatrixView c) {
+template <class T>
+void gemm_t(Trans ta, Trans tb, T alpha, ConstMatrixViewT<T> a,
+            ConstMatrixViewT<T> b, T beta, MatrixViewT<T> c) {
   const int k = (ta == Trans::No) ? a.cols : a.rows;
   // Tiny products cannot amortize the packing sweep; keep them on the
   // sweep kernels regardless of the knob.
@@ -319,13 +389,44 @@ void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView a,
   }
 }
 
-void trmm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
-          ConstMatrixView a, MatrixView b) {
+}  // namespace
+
+void set_gemm_impl(GemmImpl impl) {
+  g_gemm_impl.store(impl, std::memory_order_relaxed);
+}
+
+GemmImpl gemm_impl() { return g_gemm_impl.load(std::memory_order_relaxed); }
+
+void gemm_ref(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+              ConstMatrixView b, double beta, MatrixView c) {
+  gemm_ref_t(ta, tb, alpha, a, b, beta, c);
+}
+
+void gemm_ref(Trans ta, Trans tb, float alpha, ConstMatrixViewF a,
+              ConstMatrixViewF b, float beta, MatrixViewF c) {
+  gemm_ref_t(ta, tb, alpha, a, b, beta, c);
+}
+
+void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+          ConstMatrixView b, double beta, MatrixView c) {
+  gemm_t(ta, tb, alpha, a, b, beta, c);
+}
+
+void gemm(Trans ta, Trans tb, float alpha, ConstMatrixViewF a,
+          ConstMatrixViewF b, float beta, MatrixViewF c) {
+  gemm_t(ta, tb, alpha, a, b, beta, c);
+}
+
+namespace {
+
+template <class T>
+void trmm_t(Side side, Uplo uplo, Trans trans, Diag diag, T alpha,
+            ConstMatrixViewT<T> a, MatrixViewT<T> b) {
   if (side == Side::Left) {
     PQR_ASSERT(a.rows == b.rows && a.cols == b.rows, "trmm: shape mismatch");
     for (int j = 0; j < b.cols; ++j) {
       trmv(uplo, trans, diag, a, b.col(j));
-      if (alpha != 1.0) scal(b.rows, alpha, b.col(j));
+      if (alpha != T(1)) scal(b.rows, alpha, b.col(j));
     }
   } else {
     PQR_ASSERT(a.rows == b.cols && a.cols == b.cols, "trmm: shape mismatch");
@@ -334,30 +435,41 @@ void trmm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
     // B(:,j) := alpha * sum_k B(:,k) * op(A)(k,j). Computed out-of-place
     // one column at a time in the safe traversal order.
     const int n = b.cols;
-    const bool upper_effect =
-        (uplo == Uplo::Upper) == (trans == Trans::No);
+    const bool upper_effect = (uplo == Uplo::Upper) == (trans == Trans::No);
     if (upper_effect) {
       // op(A) upper: column j depends on columns k <= j, traverse j desc.
       for (int j = n - 1; j >= 0; --j) {
-        const double ajj = diag == Diag::Unit ? 1.0 : (trans == Trans::No ? a(j, j) : a(j, j));
+        const T ajj = diag == Diag::Unit ? T(1) : a(j, j);
         scal(b.rows, alpha * ajj, b.col(j));
         for (int k = 0; k < j; ++k) {
-          const double t = alpha * (trans == Trans::No ? a(k, j) : a(j, k));
-          if (t != 0.0) axpy(b.rows, t, b.col(k), b.col(j));
+          const T t = alpha * (trans == Trans::No ? a(k, j) : a(j, k));
+          if (t != T(0)) axpy(b.rows, t, b.col(k), b.col(j));
         }
       }
     } else {
       // op(A) lower: column j depends on columns k >= j, traverse j asc.
       for (int j = 0; j < n; ++j) {
-        const double ajj = diag == Diag::Unit ? 1.0 : a(j, j);
+        const T ajj = diag == Diag::Unit ? T(1) : a(j, j);
         scal(b.rows, alpha * ajj, b.col(j));
         for (int k = j + 1; k < n; ++k) {
-          const double t = alpha * (trans == Trans::No ? a(k, j) : a(j, k));
-          if (t != 0.0) axpy(b.rows, t, b.col(k), b.col(j));
+          const T t = alpha * (trans == Trans::No ? a(k, j) : a(j, k));
+          if (t != T(0)) axpy(b.rows, t, b.col(k), b.col(j));
         }
       }
     }
   }
+}
+
+}  // namespace
+
+void trmm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView a, MatrixView b) {
+  trmm_t(side, uplo, trans, diag, alpha, a, b);
+}
+
+void trmm(Side side, Uplo uplo, Trans trans, Diag diag, float alpha,
+          ConstMatrixViewF a, MatrixViewF b) {
+  trmm_t(side, uplo, trans, diag, alpha, a, b);
 }
 
 void trsm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
@@ -397,11 +509,11 @@ void trsm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
 // ---- Auxiliary -------------------------------------------------------------
 
 void laset_all(double off, double diag, MatrixView a) {
-  for (int j = 0; j < a.cols; ++j) {
-    double* cj = a.col(j);
-    for (int i = 0; i < a.rows; ++i) cj[i] = off;
-    if (j < a.rows) cj[j] = diag;
-  }
+  laset_all_t(off, diag, a);
+}
+
+void laset_all(float off, float diag, MatrixViewF a) {
+  laset_all_t(off, diag, a);
 }
 
 void laset(Uplo uplo, double off, double diag, MatrixView a) {
@@ -416,6 +528,11 @@ void laset(Uplo uplo, double off, double diag, MatrixView a) {
 }
 
 void lacpy_all(ConstMatrixView a, MatrixView b) {
+  PQR_ASSERT(a.rows == b.rows && a.cols == b.cols, "lacpy: shape mismatch");
+  for (int j = 0; j < a.cols; ++j) copy(a.rows, a.col(j), b.col(j));
+}
+
+void lacpy_all(ConstMatrixViewF a, MatrixViewF b) {
   PQR_ASSERT(a.rows == b.rows && a.cols == b.cols, "lacpy: shape mismatch");
   for (int j = 0; j < a.cols; ++j) copy(a.rows, a.col(j), b.col(j));
 }

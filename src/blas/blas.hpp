@@ -1,7 +1,13 @@
-// From-scratch double-precision BLAS subset used by the QR kernels.
+// From-scratch BLAS subset used by the QR kernels.
 //
 // Only the operations the library needs are provided, all on column-major
 // views. Operand aliasing is not supported unless a routine documents it.
+//
+// The primary interface is double precision; the routines the tile-kernel
+// layer is templated over (level 1, trmv/trmm, gemm and the copy/set
+// helpers) also have float overloads so the single-precision kernel path
+// is end-to-end. The level-1 sweeps and gemm micro-kernels route through
+// the runtime-dispatched SIMD kernel tables (blas/simd.hpp).
 #pragma once
 
 #include "common/view.hpp"
@@ -99,5 +105,34 @@ double norm_fro(ConstMatrixView a);
 double norm_max(ConstMatrixView a);
 /// One-norm (max column sum).
 double norm_one(ConstMatrixView a);
+
+// ---- Single-precision overloads ------------------------------------------
+//
+// The subset the templated kernel layer (gemm packing + micro-kernels,
+// stacked tsqrt/tsmqr/ttqrt/ttmqr cores, larfg) instantiates for float.
+// Semantics match the double versions exactly.
+
+void axpy(int n, float a, const float* x, float* y);
+void scal(int n, float a, float* x);
+float dot(int n, const float* x, const float* y);
+float nrm2(int n, const float* x);
+void copy(int n, const float* x, float* y);
+
+void gemv(Trans trans, float alpha, ConstMatrixViewF a, const float* x,
+          float beta, float* y);
+void ger(float alpha, const float* x, const float* y, MatrixViewF a);
+void trmv(Uplo uplo, Trans trans, Diag diag, ConstMatrixViewF a, float* x);
+
+void gemm(Trans ta, Trans tb, float alpha, ConstMatrixViewF a,
+          ConstMatrixViewF b, float beta, MatrixViewF c);
+void gemm_ref(Trans ta, Trans tb, float alpha, ConstMatrixViewF a,
+              ConstMatrixViewF b, float beta, MatrixViewF c);
+void gemm_packed(Trans ta, Trans tb, float alpha, ConstMatrixViewF a,
+                 ConstMatrixViewF b, float beta, MatrixViewF c);
+void trmm(Side side, Uplo uplo, Trans trans, Diag diag, float alpha,
+          ConstMatrixViewF a, MatrixViewF b);
+
+void laset_all(float off, float diag, MatrixViewF a);
+void lacpy_all(ConstMatrixViewF a, MatrixViewF b);
 
 }  // namespace pulsarqr::blas

@@ -13,127 +13,137 @@
 // and op(B) into NR-column row panels (Bp[q][k][c], c fastest), so the
 // micro-kernel streams both operands with unit stride regardless of the
 // Trans flags, and edge tiles are zero-padded to full MR/NR width so the
-// inner loop has a single fixed-trip-count form the compiler vectorizes.
+// inner loop has a single fixed-trip-count form.
+//
+// The micro-kernel and its MR x NR footprint come from the runtime-dispatched
+// SIMD kernel table (blas/simd.hpp): 8x6 AVX2, 16x4 AVX-512, 4x4 NEON, 8x4
+// scalar for doubles, double the rows for floats. Packing reads mr/nr from
+// the table at call time, and the pack buffers are 64-byte aligned so every
+// A panel k-step starts on a cache-line boundary (mr * sizeof(T) is a
+// multiple of 64 for the x86 tiles), which lets the kernels use aligned
+// vector loads on the packed operand.
 //
 // The packing buffers are thread_local and grow-only: steady-state calls
 // perform no heap allocation (same discipline as kernels::Workspace).
 #include <algorithm>
-#include <vector>
+#include <cstddef>
+#include <new>
+#include <utility>
 
 #include "blas/blas.hpp"
+#include "blas/simd.hpp"
 
 namespace pulsarqr::blas {
 
 namespace {
 
-// Register micro-tile. 8x4 doubles = 32 accumulators: fits the 16 ymm
-// registers of AVX2 as 8 accumulator vectors + operand broadcasts, and
-// degrades gracefully to SSE2/NEON 2-lane vectors.
-constexpr int MR = 8;
-constexpr int NR = 4;
-// Cache blocking: Ap is MC*KC doubles (256 KiB, ~L2), one Bp row panel is
-// KC*NR doubles (8 KiB, ~L1), Bp in total KC*NC doubles (1 MiB, ~LLC).
+// Cache blocking, in elements. Ap is MC*KC doubles (256 KiB, ~L2), one Bp
+// row panel is KC*NR doubles (~L1), Bp in total KC*NC doubles (1 MiB, ~LLC).
+// Floats reuse the same element counts (half the bytes — comfortably cached).
 constexpr int MC = 128;
 constexpr int KC = 256;
 constexpr int NC = 512;
 
-struct PackBuffers {
-  std::vector<double> a;  // MC x KC, MR-row panels
-  std::vector<double> b;  // KC x NC, NR-column panels
+// Grow-only 64-byte-aligned buffer for the packed panels. std::vector is
+// not used because its allocator only guarantees alignof(T).
+template <class T>
+class AlignedVec {
+ public:
+  AlignedVec() = default;
+  AlignedVec(const AlignedVec&) = delete;
+  AlignedVec& operator=(const AlignedVec&) = delete;
+  ~AlignedVec() {
+    ::operator delete(data_, std::align_val_t(64));
+  }
+
+  void reserve(std::size_t n) {
+    if (n <= cap_) return;
+    ::operator delete(data_, std::align_val_t(64));
+    data_ = static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(64)));
+    cap_ = n;
+  }
+
+  T* data() { return data_; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t cap_ = 0;
 };
 
-PackBuffers& pack_buffers() {
-  thread_local PackBuffers bufs;
+template <class T>
+struct PackBuffers {
+  AlignedVec<T> a;  // MC x KC, MR-row panels
+  AlignedVec<T> b;  // KC x NC, NR-column panels
+};
+
+template <class T>
+PackBuffers<T>& pack_buffers() {
+  thread_local PackBuffers<T> bufs;
   return bufs;
 }
 
-// Pack op(A)(ic:ic+mc, pc:pc+kc) into MR-row panels:
-// dst[p * (MR*kc) + k * MR + r] = op(A)(ic + p*MR + r, pc + k),
+// Pack op(A)(ic:ic+mc, pc:pc+kc) into mr-row panels:
+// dst[p * (mr*kc) + k * mr + r] = op(A)(ic + p*mr + r, pc + k),
 // zero-padded in r for the last partial panel.
-void pack_a(Trans ta, ConstMatrixView a, int ic, int pc, int mc, int kc,
-            double* dst) {
-  for (int p = 0; p < mc; p += MR) {
-    const int pr = std::min(MR, mc - p);
+template <class T>
+void pack_a(Trans ta, ConstMatrixViewT<T> a, int ic, int pc, int mc, int kc,
+            int mr, T* dst) {
+  for (int p = 0; p < mc; p += mr) {
+    const int pr = std::min(mr, mc - p);
     if (ta == Trans::No) {
       // op(A) columns are A columns: walk k outer, rows contiguous.
       for (int k = 0; k < kc; ++k) {
-        const double* src = a.col(pc + k) + ic + p;
-        for (int r = 0; r < pr; ++r) dst[k * MR + r] = src[r];
-        for (int r = pr; r < MR; ++r) dst[k * MR + r] = 0.0;
+        const T* src = a.col(pc + k) + ic + p;
+        for (int r = 0; r < pr; ++r) dst[k * mr + r] = src[r];
+        for (int r = pr; r < mr; ++r) dst[k * mr + r] = T(0);
       }
     } else {
       // op(A)(i, k) = A(k, i): walk rows outer so k runs down A's columns.
       for (int r = 0; r < pr; ++r) {
-        const double* src = a.col(ic + p + r) + pc;
-        for (int k = 0; k < kc; ++k) dst[k * MR + r] = src[k];
+        const T* src = a.col(ic + p + r) + pc;
+        for (int k = 0; k < kc; ++k) dst[k * mr + r] = src[k];
       }
-      for (int r = pr; r < MR; ++r) {
-        for (int k = 0; k < kc; ++k) dst[k * MR + r] = 0.0;
+      for (int r = pr; r < mr; ++r) {
+        for (int k = 0; k < kc; ++k) dst[k * mr + r] = T(0);
       }
     }
-    dst += static_cast<std::ptrdiff_t>(MR) * kc;
+    dst += static_cast<std::ptrdiff_t>(mr) * kc;
   }
 }
 
-// Pack op(B)(pc:pc+kc, jc:jc+nc) into NR-column panels:
-// dst[q * (NR*kc) + k * NR + c] = op(B)(pc + k, jc + q*NR + c),
+// Pack op(B)(pc:pc+kc, jc:jc+nc) into nr-column panels:
+// dst[q * (nr*kc) + k * nr + c] = op(B)(pc + k, jc + q*nr + c),
 // zero-padded in c for the last partial panel.
-void pack_b(Trans tb, ConstMatrixView b, int pc, int jc, int kc, int nc,
-            double* dst) {
-  for (int q = 0; q < nc; q += NR) {
-    const int qc = std::min(NR, nc - q);
+template <class T>
+void pack_b(Trans tb, ConstMatrixViewT<T> b, int pc, int jc, int kc, int nc,
+            int nr, T* dst) {
+  for (int q = 0; q < nc; q += nr) {
+    const int qc = std::min(nr, nc - q);
     if (tb == Trans::No) {
       // op(B) columns are B columns: k runs down each column.
       for (int c = 0; c < qc; ++c) {
-        const double* src = b.col(jc + q + c) + pc;
-        for (int k = 0; k < kc; ++k) dst[k * NR + c] = src[k];
+        const T* src = b.col(jc + q + c) + pc;
+        for (int k = 0; k < kc; ++k) dst[k * nr + c] = src[k];
       }
-      for (int c = qc; c < NR; ++c) {
-        for (int k = 0; k < kc; ++k) dst[k * NR + c] = 0.0;
+      for (int c = qc; c < nr; ++c) {
+        for (int k = 0; k < kc; ++k) dst[k * nr + c] = T(0);
       }
     } else {
       // op(B)(k, j) = B(j, k): k walks B's columns, contiguous in j.
       for (int k = 0; k < kc; ++k) {
-        const double* src = b.col(pc + k) + jc + q;
-        for (int c = 0; c < qc; ++c) dst[k * NR + c] = src[c];
-        for (int c = qc; c < NR; ++c) dst[k * NR + c] = 0.0;
+        const T* src = b.col(pc + k) + jc + q;
+        for (int c = 0; c < qc; ++c) dst[k * nr + c] = src[c];
+        for (int c = qc; c < nr; ++c) dst[k * nr + c] = T(0);
       }
     }
-    dst += static_cast<std::ptrdiff_t>(NR) * kc;
+    dst += static_cast<std::ptrdiff_t>(nr) * kc;
   }
 }
 
-// C(0:mr, 0:nr) += alpha * Ap panel * Bp panel. The accumulator loop is
-// fully unrolled over the fixed MR x NR tile (operands are zero-padded),
-// so the compiler keeps `acc` in vector registers; only the writeback is
-// bounded by the true edge sizes.
-void micro_kernel(int kc, double alpha, const double* ap, const double* bp,
-                  double* c, int ldc, int mr, int nr) {
-  double acc[NR][MR] = {};
-  for (int k = 0; k < kc; ++k) {
-    const double* av = ap + static_cast<std::ptrdiff_t>(k) * MR;
-    const double* bv = bp + static_cast<std::ptrdiff_t>(k) * NR;
-    for (int j = 0; j < NR; ++j) {
-      for (int i = 0; i < MR; ++i) acc[j][i] += av[i] * bv[j];
-    }
-  }
-  if (mr == MR && nr == NR) {
-    for (int j = 0; j < NR; ++j) {
-      double* cj = c + static_cast<std::ptrdiff_t>(j) * ldc;
-      for (int i = 0; i < MR; ++i) cj[i] += alpha * acc[j][i];
-    }
-  } else {
-    for (int j = 0; j < nr; ++j) {
-      double* cj = c + static_cast<std::ptrdiff_t>(j) * ldc;
-      for (int i = 0; i < mr; ++i) cj[i] += alpha * acc[j][i];
-    }
-  }
-}
-
-}  // namespace
-
-void gemm_packed(Trans ta, Trans tb, double alpha, ConstMatrixView a,
-                 ConstMatrixView b, double beta, MatrixView c) {
+template <class T>
+void gemm_packed_t(Trans ta, Trans tb, T alpha, ConstMatrixViewT<T> a,
+                   ConstMatrixViewT<T> b, T beta, MatrixViewT<T> c) {
   const int m = c.rows;
   const int n = c.cols;
   const int k = (ta == Trans::No) ? a.cols : a.rows;
@@ -144,39 +154,56 @@ void gemm_packed(Trans ta, Trans tb, double alpha, ConstMatrixView a,
     const int nb = (tb == Trans::No) ? b.cols : b.rows;
     PQR_ASSERT(ka == kb && ma == m && nb == n, "gemm: shape mismatch");
   }
-  if (beta == 0.0) {
-    laset_all(0.0, 0.0, c);
-  } else if (beta != 1.0) {
+  if (beta == T(0)) {
+    laset_all(T(0), T(0), c);
+  } else if (beta != T(1)) {
     for (int j = 0; j < n; ++j) scal(m, beta, c.col(j));
   }
-  if (alpha == 0.0 || k == 0 || m == 0 || n == 0) return;
+  if (alpha == T(0) || k == 0 || m == 0 || n == 0) return;
 
-  PackBuffers& bufs = pack_buffers();
-  bufs.a.resize(static_cast<std::size_t>(MC) * KC);
-  bufs.b.resize(static_cast<std::size_t>(KC) * std::min(n + (NR - 1), NC));
+  const simd::KernelTable<T>& kt = simd::kernels<T>();
+  const int mr = kt.mr;
+  const int nr = kt.nr;
+
+  PackBuffers<T>& bufs = pack_buffers<T>();
+  // Worst-case panel footprints: blocks rounded up to whole mr/nr panels.
+  bufs.a.reserve(static_cast<std::size_t>(MC + mr - 1) / mr * mr * KC);
+  const int nc_max = std::min(((n + nr - 1) / nr) * nr, NC + nr - 1);
+  bufs.b.reserve(static_cast<std::size_t>(KC) * nc_max);
 
   for (int jc = 0; jc < n; jc += NC) {
     const int nc = std::min(NC, n - jc);
     for (int pc = 0; pc < k; pc += KC) {
       const int kc = std::min(KC, k - pc);
-      pack_b(tb, b, pc, jc, kc, nc, bufs.b.data());
+      pack_b(tb, b, pc, jc, kc, nc, nr, bufs.b.data());
       for (int ic = 0; ic < m; ic += MC) {
         const int mc = std::min(MC, m - ic);
-        pack_a(ta, a, ic, pc, mc, kc, bufs.a.data());
-        for (int jr = 0; jr < nc; jr += NR) {
-          const double* bp =
-              bufs.b.data() + static_cast<std::ptrdiff_t>(jr / NR) * NR * kc;
-          for (int ir = 0; ir < mc; ir += MR) {
-            const double* ap =
-                bufs.a.data() + static_cast<std::ptrdiff_t>(ir / MR) * MR * kc;
-            micro_kernel(kc, alpha, ap, bp,
-                         c.col(jc + jr) + ic + ir, c.ld,
-                         std::min(MR, mc - ir), std::min(NR, nc - jr));
+        pack_a(ta, a, ic, pc, mc, kc, mr, bufs.a.data());
+        for (int jr = 0; jr < nc; jr += nr) {
+          const T* bp =
+              bufs.b.data() + static_cast<std::ptrdiff_t>(jr / nr) * nr * kc;
+          for (int ir = 0; ir < mc; ir += mr) {
+            const T* ap =
+                bufs.a.data() + static_cast<std::ptrdiff_t>(ir / mr) * mr * kc;
+            kt.gemm_micro(kc, alpha, ap, bp, c.col(jc + jr) + ic + ir, c.ld,
+                          std::min(mr, mc - ir), std::min(nr, nc - jr));
           }
         }
       }
     }
   }
+}
+
+}  // namespace
+
+void gemm_packed(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+                 ConstMatrixView b, double beta, MatrixView c) {
+  gemm_packed_t(ta, tb, alpha, a, b, beta, c);
+}
+
+void gemm_packed(Trans ta, Trans tb, float alpha, ConstMatrixViewF a,
+                 ConstMatrixViewF b, float beta, MatrixViewF c) {
+  gemm_packed_t(ta, tb, alpha, a, b, beta, c);
 }
 
 }  // namespace pulsarqr::blas

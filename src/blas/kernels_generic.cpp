@@ -1,0 +1,25 @@
+// The scalar kernel tables: Kernels<ScalarTraits<T>, 8, 4> is exactly the
+// PR 3 register-tiled micro-kernel plus plain-loop level-1 sweeps. This TU
+// is built with PQR_GEMM_FLAGS (-O3 -funroll-loops, plus -march=native
+// when PULSARQR_NATIVE_KERNELS is ON), so on a tuned build the "scalar"
+// fallback is the compiler-autovectorized baseline the explicit kernels
+// are measured against; on a portable build it is strict baseline-ISA
+// code that runs anywhere.
+#include "blas/simd_kernels_inc.hpp"
+#include "blas/simd_tables.hpp"
+
+namespace pulsarqr::blas::simd {
+
+const KernelTable<double>& scalar_table_f64() {
+  static const KernelTable<double> t =
+      Kernels<ScalarTraits<double>, 8, 4>::table();
+  return t;
+}
+
+const KernelTable<float>& scalar_table_f32() {
+  static const KernelTable<float> t =
+      Kernels<ScalarTraits<float>, 8, 4>::table();
+  return t;
+}
+
+}  // namespace pulsarqr::blas::simd

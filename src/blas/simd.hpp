@@ -1,0 +1,137 @@
+// Runtime CPU-feature dispatch for the explicit SIMD micro-kernels.
+//
+// One binary carries every kernel flavor it was compiled with — scalar
+// (always), AVX2+FMA and AVX-512 on x86-64, NEON on aarch64 — and picks the
+// best one the executing CPU supports, once, at first use. The selection
+// can be overridden:
+//
+//   * environment: PQR_KERNEL_ISA=auto|avx512|avx2|neon|scalar (read once,
+//     at first dispatch; unknown or unsupported values fall back to auto
+//     with a warning on stderr), or
+//   * programmatically: set_isa()/parse_isa(), which is what
+//     `pqr --kernel-isa` uses (the CLI rejects bad values instead of
+//     falling back).
+//
+// Each ISA exports one KernelTable<T> per scalar type (double and float):
+// the packed-gemm micro-kernel with its MR x NR register-tile footprint
+// (packing in gemm_packed.cpp obeys the active table's mr/nr), plus the
+// vector level-1 primitives (axpy/dot) and the multi-column fused sweeps
+// (dot_cols/ger_cols/axpy_cols) that back blas::gemv/ger and the
+// triangular fringe updates of the tsmqr/ttmqr stacked cores. The scalar
+// table is the always-correct fallback: plain templated loops, compiled
+// with the host-tuning flags when PULSARQR_NATIVE_KERNELS is ON so the
+// autovectorized PR 3 baseline is preserved exactly.
+#pragma once
+
+#include <atomic>
+#include <string_view>
+
+namespace pulsarqr::blas::simd {
+
+/// Kernel instruction sets, in ascending preference order. Auto is a
+/// parse-time pseudo-value resolved to the best supported ISA.
+enum class Isa { Scalar = 0, Neon = 1, Avx2 = 2, Avx512 = 3 };
+
+/// Short lower-case name ("scalar", "neon", "avx2", "avx512").
+const char* isa_name(Isa isa);
+
+/// True if the kernels for `isa` are linked into this binary (decided at
+/// build time; see PULSARQR_NATIVE_KERNELS in src/CMakeLists.txt).
+bool isa_compiled(Isa isa);
+
+/// True if `isa` is compiled in AND the executing CPU supports it. Scalar
+/// is always supported.
+bool isa_supported(Isa isa);
+
+/// Best supported ISA on this host (what "auto" resolves to).
+Isa detect_isa();
+
+/// The currently selected ISA. First call resolves PQR_KERNEL_ISA (or
+/// auto-detects) and latches the kernel tables.
+Isa active_isa();
+
+/// Select a specific ISA (or re-run detection). Returns false — and leaves
+/// the selection unchanged — if the ISA is not supported on this host.
+bool set_isa(Isa isa);
+/// Reset to auto-detection (ignoring PQR_KERNEL_ISA).
+void set_isa_auto();
+
+/// Parse an ISA name ("auto" included). Returns false on an unknown name;
+/// *out is untouched in that case. "auto" yields detect_isa().
+bool parse_isa(std::string_view name, Isa* out);
+
+/// One ISA's kernel bundle for scalar type T. All function pointers are
+/// non-null in every table.
+template <class T>
+struct KernelTable {
+  /// Register micro-tile of the packed gemm kernel; pack_a/pack_b pad
+  /// panels to these sizes, and every A panel is 64-byte aligned so the
+  /// kernel may use aligned vector loads on the packed operand.
+  int mr = 0;
+  int nr = 0;
+  /// C(0:mr_eff, 0:nr_eff) += alpha * Ap * Bp over a kc-deep packed panel
+  /// pair (full-width accumulation, edge-bounded writeback).
+  void (*gemm_micro)(int kc, T alpha, const T* ap, const T* bp, T* c, int ldc,
+                     int mr_eff, int nr_eff) = nullptr;
+  /// y += a * x.
+  void (*axpy)(int n, T a, const T* x, T* y) = nullptr;
+  /// dot(x, y).
+  T (*dot)(int n, const T* x, const T* y) = nullptr;
+  /// out[j * inc_out] += alpha * dot(x, Y.col(j)) for j in [0, ncols); Y
+  /// has leading dimension ldy. One pass of x feeds four columns at a time.
+  void (*dot_cols)(int n, T alpha, const T* x, const T* y, int ldy, int ncols,
+                   T* out, int inc_out) = nullptr;
+  /// Y.col(j) += alpha * coeff[j * inc_c] * x for j in [0, ncols).
+  void (*ger_cols)(int n, T alpha, const T* x, const T* coeff, int inc_c,
+                   T* y, int ldy, int ncols) = nullptr;
+  /// y += alpha * sum_j coeff[j * inc_c] * X.col(j); X has leading
+  /// dimension ldx.
+  void (*axpy_cols)(int n, T alpha, const T* coeff, int inc_c, const T* x,
+                    int ldx, int ncols, T* y) = nullptr;
+};
+
+namespace detail {
+extern std::atomic<const KernelTable<double>*> table_f64;
+extern std::atomic<const KernelTable<float>*> table_f32;
+const KernelTable<double>* resolve_f64();
+const KernelTable<float>* resolve_f32();
+}  // namespace detail
+
+/// The active ISA's kernel table for T (T = double or float). The atomic
+/// load is relaxed: tables are immutable once published and the selection
+/// is a process-wide knob like blas::gemm_impl().
+template <class T>
+inline const KernelTable<T>& kernels();
+
+template <>
+inline const KernelTable<double>& kernels<double>() {
+  const KernelTable<double>* t =
+      detail::table_f64.load(std::memory_order_relaxed);
+  return t ? *t : *detail::resolve_f64();
+}
+
+template <>
+inline const KernelTable<float>& kernels<float>() {
+  const KernelTable<float>* t =
+      detail::table_f32.load(std::memory_order_relaxed);
+  return t ? *t : *detail::resolve_f32();
+}
+
+/// A specific ISA's table (must satisfy isa_supported; used by the fuzz
+/// tests and benches to A/B kernel flavors without touching the global
+/// selection).
+const KernelTable<double>& kernels_f64(Isa isa);
+const KernelTable<float>& kernels_f32(Isa isa);
+
+template <class T>
+const KernelTable<T>& kernels(Isa isa);
+template <>
+inline const KernelTable<double>& kernels<double>(Isa isa) {
+  return kernels_f64(isa);
+}
+template <>
+inline const KernelTable<float>& kernels<float>(Isa isa) {
+  return kernels_f32(isa);
+}
+
+}  // namespace pulsarqr::blas::simd

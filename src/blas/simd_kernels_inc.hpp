@@ -1,0 +1,257 @@
+// Shared implementation of the SIMD kernel bundle, parameterized by a
+// vector-traits class. Each ISA translation unit (kernels_generic.cpp,
+// kernels_avx2.cpp, kernels_avx512.cpp, kernels_neon.cpp) defines a thin
+// traits struct — register type, lane count, load/store/fma/hsum — and
+// instantiates Kernels<Traits, AR, NR> from this header, so the micro-kernel
+// schedule (full-width register accumulation over zero-padded packed panels,
+// 4-way unrolled level-1 sweeps, 4-column fused multi-sweeps) is written
+// once and compiled per-ISA with that TU's target flags.
+//
+// Traits contract (see ScalarTraits for the reference shape):
+//   using T            — scalar type (double or float)
+//   using reg          — vector register holding W lanes of T
+//   static constexpr int W
+//   zero(), set1(a), load(p) [64-byte-aligned p], loadu(p), storeu(p, v),
+//   add(a, b), fma(a, b, c) -> c + a * b, hsum(v) -> sum of lanes
+//
+// Kernels<VT, AR, NR> yields a gemm micro-tile of MR = AR * W rows by NR
+// columns: AR accumulator registers per C column, NR columns resident, so
+// AR * NR accumulators + AR operand registers must fit the register file
+// (15 of 16 ymm for AVX2 8x6 doubles; 11 of 32 zmm for AVX-512 16x4).
+#pragma once
+
+#include <cstddef>
+
+#include "blas/simd.hpp"
+
+namespace pulsarqr::blas::simd {
+
+/// Reference traits: one lane, plain arithmetic. Kernels<ScalarTraits<T>,
+/// 8, 4> reproduces the PR 3 scalar register-tiled micro-kernel exactly
+/// (the compiler autovectorizes the fixed-trip loops when the TU is built
+/// with the host flags).
+template <class S>
+struct ScalarTraits {
+  using T = S;
+  using reg = S;
+  static constexpr int W = 1;
+  static reg zero() { return S(0); }
+  static reg set1(T a) { return a; }
+  static reg load(const T* p) { return *p; }
+  static reg loadu(const T* p) { return *p; }
+  static void storeu(T* p, reg v) { *p = v; }
+  static reg add(reg a, reg b) { return a + b; }
+  static reg fma(reg a, reg b, reg c) { return c + a * b; }
+  static T hsum(reg v) { return v; }
+};
+
+template <class VT, int AR, int NRK>
+struct Kernels {
+  using T = typename VT::T;
+  using reg = typename VT::reg;
+  static constexpr int W = VT::W;
+  static constexpr int MR = AR * W;
+
+  // C(0:mr, 0:nr) += alpha * Ap * Bp over packed panels: Ap streams MR
+  // contiguous (and 64-byte-aligned) rows per k step, Bp NRK contiguous
+  // columns. Accumulation is always full-width — edges are zero-padded by
+  // the packing — and only the writeback is bounded.
+  static void gemm_micro(int kc, T alpha, const T* ap, const T* bp, T* c,
+                         int ldc, int mr, int nr) {
+    reg acc[NRK][AR];
+    for (int j = 0; j < NRK; ++j) {
+      for (int r = 0; r < AR; ++r) acc[j][r] = VT::zero();
+    }
+    for (int k = 0; k < kc; ++k) {
+      reg a[AR];
+      for (int r = 0; r < AR; ++r) a[r] = VT::load(ap + r * W);
+      for (int j = 0; j < NRK; ++j) {
+        const reg b = VT::set1(bp[j]);
+        for (int r = 0; r < AR; ++r) acc[j][r] = VT::fma(a[r], b, acc[j][r]);
+      }
+      ap += MR;
+      bp += NRK;
+    }
+    if (mr == MR && nr == NRK) {
+      const reg va = VT::set1(alpha);
+      for (int j = 0; j < NRK; ++j) {
+        T* cj = c + static_cast<std::ptrdiff_t>(j) * ldc;
+        for (int r = 0; r < AR; ++r) {
+          VT::storeu(cj + r * W,
+                     VT::fma(va, acc[j][r], VT::loadu(cj + r * W)));
+        }
+      }
+    } else {
+      alignas(64) T tmp[NRK][MR];
+      for (int j = 0; j < NRK; ++j) {
+        for (int r = 0; r < AR; ++r) VT::storeu(&tmp[j][r * W], acc[j][r]);
+      }
+      for (int j = 0; j < nr; ++j) {
+        T* cj = c + static_cast<std::ptrdiff_t>(j) * ldc;
+        for (int i = 0; i < mr; ++i) cj[i] += alpha * tmp[j][i];
+      }
+    }
+  }
+
+  // y += a * x, 4-vector unrolled.
+  static void axpy(int n, T a, const T* x, T* y) {
+    int i = 0;
+    const reg va = VT::set1(a);
+    for (; i + 4 * W <= n; i += 4 * W) {
+      for (int u = 0; u < 4; ++u) {
+        VT::storeu(y + i + u * W, VT::fma(va, VT::loadu(x + i + u * W),
+                                          VT::loadu(y + i + u * W)));
+      }
+    }
+    for (; i + W <= n; i += W) {
+      VT::storeu(y + i, VT::fma(va, VT::loadu(x + i), VT::loadu(y + i)));
+    }
+    for (; i < n; ++i) y[i] += a * x[i];
+  }
+
+  // dot(x, y) with 4 independent accumulators.
+  static T dot(int n, const T* x, const T* y) {
+    reg a0 = VT::zero(), a1 = VT::zero(), a2 = VT::zero(), a3 = VT::zero();
+    int i = 0;
+    for (; i + 4 * W <= n; i += 4 * W) {
+      a0 = VT::fma(VT::loadu(x + i), VT::loadu(y + i), a0);
+      a1 = VT::fma(VT::loadu(x + i + W), VT::loadu(y + i + W), a1);
+      a2 = VT::fma(VT::loadu(x + i + 2 * W), VT::loadu(y + i + 2 * W), a2);
+      a3 = VT::fma(VT::loadu(x + i + 3 * W), VT::loadu(y + i + 3 * W), a3);
+    }
+    reg a = VT::add(VT::add(a0, a1), VT::add(a2, a3));
+    for (; i + W <= n; i += W) {
+      a = VT::fma(VT::loadu(x + i), VT::loadu(y + i), a);
+    }
+    T s = VT::hsum(a);
+    for (; i < n; ++i) s += x[i] * y[i];
+    return s;
+  }
+
+  // out[j * inc_out] += alpha * dot(x, Y.col(j)): one pass of x feeds four
+  // columns.
+  static void dot_cols(int n, T alpha, const T* x, const T* y, int ldy,
+                       int ncols, T* out, int inc_out) {
+    int j = 0;
+    for (; j + 4 <= ncols; j += 4) {
+      const T* y0 = y + static_cast<std::ptrdiff_t>(j) * ldy;
+      const T* y1 = y0 + ldy;
+      const T* y2 = y1 + ldy;
+      const T* y3 = y2 + ldy;
+      reg a0 = VT::zero(), a1 = VT::zero(), a2 = VT::zero(), a3 = VT::zero();
+      int i = 0;
+      for (; i + W <= n; i += W) {
+        const reg xv = VT::loadu(x + i);
+        a0 = VT::fma(xv, VT::loadu(y0 + i), a0);
+        a1 = VT::fma(xv, VT::loadu(y1 + i), a1);
+        a2 = VT::fma(xv, VT::loadu(y2 + i), a2);
+        a3 = VT::fma(xv, VT::loadu(y3 + i), a3);
+      }
+      T s0 = VT::hsum(a0), s1 = VT::hsum(a1), s2 = VT::hsum(a2),
+        s3 = VT::hsum(a3);
+      for (; i < n; ++i) {
+        const T xi = x[i];
+        s0 += xi * y0[i];
+        s1 += xi * y1[i];
+        s2 += xi * y2[i];
+        s3 += xi * y3[i];
+      }
+      out[static_cast<std::ptrdiff_t>(j) * inc_out] += alpha * s0;
+      out[static_cast<std::ptrdiff_t>(j + 1) * inc_out] += alpha * s1;
+      out[static_cast<std::ptrdiff_t>(j + 2) * inc_out] += alpha * s2;
+      out[static_cast<std::ptrdiff_t>(j + 3) * inc_out] += alpha * s3;
+    }
+    for (; j < ncols; ++j) {
+      out[static_cast<std::ptrdiff_t>(j) * inc_out] +=
+          alpha * dot(n, x, y + static_cast<std::ptrdiff_t>(j) * ldy);
+    }
+  }
+
+  // Y.col(j) += alpha * coeff[j * inc_c] * x: x is loaded once per block
+  // of four destination columns.
+  static void ger_cols(int n, T alpha, const T* x, const T* coeff, int inc_c,
+                       T* y, int ldy, int ncols) {
+    int j = 0;
+    for (; j + 4 <= ncols; j += 4) {
+      const T t0 = alpha * coeff[static_cast<std::ptrdiff_t>(j) * inc_c];
+      const T t1 = alpha * coeff[static_cast<std::ptrdiff_t>(j + 1) * inc_c];
+      const T t2 = alpha * coeff[static_cast<std::ptrdiff_t>(j + 2) * inc_c];
+      const T t3 = alpha * coeff[static_cast<std::ptrdiff_t>(j + 3) * inc_c];
+      T* y0 = y + static_cast<std::ptrdiff_t>(j) * ldy;
+      T* y1 = y0 + ldy;
+      T* y2 = y1 + ldy;
+      T* y3 = y2 + ldy;
+      const reg v0 = VT::set1(t0), v1 = VT::set1(t1), v2 = VT::set1(t2),
+                v3 = VT::set1(t3);
+      int i = 0;
+      for (; i + W <= n; i += W) {
+        const reg xv = VT::loadu(x + i);
+        VT::storeu(y0 + i, VT::fma(v0, xv, VT::loadu(y0 + i)));
+        VT::storeu(y1 + i, VT::fma(v1, xv, VT::loadu(y1 + i)));
+        VT::storeu(y2 + i, VT::fma(v2, xv, VT::loadu(y2 + i)));
+        VT::storeu(y3 + i, VT::fma(v3, xv, VT::loadu(y3 + i)));
+      }
+      for (; i < n; ++i) {
+        const T xi = x[i];
+        y0[i] += t0 * xi;
+        y1[i] += t1 * xi;
+        y2[i] += t2 * xi;
+        y3[i] += t3 * xi;
+      }
+    }
+    for (; j < ncols; ++j) {
+      axpy(n, alpha * coeff[static_cast<std::ptrdiff_t>(j) * inc_c], x,
+           y + static_cast<std::ptrdiff_t>(j) * ldy);
+    }
+  }
+
+  // y += alpha * sum_j coeff[j * inc_c] * X.col(j): each y vector is
+  // loaded and stored once per block of four source columns.
+  static void axpy_cols(int n, T alpha, const T* coeff, int inc_c, const T* x,
+                        int ldx, int ncols, T* y) {
+    int j = 0;
+    for (; j + 4 <= ncols; j += 4) {
+      const T t0 = alpha * coeff[static_cast<std::ptrdiff_t>(j) * inc_c];
+      const T t1 = alpha * coeff[static_cast<std::ptrdiff_t>(j + 1) * inc_c];
+      const T t2 = alpha * coeff[static_cast<std::ptrdiff_t>(j + 2) * inc_c];
+      const T t3 = alpha * coeff[static_cast<std::ptrdiff_t>(j + 3) * inc_c];
+      const T* x0 = x + static_cast<std::ptrdiff_t>(j) * ldx;
+      const T* x1 = x0 + ldx;
+      const T* x2 = x1 + ldx;
+      const T* x3 = x2 + ldx;
+      const reg v0 = VT::set1(t0), v1 = VT::set1(t1), v2 = VT::set1(t2),
+                v3 = VT::set1(t3);
+      int i = 0;
+      for (; i + W <= n; i += W) {
+        reg yv = VT::loadu(y + i);
+        yv = VT::fma(v0, VT::loadu(x0 + i), yv);
+        yv = VT::fma(v1, VT::loadu(x1 + i), yv);
+        yv = VT::fma(v2, VT::loadu(x2 + i), yv);
+        yv = VT::fma(v3, VT::loadu(x3 + i), yv);
+        VT::storeu(y + i, yv);
+      }
+      for (; i < n; ++i) {
+        y[i] += t0 * x0[i] + t1 * x1[i] + t2 * x2[i] + t3 * x3[i];
+      }
+    }
+    for (; j < ncols; ++j) {
+      axpy(n, alpha * coeff[static_cast<std::ptrdiff_t>(j) * inc_c],
+           x + static_cast<std::ptrdiff_t>(j) * ldx, y);
+    }
+  }
+
+  static KernelTable<T> table() {
+    KernelTable<T> t;
+    t.mr = MR;
+    t.nr = NRK;
+    t.gemm_micro = &gemm_micro;
+    t.axpy = &axpy;
+    t.dot = &dot;
+    t.dot_cols = &dot_cols;
+    t.ger_cols = &ger_cols;
+    t.axpy_cols = &axpy_cols;
+    return t;
+  }
+};
+
+}  // namespace pulsarqr::blas::simd

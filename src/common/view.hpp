@@ -1,4 +1,9 @@
 // Column-major 2-D views over contiguous storage (LAPACK convention).
+//
+// The views are templated on the scalar type so the kernel layer (blas/,
+// lapack/, kernels/) can be instantiated for both double and float; the
+// unsuffixed MatrixView/ConstMatrixView/Matrix aliases are the double
+// instantiations used throughout the runtime.
 #pragma once
 
 #include <cstddef>
@@ -10,86 +15,99 @@ namespace pulsarqr {
 
 /// Non-owning mutable column-major matrix view: element (i, j) is
 /// data[i + j * ld]. All dense-kernel routines in blas/ and lapack/ take
-/// MatrixView / ConstMatrixView so they compose with tiles, dense matrices
-/// and sub-blocks alike.
-struct MatrixView {
-  double* data = nullptr;
+/// MatrixViewT / ConstMatrixViewT so they compose with tiles, dense
+/// matrices and sub-blocks alike.
+template <class T>
+struct MatrixViewT {
+  T* data = nullptr;
   int rows = 0;
   int cols = 0;
   int ld = 0;  ///< leading dimension, >= rows
 
-  MatrixView() = default;
-  MatrixView(double* d, int m, int n, int l) : data(d), rows(m), cols(n), ld(l) {
+  MatrixViewT() = default;
+  MatrixViewT(T* d, int m, int n, int l) : data(d), rows(m), cols(n), ld(l) {
     PQR_ASSERT(m >= 0 && n >= 0 && l >= m, "bad MatrixView shape");
   }
 
-  double& operator()(int i, int j) const { return data[i + static_cast<std::ptrdiff_t>(j) * ld]; }
+  T& operator()(int i, int j) const {
+    return data[i + static_cast<std::ptrdiff_t>(j) * ld];
+  }
 
   /// Sub-view of rows [i0, i0+m) x cols [j0, j0+n).
-  MatrixView block(int i0, int j0, int m, int n) const {
+  MatrixViewT block(int i0, int j0, int m, int n) const {
     PQR_ASSERT(i0 >= 0 && j0 >= 0 && i0 + m <= rows && j0 + n <= cols,
                "MatrixView::block out of range");
-    return MatrixView(data + i0 + static_cast<std::ptrdiff_t>(j0) * ld, m, n, ld);
+    return MatrixViewT(data + i0 + static_cast<std::ptrdiff_t>(j0) * ld, m, n,
+                       ld);
   }
 
   /// Column j as a raw pointer (length rows).
-  double* col(int j) const { return data + static_cast<std::ptrdiff_t>(j) * ld; }
+  T* col(int j) const { return data + static_cast<std::ptrdiff_t>(j) * ld; }
 };
 
 /// Non-owning read-only column-major matrix view.
-struct ConstMatrixView {
-  const double* data = nullptr;
+template <class T>
+struct ConstMatrixViewT {
+  const T* data = nullptr;
   int rows = 0;
   int cols = 0;
   int ld = 0;
 
-  ConstMatrixView() = default;
-  ConstMatrixView(const double* d, int m, int n, int l)
+  ConstMatrixViewT() = default;
+  ConstMatrixViewT(const T* d, int m, int n, int l)
       : data(d), rows(m), cols(n), ld(l) {
     PQR_ASSERT(m >= 0 && n >= 0 && l >= m, "bad ConstMatrixView shape");
   }
-  ConstMatrixView(const MatrixView& v)  // NOLINT: implicit by design
+  ConstMatrixViewT(const MatrixViewT<T>& v)  // NOLINT: implicit by design
       : data(v.data), rows(v.rows), cols(v.cols), ld(v.ld) {}
 
-  const double& operator()(int i, int j) const {
+  const T& operator()(int i, int j) const {
     return data[i + static_cast<std::ptrdiff_t>(j) * ld];
   }
 
-  ConstMatrixView block(int i0, int j0, int m, int n) const {
+  ConstMatrixViewT block(int i0, int j0, int m, int n) const {
     PQR_ASSERT(i0 >= 0 && j0 >= 0 && i0 + m <= rows && j0 + n <= cols,
                "ConstMatrixView::block out of range");
-    return ConstMatrixView(data + i0 + static_cast<std::ptrdiff_t>(j0) * ld, m, n, ld);
+    return ConstMatrixViewT(data + i0 + static_cast<std::ptrdiff_t>(j0) * ld,
+                            m, n, ld);
   }
 
-  const double* col(int j) const { return data + static_cast<std::ptrdiff_t>(j) * ld; }
+  const T* col(int j) const {
+    return data + static_cast<std::ptrdiff_t>(j) * ld;
+  }
 };
 
 /// Owning column-major dense matrix.
-class Matrix {
+template <class T>
+class MatrixT {
  public:
-  Matrix() = default;
-  Matrix(int m, int n) : rows_(m), cols_(n), data_(checked_size(m, n), 0.0) {}
+  MatrixT() = default;
+  MatrixT(int m, int n) : rows_(m), cols_(n), data_(checked_size(m, n), T(0)) {}
 
   int rows() const { return rows_; }
   int cols() const { return cols_; }
   int ld() const { return rows_; }
 
-  double& operator()(int i, int j) {
+  T& operator()(int i, int j) {
     return data_[i + static_cast<std::size_t>(j) * rows_];
   }
-  const double& operator()(int i, int j) const {
+  const T& operator()(int i, int j) const {
     return data_[i + static_cast<std::size_t>(j) * rows_];
   }
 
-  double* data() { return data_.data(); }
-  const double* data() const { return data_.data(); }
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
 
-  MatrixView view() { return MatrixView(data_.data(), rows_, cols_, rows_); }
-  ConstMatrixView view() const {
-    return ConstMatrixView(data_.data(), rows_, cols_, rows_);
+  MatrixViewT<T> view() {
+    return MatrixViewT<T>(data_.data(), rows_, cols_, rows_);
   }
-  MatrixView block(int i0, int j0, int m, int n) { return view().block(i0, j0, m, n); }
-  ConstMatrixView block(int i0, int j0, int m, int n) const {
+  ConstMatrixViewT<T> view() const {
+    return ConstMatrixViewT<T>(data_.data(), rows_, cols_, rows_);
+  }
+  MatrixViewT<T> block(int i0, int j0, int m, int n) {
+    return view().block(i0, j0, m, n);
+  }
+  ConstMatrixViewT<T> block(int i0, int j0, int m, int n) const {
     return view().block(i0, j0, m, n);
   }
 
@@ -101,7 +119,17 @@ class Matrix {
 
   int rows_ = 0;
   int cols_ = 0;
-  std::vector<double> data_;
+  std::vector<T> data_;
 };
+
+/// The double-precision instantiations the runtime and result stores use.
+using MatrixView = MatrixViewT<double>;
+using ConstMatrixView = ConstMatrixViewT<double>;
+using Matrix = MatrixT<double>;
+
+/// Single-precision aliases for the float kernel path.
+using MatrixViewF = MatrixViewT<float>;
+using ConstMatrixViewF = ConstMatrixViewT<float>;
+using MatrixF = MatrixT<float>;
 
 }  // namespace pulsarqr

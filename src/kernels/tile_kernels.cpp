@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "blas/simd.hpp"
 #include "lapack/householder.hpp"
 #include "lapack/qr.hpp"
 
@@ -48,9 +49,12 @@ inline int row_bound(bool tri, int c, int m2) {
 // eliminating column j, and the block T recurrence reduces to dot products
 // over V2 columns. For the triangular case the block update splits each
 // panel into the rectangle of rows valid for every panel column (handled
-// by gemm) and a kb-deep fringe handled by bounded dot/axpy sweeps.
-void stacked_qrt(MatrixView a1, MatrixView a2, int ib, MatrixView t,
-                 Workspace& ws, bool tri) {
+// by gemm) and a fringe of at most ib-1 rows per panel column, swept with
+// the multi-column fused kernels (dot_cols/ger_cols) from the active SIMD
+// table — one pass of the V2 column feeds four trailing columns at a time.
+template <class T>
+void stacked_qrt(MatrixViewT<T> a1, MatrixViewT<T> a2, int ib,
+                 MatrixViewT<T> t, Workspace& ws, bool tri) {
   const int n = a1.cols;
   const int m2 = a2.rows;
   PQR_ASSERT(a1.rows >= n, "tsqrt: A1 must be at least n-by-n");
@@ -59,10 +63,11 @@ void stacked_qrt(MatrixView a1, MatrixView a2, int ib, MatrixView t,
   PQR_ASSERT(t.rows >= std::min(ib, n) && t.cols >= n, "tsqrt: T too small");
   if (n == 0) return;
 
+  const auto& kt = blas::simd::kernels<T>();
   WsFrame frame(ws);
   const int ibk = std::min(ib, n);
-  double* tau = ws.alloc(ibk);
-  double* workbuf = ws.alloc(static_cast<std::size_t>(ibk) * n);
+  T* tau = ws.alloc_as<T>(ibk);
+  T* workbuf = ws.alloc_as<T>(static_cast<std::size_t>(ibk) * n);
 
   for (int jb = 0; jb < n; jb += ib) {
     const int kb = std::min(ib, n - jb);
@@ -73,7 +78,7 @@ void stacked_qrt(MatrixView a1, MatrixView a2, int ib, MatrixView t,
       tau[jl] = lapack::larfg(bj + 1, a1(j, j), a2.col(j));
       // Apply H_j to the remaining columns of this panel.
       for (int jj = j + 1; jj < jb + kb; ++jj) {
-        double w = a1(j, jj) + blas::dot(bj, a2.col(j), a2.col(jj));
+        T w = a1(j, jj) + blas::dot(bj, a2.col(j), a2.col(jj));
         w *= tau[jl];
         a1(j, jj) -= w;
         blas::axpy(bj, -w, a2.col(j), a2.col(jj));
@@ -82,7 +87,7 @@ void stacked_qrt(MatrixView a1, MatrixView a2, int ib, MatrixView t,
     // T block for this panel: T(i,i) = tau_i and
     // T(0:i, i) = -tau_i * T(0:i, 0:i) * (V2b(:, 0:i)^T V2b(:, i));
     // the identity tops of the reflectors contribute nothing off-diagonal.
-    MatrixView tb = t.block(0, jb, kb, kb);
+    MatrixViewT<T> tb = t.block(0, jb, kb, kb);
     for (int i = 0; i < kb; ++i) {
       tb(i, i) = tau[i];
       for (int j2 = 0; j2 < i; ++j2) {
@@ -91,7 +96,7 @@ void stacked_qrt(MatrixView a1, MatrixView a2, int ib, MatrixView t,
       }
       if (i > 0) {
         blas::trmv(Uplo::Upper, Trans::No, Diag::NonUnit,
-                   ConstMatrixView(tb.data, i, i, tb.ld), tb.col(i));
+                   ConstMatrixViewT<T>(tb.data, i, i, tb.ld), tb.col(i));
       }
     }
     // Block update of the trailing columns: with V = [I; V2b],
@@ -100,44 +105,45 @@ void stacked_qrt(MatrixView a1, MatrixView a2, int ib, MatrixView t,
     //   A1(jb:jb+kb, rest) -= W ;  A2(:, rest) -= V2b W.
     const int rest = n - (jb + kb);
     if (rest > 0) {
-      MatrixView w(workbuf, kb, rest, kb);
+      MatrixViewT<T> w(workbuf, kb, rest, kb);
       blas::lacpy_all(a1.block(jb, jb + kb, kb, rest), w);
       // Rows [0, r0) are valid for every panel column; the per-column
       // fringe [r0, row_bound(c)) is at most kb-1 rows deep.
       const int r0 = row_bound(tri, jb, m2);
       if (r0 > 0) {
-        ConstMatrixView v2b(a2.col(jb), r0, kb, a2.ld);
-        blas::gemm(Trans::Yes, Trans::No, 1.0, v2b,
-                   ConstMatrixView(a2.col(jb + kb), r0, rest, a2.ld), 1.0, w);
+        ConstMatrixViewT<T> v2b(a2.col(jb), r0, kb, a2.ld);
+        blas::gemm(Trans::Yes, Trans::No, T(1), v2b,
+                   ConstMatrixViewT<T>(a2.col(jb + kb), r0, rest, a2.ld),
+                   T(1), w);
       }
       if (tri) {
+        // Fringe of W = V2b^T A2: row i2 of W gains the bounded dot of
+        // V2 column jb+i2 against every trailing column — one fused sweep.
         for (int i2 = 0; i2 < kb; ++i2) {
           const int hi = row_bound(true, jb + i2, m2);
           if (hi <= r0) continue;
-          for (int j2 = 0; j2 < rest; ++j2) {
-            w(i2, j2) += blas::dot(hi - r0, a2.col(jb + i2) + r0,
-                                   a2.col(jb + kb + j2) + r0);
-          }
+          kt.dot_cols(hi - r0, T(1), a2.col(jb + i2) + r0,
+                      a2.col(jb + kb) + r0, a2.ld, rest, &w(i2, 0), w.ld);
         }
       }
-      blas::trmm(Side::Left, Uplo::Upper, Trans::Yes, Diag::NonUnit, 1.0,
-                 ConstMatrixView(tb), w);
+      blas::trmm(Side::Left, Uplo::Upper, Trans::Yes, Diag::NonUnit, T(1),
+                 ConstMatrixViewT<T>(tb), w);
       for (int j2 = 0; j2 < rest; ++j2) {
-        blas::axpy(kb, -1.0, w.col(j2), a1.col(jb + kb + j2) + jb);
+        blas::axpy(kb, T(-1), w.col(j2), a1.col(jb + kb + j2) + jb);
       }
       if (r0 > 0) {
-        ConstMatrixView v2b(a2.col(jb), r0, kb, a2.ld);
-        blas::gemm(Trans::No, Trans::No, -1.0, v2b, ConstMatrixView(w), 1.0,
-                   MatrixView(a2.col(jb + kb), r0, rest, a2.ld));
+        ConstMatrixViewT<T> v2b(a2.col(jb), r0, kb, a2.ld);
+        blas::gemm(Trans::No, Trans::No, T(-1), v2b, ConstMatrixViewT<T>(w),
+                   T(1), MatrixViewT<T>(a2.col(jb + kb), r0, rest, a2.ld));
       }
       if (tri) {
+        // Fringe of A2 -= V2b W: rank-1 fan-out of V2 column jb+i2 into
+        // the trailing columns, coefficients from row i2 of W.
         for (int i2 = 0; i2 < kb; ++i2) {
           const int hi = row_bound(true, jb + i2, m2);
           if (hi <= r0) continue;
-          for (int j2 = 0; j2 < rest; ++j2) {
-            blas::axpy(hi - r0, -w(i2, j2), a2.col(jb + i2) + r0,
-                       a2.col(jb + kb + j2) + r0);
-          }
+          kt.ger_cols(hi - r0, T(-1), a2.col(jb + i2) + r0, &w(i2, 0), w.ld,
+                      a2.col(jb + kb) + r0, a2.ld, rest);
         }
       }
     }
@@ -149,8 +155,10 @@ void stacked_qrt(MatrixView a1, MatrixView a2, int ib, MatrixView t,
 // raw ttqrt output tile (upper triangle = V2, strict lower = foreign data)
 // can be passed directly; C2 rows at or above every column's bound are
 // untouched, matching the reflectors' support.
-void stacked_apply(Trans trans, ConstMatrixView v2, ConstMatrixView t, int ib,
-                   MatrixView c1, MatrixView c2, Workspace& ws, bool tri) {
+template <class T>
+void stacked_apply(Trans trans, ConstMatrixViewT<T> v2, ConstMatrixViewT<T> t,
+                   int ib, MatrixViewT<T> c1, MatrixViewT<T> c2, Workspace& ws,
+                   bool tri) {
   const int n = v2.cols;
   const int m2 = v2.rows;
   const int nc = c1.cols;
@@ -159,9 +167,9 @@ void stacked_apply(Trans trans, ConstMatrixView v2, ConstMatrixView t, int ib,
   require(ib >= 1, "tsmqr: ib must be positive");
   if (n == 0 || nc == 0) return;
 
+  const auto& kt = blas::simd::kernels<T>();
   WsFrame frame(ws);
-  double* workbuf =
-      ws.alloc(static_cast<std::size_t>(std::min(ib, n)) * nc);
+  T* workbuf = ws.alloc_as<T>(static_cast<std::size_t>(std::min(ib, n)) * nc);
   const int nblocks = (n + ib - 1) / ib;
   // Q^T applies inner blocks first-to-last (with T^T), Q last-to-first.
   for (int bi = 0; bi < nblocks; ++bi) {
@@ -169,94 +177,128 @@ void stacked_apply(Trans trans, ConstMatrixView v2, ConstMatrixView t, int ib,
     const int jb = b * ib;
     const int kb = std::min(ib, n - jb);
     const int r0 = row_bound(tri, jb, m2);
-    ConstMatrixView tb = t.block(0, jb, kb, kb);
-    MatrixView w(workbuf, kb, nc, kb);
+    ConstMatrixViewT<T> tb = t.block(0, jb, kb, kb);
+    MatrixViewT<T> w(workbuf, kb, nc, kb);
     // W = C1(jb:jb+kb, :) + V2b^T C2
     blas::lacpy_all(c1.block(jb, 0, kb, nc), w);
     if (r0 > 0) {
-      ConstMatrixView v2b(v2.col(jb), r0, kb, v2.ld);
-      blas::gemm(Trans::Yes, Trans::No, 1.0, v2b,
-                 ConstMatrixView(c2.data, r0, nc, c2.ld), 1.0, w);
+      ConstMatrixViewT<T> v2b(v2.col(jb), r0, kb, v2.ld);
+      blas::gemm(Trans::Yes, Trans::No, T(1), v2b,
+                 ConstMatrixViewT<T>(c2.data, r0, nc, c2.ld), T(1), w);
     }
     if (tri) {
+      // Triangular fringe of V2b^T C2, one fused multi-column sweep per
+      // panel row (ISA dot_cols kernel; depth at most ib-1 rows).
       for (int i2 = 0; i2 < kb; ++i2) {
         const int hi = row_bound(true, jb + i2, m2);
         if (hi <= r0) continue;
-        for (int j2 = 0; j2 < nc; ++j2) {
-          w(i2, j2) +=
-              blas::dot(hi - r0, v2.col(jb + i2) + r0, c2.col(j2) + r0);
-        }
+        kt.dot_cols(hi - r0, T(1), v2.col(jb + i2) + r0, c2.col(0) + r0,
+                    c2.ld, nc, &w(i2, 0), w.ld);
       }
     }
     // W := op(T) W
-    blas::trmm(Side::Left, Uplo::Upper, trans, Diag::NonUnit, 1.0, tb, w);
+    blas::trmm(Side::Left, Uplo::Upper, trans, Diag::NonUnit, T(1), tb, w);
     // C1(jb:jb+kb, :) -= W ;  C2 -= V2b W
     for (int j2 = 0; j2 < nc; ++j2) {
-      blas::axpy(kb, -1.0, w.col(j2), c1.col(j2) + jb);
+      blas::axpy(kb, T(-1), w.col(j2), c1.col(j2) + jb);
     }
     if (r0 > 0) {
-      ConstMatrixView v2b(v2.col(jb), r0, kb, v2.ld);
-      blas::gemm(Trans::No, Trans::No, -1.0, v2b, ConstMatrixView(w), 1.0,
-                 MatrixView(c2.data, r0, nc, c2.ld));
+      ConstMatrixViewT<T> v2b(v2.col(jb), r0, kb, v2.ld);
+      blas::gemm(Trans::No, Trans::No, T(-1), v2b, ConstMatrixViewT<T>(w),
+                 T(1), MatrixViewT<T>(c2.data, r0, nc, c2.ld));
     }
     if (tri) {
+      // Triangular fringe of C2 -= V2b W (ISA ger_cols kernel).
       for (int i2 = 0; i2 < kb; ++i2) {
         const int hi = row_bound(true, jb + i2, m2);
         if (hi <= r0) continue;
-        for (int j2 = 0; j2 < nc; ++j2) {
-          blas::axpy(hi - r0, -w(i2, j2), v2.col(jb + i2) + r0,
-                     c2.col(j2) + r0);
-        }
+        kt.ger_cols(hi - r0, T(-1), v2.col(jb + i2) + r0, &w(i2, 0), w.ld,
+                    c2.col(0) + r0, c2.ld, nc);
       }
     }
   }
 }
 
-}  // namespace
-
-void tsqrt(MatrixView a1, MatrixView a2, int ib, MatrixView t, Workspace& ws) {
-  stacked_qrt(a1, a2, ib, t, ws, /*tri=*/false);
-}
-
-void tsqrt(MatrixView a1, MatrixView a2, int ib, MatrixView t) {
-  stacked_qrt(a1, a2, ib, t, tls_workspace(), /*tri=*/false);
-}
-
-void tsmqr(Trans trans, ConstMatrixView v2, ConstMatrixView t, int ib,
-           MatrixView c1, MatrixView c2, Workspace& ws) {
-  stacked_apply(trans, v2, t, ib, c1, c2, ws, /*tri=*/false);
-}
-
-void tsmqr(Trans trans, ConstMatrixView v2, ConstMatrixView t, int ib,
-           MatrixView c1, MatrixView c2) {
-  stacked_apply(trans, v2, t, ib, c1, c2, tls_workspace(), /*tri=*/false);
-}
-
-void ttqrt(MatrixView a1, MatrixView a2, int ib, MatrixView t, Workspace& ws) {
+template <class T>
+void ttqrt_t(MatrixViewT<T> a1, MatrixViewT<T> a2, int ib, MatrixViewT<T> t,
+             Workspace& ws) {
   // Only the upper triangle of A2 is input (R of the losing domain) and only
   // the upper triangle is output (V2); the strict lower part of the tile
   // holds Householder vectors from the flat-tree phase and must survive —
   // the row-bounded core never touches it.
   const int n = a1.cols;
   const int m2 = std::min(a2.rows, n);
-  stacked_qrt(a1, MatrixView(a2.data, m2, n, a2.ld), ib, t, ws, /*tri=*/true);
+  stacked_qrt<T>(a1, MatrixViewT<T>(a2.data, m2, n, a2.ld), ib, t, ws,
+                 /*tri=*/true);
+}
+
+template <class T>
+void ttmqr_t(Trans trans, ConstMatrixViewT<T> v2, ConstMatrixViewT<T> t,
+             int ib, MatrixViewT<T> c1, MatrixViewT<T> c2, Workspace& ws) {
+  const int n = v2.cols;
+  const int m2 = std::min(v2.rows, n);
+  stacked_apply<T>(trans, ConstMatrixViewT<T>(v2.data, m2, n, v2.ld), t, ib,
+                   c1, MatrixViewT<T>(c2.data, m2, c2.cols, c2.ld), ws,
+                   /*tri=*/true);
+}
+
+}  // namespace
+
+void tsqrt(MatrixView a1, MatrixView a2, int ib, MatrixView t, Workspace& ws) {
+  stacked_qrt<double>(a1, a2, ib, t, ws, /*tri=*/false);
+}
+
+void tsqrt(MatrixView a1, MatrixView a2, int ib, MatrixView t) {
+  stacked_qrt<double>(a1, a2, ib, t, tls_workspace(), /*tri=*/false);
+}
+
+void tsqrt(MatrixViewF a1, MatrixViewF a2, int ib, MatrixViewF t,
+           Workspace& ws) {
+  stacked_qrt<float>(a1, a2, ib, t, ws, /*tri=*/false);
+}
+
+void tsmqr(Trans trans, ConstMatrixView v2, ConstMatrixView t, int ib,
+           MatrixView c1, MatrixView c2, Workspace& ws) {
+  stacked_apply<double>(trans, v2, t, ib, c1, c2, ws, /*tri=*/false);
+}
+
+void tsmqr(Trans trans, ConstMatrixView v2, ConstMatrixView t, int ib,
+           MatrixView c1, MatrixView c2) {
+  stacked_apply<double>(trans, v2, t, ib, c1, c2, tls_workspace(),
+                        /*tri=*/false);
+}
+
+void tsmqr(Trans trans, ConstMatrixViewF v2, ConstMatrixViewF t, int ib,
+           MatrixViewF c1, MatrixViewF c2, Workspace& ws) {
+  stacked_apply<float>(trans, v2, t, ib, c1, c2, ws, /*tri=*/false);
+}
+
+void ttqrt(MatrixView a1, MatrixView a2, int ib, MatrixView t, Workspace& ws) {
+  ttqrt_t<double>(a1, a2, ib, t, ws);
 }
 
 void ttqrt(MatrixView a1, MatrixView a2, int ib, MatrixView t) {
-  ttqrt(a1, a2, ib, t, tls_workspace());
+  ttqrt_t<double>(a1, a2, ib, t, tls_workspace());
+}
+
+void ttqrt(MatrixViewF a1, MatrixViewF a2, int ib, MatrixViewF t,
+           Workspace& ws) {
+  ttqrt_t<float>(a1, a2, ib, t, ws);
 }
 
 void ttmqr(Trans trans, ConstMatrixView v2, ConstMatrixView t, int ib,
            MatrixView c1, MatrixView c2, Workspace& ws) {
-  const int n = v2.cols;
-  const int m2 = std::min(v2.rows, n);
-  stacked_apply(trans, ConstMatrixView(v2.data, m2, n, v2.ld), t, ib, c1,
-                MatrixView(c2.data, m2, c2.cols, c2.ld), ws, /*tri=*/true);
+  ttmqr_t<double>(trans, v2, t, ib, c1, c2, ws);
 }
 
 void ttmqr(Trans trans, ConstMatrixView v2, ConstMatrixView t, int ib,
            MatrixView c1, MatrixView c2) {
-  ttmqr(trans, v2, t, ib, c1, c2, tls_workspace());
+  ttmqr_t<double>(trans, v2, t, ib, c1, c2, tls_workspace());
+}
+
+void ttmqr(Trans trans, ConstMatrixViewF v2, ConstMatrixViewF t, int ib,
+           MatrixViewF c1, MatrixViewF c2, Workspace& ws) {
+  ttmqr_t<float>(trans, v2, t, ib, c1, c2, ws);
 }
 
 }  // namespace pulsarqr::kernels

@@ -73,4 +73,16 @@ void ttmqr(blas::Trans trans, ConstMatrixView v2, ConstMatrixView t, int ib,
 void ttmqr(blas::Trans trans, ConstMatrixView v2, ConstMatrixView t, int ib,
            MatrixView c1, MatrixView c2);
 
+// Single-precision instantiations of the stacked (tree) kernels. The cores
+// are templated on the scalar type and route through the same SIMD kernel
+// tables; contracts match the double versions.
+void tsqrt(MatrixViewF a1, MatrixViewF a2, int ib, MatrixViewF t,
+           Workspace& ws);
+void tsmqr(blas::Trans trans, ConstMatrixViewF v2, ConstMatrixViewF t, int ib,
+           MatrixViewF c1, MatrixViewF c2, Workspace& ws);
+void ttqrt(MatrixViewF a1, MatrixViewF a2, int ib, MatrixViewF t,
+           Workspace& ws);
+void ttmqr(blas::Trans trans, ConstMatrixViewF v2, ConstMatrixViewF t, int ib,
+           MatrixViewF c1, MatrixViewF c2, Workspace& ws);
+
 }  // namespace pulsarqr::kernels

@@ -1,11 +1,15 @@
 #include "kernels/workspace.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
 namespace pulsarqr::kernels {
 
 double* Workspace::alloc(std::size_t n) {
   if (n == 0) n = 1;  // keep pointers distinct and non-null
+  // Round the request up to whole cache lines: used_ stays a multiple of
+  // kAlignDoubles, so every pointer handed out is 64-byte aligned.
+  n = (n + kAlignDoubles - 1) / kAlignDoubles * kAlignDoubles;
   // Advance through existing chunks (tail space left by a smaller earlier
   // frame is simply skipped; the arena is scratch, not an allocator).
   while (cur_ < chunks_.size() && used_ + n > chunks_[cur_].cap) {
@@ -15,11 +19,15 @@ double* Workspace::alloc(std::size_t n) {
   if (cur_ == chunks_.size()) {
     const std::size_t last = chunks_.empty() ? 0 : chunks_.back().cap;
     const std::size_t cap = std::max({n, 2 * last, kMinChunk});
-    chunks_.push_back({std::make_unique<double[]>(cap), cap});
+    double* raw = static_cast<double*>(
+        ::operator new(cap * sizeof(double), std::align_val_t(kAlign)));
+    chunks_.push_back({std::unique_ptr<double[], AlignedDelete>(raw), cap});
     ++chunk_allocations_;
     used_ = 0;
   }
   double* p = chunks_[cur_].data.get() + used_;
+  PQR_ASSERT(reinterpret_cast<std::uintptr_t>(p) % kAlign == 0,
+             "workspace: misaligned bump pointer");
   used_ += n;
   return p;
 }

@@ -17,6 +17,10 @@
 //     helpers that open their own frames is fine).
 //   * Memory is chunked, so a grow never moves live allocations: pointers
 //     handed out earlier in the frame stay valid.
+//   * Every pointer handed out is 64-byte aligned (chunk bases are
+//     64-byte aligned and sizes are bumped in cache-line units), so the
+//     SIMD kernels may use aligned loads/stores on workspace buffers and
+//     scratch never straddles a line it doesn't own.
 //   * Steady state allocates nothing: once the arena has grown to the
 //     high-water mark of a kernel mix, repeating those kernels performs
 //     zero heap allocations (asserted by workspace_test and observable via
@@ -25,6 +29,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <new>
 #include <vector>
 
 #include "common/view.hpp"
@@ -33,18 +38,35 @@ namespace pulsarqr::kernels {
 
 class Workspace {
  public:
+  /// Alignment of every pointer returned by alloc()/alloc_as().
+  static constexpr std::size_t kAlign = 64;
+
   Workspace() = default;
   Workspace(const Workspace&) = delete;
   Workspace& operator=(const Workspace&) = delete;
 
-  /// Bump-allocate n doubles (uninitialized). Valid until the enclosing
-  /// frame is released; never moved by later allocations.
+  /// Bump-allocate n doubles (uninitialized), 64-byte aligned. Valid until
+  /// the enclosing frame is released; never moved by later allocations.
   double* alloc(std::size_t n);
+
+  /// Bump-allocate n elements of T (uninitialized), 64-byte aligned. The
+  /// float kernel instantiations allocate their scratch through this.
+  template <class T>
+  T* alloc_as(std::size_t n) {
+    static_assert(alignof(T) <= kAlign, "over-aligned workspace type");
+    const std::size_t nd =
+        (n * sizeof(T) + sizeof(double) - 1) / sizeof(double);
+    return reinterpret_cast<T*>(alloc(nd));
+  }
 
   /// Bump-allocate an m-by-n column-major matrix view (ld == m),
   /// uninitialized.
-  MatrixView matrix(int m, int n) {
-    return MatrixView(alloc(static_cast<std::size_t>(m) * n), m, n, m);
+  MatrixView matrix(int m, int n) { return matrix_as<double>(m, n); }
+
+  template <class T>
+  MatrixViewT<T> matrix_as(int m, int n) {
+    return MatrixViewT<T>(alloc_as<T>(static_cast<std::size_t>(m) * n), m, n,
+                          m);
   }
 
   /// Number of heap allocations (chunks) ever made — the steady-state
@@ -66,12 +88,21 @@ class Workspace {
   }
 
  private:
+  struct AlignedDelete {
+    void operator()(double* p) const {
+      ::operator delete(p, std::align_val_t(kAlign));
+    }
+  };
   struct Chunk {
-    std::unique_ptr<double[]> data;
+    std::unique_ptr<double[], AlignedDelete> data;
     std::size_t cap = 0;
   };
 
   static constexpr std::size_t kMinChunk = 1 << 14;  ///< doubles (128 KiB)
+  /// Bump granularity in doubles: one cache line, so used_ is always a
+  /// multiple of the alignment and every returned pointer inherits the
+  /// chunk base's 64-byte alignment.
+  static constexpr std::size_t kAlignDoubles = kAlign / sizeof(double);
 
   std::vector<Chunk> chunks_;
   std::size_t cur_ = 0;   ///< chunk the bump pointer is in

@@ -1,6 +1,7 @@
 #include "lapack/householder.hpp"
 
 #include <cmath>
+#include <limits>
 
 namespace pulsarqr::lapack {
 
@@ -8,17 +9,22 @@ using blas::Diag;
 using blas::Trans;
 using blas::Uplo;
 
-double larfg(int n, double& alpha, double* x) {
-  if (n <= 1) return 0.0;
-  const double xnorm = blas::nrm2(n - 1, x);
-  if (xnorm == 0.0) return 0.0;  // H = I
-  double beta = -std::copysign(std::hypot(alpha, xnorm), alpha);
-  // Rescale if beta is tiny (LAPACK-style safeguard).
-  const double safmin = 2.00416836000897278e-292;  // dlamch('S') / eps
+namespace {
+
+template <class T>
+T larfg_t(int n, T& alpha, T* x) {
+  if (n <= 1) return T(0);
+  const T xnorm = blas::nrm2(n - 1, x);
+  if (xnorm == T(0)) return T(0);  // H = I
+  T beta = -std::copysign(std::hypot(alpha, xnorm), alpha);
+  // Rescale if beta is tiny (LAPACK-style safeguard); safmin is
+  // xlamch('S') / xlamch('E'), the smallest value safe to invert.
+  const T safmin = std::numeric_limits<T>::min() /
+                   (std::numeric_limits<T>::epsilon() / T(2));
   int iters = 0;
-  double scale = 1.0;
+  T scale = T(1);
   while (std::fabs(beta) < safmin && iters < 20) {
-    const double inv = 1.0 / safmin;
+    const T inv = T(1) / safmin;
     blas::scal(n - 1, inv, x);
     beta *= inv;
     alpha *= inv;
@@ -26,14 +32,20 @@ double larfg(int n, double& alpha, double* x) {
     ++iters;
   }
   if (iters > 0) {
-    const double xn = blas::nrm2(n - 1, x);
+    const T xn = blas::nrm2(n - 1, x);
     beta = -std::copysign(std::hypot(alpha, xn), alpha);
   }
-  const double tau = (beta - alpha) / beta;
-  blas::scal(n - 1, 1.0 / (alpha - beta), x);
+  const T tau = (beta - alpha) / beta;
+  blas::scal(n - 1, T(1) / (alpha - beta), x);
   alpha = beta * scale;
   return tau;
 }
+
+}  // namespace
+
+double larfg(int n, double& alpha, double* x) { return larfg_t(n, alpha, x); }
+
+float larfg(int n, float& alpha, float* x) { return larfg_t(n, alpha, x); }
 
 void larf_left(const double* v, double tau, MatrixView c, double* work) {
   if (tau == 0.0) return;

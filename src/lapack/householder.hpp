@@ -15,6 +15,8 @@ namespace pulsarqr::lapack {
 /// length n-1) such that H * [alpha; x] = [beta; 0]. On return alpha is
 /// overwritten with beta and x with the tail of v. Returns tau.
 double larfg(int n, double& alpha, double* x);
+/// Single-precision variant (same contract), for the float kernel path.
+float larfg(int n, float& alpha, float* x);
 
 /// Apply H = I - tau * v * v^T from the left to C. v has length C.rows
 /// with v(0) = 1 implicit (v[0] is not read). work must hold C.cols doubles.

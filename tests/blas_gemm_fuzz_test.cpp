@@ -4,13 +4,26 @@
 // MR/NR/MC/KC/NC), non-tight leading dimensions, and the alpha/beta special
 // cases. The packed path accumulates in a different order than the
 // reference, so comparisons use a tolerance scaled by the reduction depth.
+//
+// With the explicit SIMD micro-kernels the packed path dispatches through
+// blas::simd; the IsaCrossCheck tests pin each compiled-and-supported ISA
+// in turn and re-run the equivalence sweep, so every kernel flavor (scalar,
+// AVX2, AVX-512, NEON — whatever this binary and host have) is checked
+// against the plain-loop scalar reference, in double and float. The tile
+// kernel leg does the same for the tsqrt/tsmqr/ttqrt/ttmqr stacked cores,
+// whose triangular fringes use the dot_cols/ger_cols fused kernels.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <random>
+#include <utility>
+#include <vector>
 
 #include "blas/blas.hpp"
+#include "blas/simd.hpp"
 #include "common/rng.hpp"
+#include "kernels/tile_kernels.hpp"
+#include "kernels/workspace.hpp"
 
 namespace pulsarqr {
 namespace {
@@ -132,6 +145,193 @@ TEST(GemmFuzz, RandomizedShapes) {
 TEST(GemmFuzz, WideN) {
   run_case({33, kNC + 9, 21, 1, 0, 2, Trans::No, Trans::Yes, 1.0, 1.0});
   run_case({9, kNC + 9, 40, 0, 1, 0, Trans::Yes, Trans::No, -1.0, 0.0});
+}
+
+// ---- Per-ISA cross-checks -------------------------------------------------
+
+using blas::simd::Isa;
+
+std::vector<Isa> supported_isas() {
+  std::vector<Isa> out;
+  for (Isa isa : {Isa::Scalar, Isa::Neon, Isa::Avx2, Isa::Avx512}) {
+    if (blas::simd::isa_supported(isa)) out.push_back(isa);
+  }
+  return out;
+}
+
+// Save/restore the process-wide ISA selection around a test.
+struct IsaGuard {
+  Isa prev = blas::simd::active_isa();
+  ~IsaGuard() { blas::simd::set_isa(prev); }
+};
+
+TEST(GemmFuzz, EveryIsaMatchesScalarReference) {
+  IsaGuard guard;
+  // Shapes straddle every micro-tile boundary in use (MR up to 32 for
+  // AVX-512 floats, NR up to 6 for AVX2) plus odd fringes; alpha/beta
+  // rotate through the special cases 0, 1 and a general value.
+  const int ms[] = {1, 5, 8, 16, 17, 31, 33};
+  const int ns[] = {1, 3, 4, 6, 7, 13};
+  const int ks[] = {1, 2, 17, 64};
+  const Trans ts[] = {Trans::No, Trans::Yes};
+  const double alphas[] = {0.0, 1.0, -0.75};
+  const double betas[] = {0.0, 1.0, -0.5};
+  for (Isa isa : supported_isas()) {
+    SCOPED_TRACE(blas::simd::isa_name(isa));
+    ASSERT_TRUE(blas::simd::set_isa(isa));
+    int idx = 0;
+    for (int m : ms) {
+      for (int n : ns) {
+        for (int k : ks) {
+          run_case({m, n, k, idx % 3, (idx + 1) % 3, (idx + 2) % 4,
+                    ts[idx % 2], ts[(idx / 2) % 2], alphas[idx % 3],
+                    betas[idx % 5 % 3]});
+          ++idx;
+        }
+      }
+    }
+  }
+}
+
+// Single-precision equivalence: same structure as the double tests, float
+// tolerance scaled by the reduction depth.
+void fill_random_f(MatrixViewF a, std::uint64_t seed) {
+  Rng rng(seed);
+  for (int j = 0; j < a.cols; ++j) {
+    for (int i = 0; i < a.rows; ++i) {
+      a(i, j) = static_cast<float>(rng.next_symmetric());
+    }
+  }
+}
+
+void run_case_f(int m, int n, int k, Trans ta, Trans tb, float alpha,
+                float beta, int pad) {
+  SCOPED_TRACE(::testing::Message()
+               << "f32 m=" << m << " n=" << n << " k=" << k
+               << " ta=" << (ta == Trans::No ? "N" : "T")
+               << " tb=" << (tb == Trans::No ? "N" : "T") << " alpha=" << alpha
+               << " beta=" << beta);
+  const std::uint64_t seed = 0xd1b54a32d192ed03ull ^
+                             (static_cast<std::uint64_t>(m) << 40) ^
+                             (static_cast<std::uint64_t>(n) << 20) ^
+                             static_cast<std::uint64_t>(k);
+  MatrixF a(ta == Trans::No ? m + pad : k, std::max(ta == Trans::No ? k : m, 1));
+  MatrixF b(tb == Trans::No ? k : n + pad, std::max(tb == Trans::No ? n : k, 1));
+  fill_random_f(a.view(), seed + 1);
+  fill_random_f(b.view(), seed + 2);
+  MatrixF c0(m, std::max(n, 1));
+  fill_random_f(c0.view(), seed + 3);
+
+  MatrixF c_ref = c0;
+  MatrixF c_packed = c0;
+  ConstMatrixViewF av(a.data(), ta == Trans::No ? m : k,
+                      ta == Trans::No ? k : m, a.rows());
+  ConstMatrixViewF bv(b.data(), tb == Trans::No ? k : n,
+                      tb == Trans::No ? n : k, b.rows());
+  blas::gemm_ref(ta, tb, alpha, av, bv, beta,
+                 MatrixViewF(c_ref.data(), m, n, c_ref.rows()));
+  blas::gemm_packed(ta, tb, alpha, av, bv, beta,
+                    MatrixViewF(c_packed.data(), m, n, c_packed.rows()));
+
+  const float tol = 2e-6f * static_cast<float>(k + 8);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) {
+      const float scale = std::fmax(1.0f, std::fabs(c_ref(i, j)));
+      ASSERT_NEAR(c_ref(i, j), c_packed(i, j), tol * scale)
+          << "mismatch at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(GemmFuzzF32, EveryIsaMatchesScalarReference) {
+  IsaGuard guard;
+  const int ms[] = {1, 7, 16, 32, 33, 47};
+  const int ns[] = {1, 4, 6, 11};
+  const int ks[] = {1, 9, 64};
+  const Trans ts[] = {Trans::No, Trans::Yes};
+  const float alphas[] = {0.0f, 1.0f, -0.75f};
+  const float betas[] = {0.0f, 1.0f, -0.5f};
+  for (Isa isa : supported_isas()) {
+    SCOPED_TRACE(blas::simd::isa_name(isa));
+    ASSERT_TRUE(blas::simd::set_isa(isa));
+    int idx = 0;
+    for (int m : ms) {
+      for (int n : ns) {
+        for (int k : ks) {
+          run_case_f(m, n, k, ts[idx % 2], ts[(idx / 2) % 2], alphas[idx % 3],
+                     betas[(idx / 3) % 3], idx % 3);
+          ++idx;
+        }
+      }
+    }
+  }
+}
+
+// ---- Tile-kernel ISA cross-check ------------------------------------------
+//
+// Runs the four stacked kernels (the TT pair exercises the triangular
+// fringe dot_cols/ger_cols sweeps) under each ISA and compares against the
+// scalar run. Odd nb/ib make the fringes as deep and ragged as possible.
+template <class T>
+std::vector<T> run_stacked_kernels(int nb, int ib, std::uint64_t seed) {
+  kernels::Workspace ws;
+  MatrixT<T> a1(nb, nb), a2(nb, nb), t(ib, nb), c1(nb, nb), c2(nb, nb);
+  MatrixT<T> a3(nb, nb), t3(ib, nb), c3(nb, nb);
+  Rng rng(seed);
+  for (MatrixT<T>* m : {&a1, &a2, &c1, &c2, &a3, &c3}) {
+    for (int j = 0; j < m->cols(); ++j) {
+      for (int i = 0; i < m->rows(); ++i) {
+        (*m)(i, j) = static_cast<T>(rng.next_symmetric());
+      }
+    }
+  }
+  // Make A1 upper triangular (R-tile contract of the stacked kernels).
+  for (int j = 0; j < nb; ++j) {
+    for (int i = j + 1; i < nb; ++i) a1(i, j) = T(0);
+  }
+  kernels::tsqrt(a1.view(), a2.view(), ib, t.view(), ws);
+  kernels::tsmqr(blas::Trans::Yes, a2.view(), t.view(), ib, c1.view(),
+                 c2.view(), ws);
+  kernels::ttqrt(a1.view(), a3.view(), ib, t3.view(), ws);
+  kernels::ttmqr(blas::Trans::Yes, a3.view(), t3.view(), ib, c1.view(),
+                 c3.view(), ws);
+  std::vector<T> out;
+  for (const MatrixT<T>* m : {&a1, &a2, &t, &c1, &c2, &a3, &t3, &c3}) {
+    out.insert(out.end(), m->data(), m->data() + m->rows() * m->cols());
+  }
+  return out;
+}
+
+template <class T>
+void stacked_isa_cross_check(T tol) {
+  IsaGuard guard;
+  const std::pair<int, int> shapes[] = {{40, 8}, {37, 7}, {24, 5}};
+  for (const auto& shape : shapes) {
+    const int nb = shape.first;
+    const int ib = shape.second;
+    ASSERT_TRUE(blas::simd::set_isa(Isa::Scalar));
+    const std::vector<T> ref = run_stacked_kernels<T>(nb, ib, 97);
+    for (Isa isa : supported_isas()) {
+      if (isa == Isa::Scalar) continue;
+      SCOPED_TRACE(::testing::Message() << blas::simd::isa_name(isa)
+                                        << " nb=" << nb << " ib=" << ib);
+      ASSERT_TRUE(blas::simd::set_isa(isa));
+      const std::vector<T> got = run_stacked_kernels<T>(nb, ib, 97);
+      ASSERT_EQ(ref.size(), got.size());
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        const T scale = std::fmax(T(1), std::fabs(ref[i]));
+        ASSERT_NEAR(ref[i], got[i], tol * scale) << "element " << i;
+      }
+    }
+  }
+}
+
+TEST(TileKernelIsaFuzz, StackedKernelsMatchScalarF64) {
+  stacked_isa_cross_check<double>(1e-10);
+}
+
+TEST(TileKernelIsaFuzz, StackedKernelsMatchScalarF32) {
+  stacked_isa_cross_check<float>(5e-4f);
 }
 
 TEST(GemmFuzz, DispatcherKnob) {

@@ -4,6 +4,7 @@
 // is reused across firings.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
 #include <vector>
 
@@ -50,6 +51,40 @@ TEST(Workspace, GrowthNeverMovesLiveAllocations) {
   EXPECT_DOUBLE_EQ(small[0], 42.0);
   for (int i = 0; i < 6; ++i) {
     EXPECT_DOUBLE_EQ(ptrs[i][0], static_cast<double>(i));
+  }
+  EXPECT_GE(ws.chunk_allocations(), 2);
+}
+
+TEST(Workspace, EveryAllocationIs64ByteAligned) {
+  // The SIMD kernels use aligned loads on workspace scratch; every pointer
+  // the arena hands out — across odd request sizes, mark/rewind cycles and
+  // chunk growth — must be 64-byte aligned.
+  Workspace ws;
+  auto aligned = [](const void* p) {
+    return reinterpret_cast<std::uintptr_t>(p) % Workspace::kAlign == 0;
+  };
+  {
+    WsFrame frame(ws);
+    // Odd sizes back to back: the bump pointer must re-align each time.
+    for (std::size_t n : {1u, 3u, 7u, 9u, 63u, 65u, 100u, 1u}) {
+      EXPECT_TRUE(aligned(ws.alloc(n))) << "n=" << n;
+    }
+    // Typed allocations (float path) share the same guarantee.
+    EXPECT_TRUE(aligned(ws.alloc_as<float>(13)));
+    EXPECT_TRUE(aligned(ws.alloc_as<float>(1)));
+    EXPECT_TRUE(aligned(ws.matrix_as<float>(5, 7).data));
+  }
+  // After rewind, the re-handed pointers are aligned too.
+  {
+    WsFrame frame(ws);
+    EXPECT_TRUE(aligned(ws.alloc(5)));
+  }
+  // Force chunk growth with live odd-sized allocations in between; the new
+  // chunks' bases (fresh aligned allocations) must also be aligned.
+  WsFrame frame(ws);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(aligned(ws.alloc(17)));
+    EXPECT_TRUE(aligned(ws.alloc(1 << (14 + i))));
   }
   EXPECT_GE(ws.chunk_allocations(), 2);
 }

@@ -8,7 +8,8 @@
 //                 --delay 0.1 --delay-us 200 --reliable
 //                 --rto-us 2000 --max-retransmits 10
 //                 --coalesce-bytes 65536 --flush-us 50 --no-packet-pool
-//                 --transport inproc|socket]
+//                 --transport inproc|socket
+//                 --kernel-isa auto|avx512|avx2|neon|scalar]
 //
 // The chaos flags install a deterministic FaultPlan on the inter-node
 // transport (same seed => same fault schedule); --reliable layers the
@@ -36,6 +37,7 @@
 #include <string>
 
 #include "blas/blas.hpp"
+#include "blas/simd.hpp"
 #include "chol/vsa_chol.hpp"
 #include "common/rng.hpp"
 #include "lu/vsa_lu.hpp"
@@ -166,9 +168,11 @@ int cmd_factor(const Args& a) {
   TileMatrix tiled = TileMatrix::from_dense(a0.view(), nb);
   auto opt = qr_options(a);
   auto run = vsaqr::tree_qr(tiled, opt);
-  std::printf("factor %dx%d nb=%d ib=%d tree=%s: %.3fs wall, %lld firings, "
-              "%d VDPs, %d channels, %lld inter-node msgs (%.1f MB)\n",
+  std::printf("factor %dx%d nb=%d ib=%d tree=%s kernels=%s/f64: %.3fs wall, "
+              "%lld firings, %d VDPs, %d channels, %lld inter-node msgs "
+              "(%.1f MB)\n",
               m, n, nb, opt.ib, a.gets("tree", "hier").c_str(),
+              blas::simd::isa_name(blas::simd::active_isa()),
               run.stats.seconds, run.stats.fires, run.vdp_count,
               run.channel_count, run.stats.remote_messages,
               run.stats.remote_bytes / 1e6);
@@ -347,6 +351,27 @@ int main(int argc, char** argv) {
   } else {
     std::fprintf(stderr, "unknown --gemm %s (packed|ref)\n", gemm.c_str());
     return 2;
+  }
+  // Kernel ISA selection. Unlike the PQR_KERNEL_ISA env override (which
+  // warns and falls back), the CLI rejects bad or unsupported values.
+  const std::string isa_arg = a.gets("kernel-isa", "");
+  if (!isa_arg.empty()) {
+    blas::simd::Isa isa;
+    if (!blas::simd::parse_isa(isa_arg, &isa)) {
+      std::fprintf(stderr,
+                   "unknown --kernel-isa %s (auto|avx512|avx2|neon|scalar)\n",
+                   isa_arg.c_str());
+      return 2;
+    }
+    if (!blas::simd::set_isa(isa)) {
+      std::fprintf(stderr,
+                   "--kernel-isa %s is not usable here (compiled in: %s; "
+                   "detected best: %s)\n",
+                   isa_arg.c_str(),
+                   blas::simd::isa_compiled(isa) ? "yes" : "no",
+                   blas::simd::isa_name(blas::simd::detect_isa()));
+      return 2;
+    }
   }
   // Process-wide packet-buffer recycling A/B switch (on by default).
   if (a.geti("no-packet-pool", 0) != 0) {
