@@ -6,6 +6,7 @@
 #include "blas/blas.hpp"
 #include "lapack/cholesky.hpp"
 #include "vsaqr/codec.hpp"
+#include "vsaqr/deposit_log.hpp"
 
 namespace pulsarqr::chol {
 
@@ -21,11 +22,15 @@ Tuple p_tuple(int k) { return Tuple{0, k}; }
 Tuple s_tuple(int k, int j) { return Tuple{1, k, j}; }
 
 /// Thread-safe store for the finalized L tiles (one writer per tile).
+/// The overwrite-copy put is naturally idempotent, so crash-recovery
+/// replays of shipped deposits need no extra discipline here.
 struct CholStore {
   explicit CholStore(TileMatrix l) : l(std::move(l)) {}
   TileMatrix l;
+  vsaqr::TileDepositLog dlog;  ///< socket transport: ships tiles home
   void put(int i, int k, ConstMatrixView tile) {
     blas::lacpy_all(tile, l.tile(i, k));
+    dlog.record(i, k);
   }
 };
 
@@ -106,6 +111,20 @@ class Builder {
     store_ = std::make_shared<CholStore>(TileMatrix(a.rows(), a.cols(),
                                                     a.nb()));
     vsa_.set_global(store_);
+    if (opt.transport == prt::Transport::Socket) {
+      // Each node process fills its own copy-on-write store; the deposit
+      // log ships every child's L tiles back for the parent to merge.
+      store_->dlog.enable();
+      auto store = store_;
+      vsa_.set_process_hooks(
+          [store] { return store->dlog.serialize(store->l); },
+          [store](int, const Packet& blob) {
+            vsaqr::TileDepositLog::apply(
+                blob, [&store](int i, int j, ConstMatrixView v) {
+                  store->put(i, j, v);
+                });
+          });
+    }
     bytes_ = vsaqr::tile_packet_bytes(a.nb(), a.nb());
   }
 
@@ -192,6 +211,14 @@ class Builder {
     c.trace = opt.trace;
     c.watchdog_seconds = opt.watchdog_seconds;
     c.graph_check = opt.graph_check;
+    c.transport = opt.transport;
+    c.reliable_transport = opt.reliable_transport;
+    c.fault_plan = opt.fault_plan;
+    c.retransmit_timeout_us = opt.retransmit_timeout_us;
+    c.max_retransmits = opt.max_retransmits;
+    c.max_respawns = opt.max_respawns;
+    c.replay_log_bytes = opt.replay_log_bytes;
+    c.heartbeat_timeout_seconds = opt.heartbeat_timeout_seconds;
     return c;
   }
 

@@ -33,6 +33,20 @@ struct VsaCholOptions {
   /// Statically verify the constructed array with prt::GraphCheck before
   /// executing it (see prt::Vsa::Config::graph_check).
   bool graph_check = true;
+  /// Transport backend (see prt::Transport). Socket mode ships final L
+  /// tiles back to the parent through a TileDepositLog.
+  prt::Transport transport = prt::Transport::InProcess;
+  /// Reliable-delivery protocol + tuning (see prt::Vsa::Config).
+  bool reliable_transport = false;
+  prt::net::FaultPlan fault_plan;
+  int retransmit_timeout_us = 2000;
+  int max_retransmits = 10;
+  /// Crash recovery over the Socket transport (see
+  /// prt::Vsa::Config::max_respawns / replay_log_bytes /
+  /// heartbeat_timeout_seconds).
+  int max_respawns = 0;
+  std::size_t replay_log_bytes = 64 * 1024 * 1024;
+  double heartbeat_timeout_seconds = 10.0;
 };
 
 struct VsaCholRun {

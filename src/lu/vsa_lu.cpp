@@ -6,6 +6,7 @@
 #include "blas/blas.hpp"
 #include "lapack/lu.hpp"
 #include "vsaqr/codec.hpp"
+#include "vsaqr/deposit_log.hpp"
 
 namespace pulsarqr::lu {
 
@@ -20,11 +21,15 @@ using vsaqr::tile_view;
 Tuple p_tuple(int k) { return Tuple{0, k}; }
 Tuple s_tuple(int k, int j) { return Tuple{1, k, j}; }
 
+/// Overwrite-copy deposits are naturally idempotent, so crash-recovery
+/// replays of shipped tiles need no extra discipline here.
 struct LuStore {
   explicit LuStore(TileMatrix f) : f(std::move(f)) {}
   TileMatrix f;
+  vsaqr::TileDepositLog dlog;  ///< socket transport: ships tiles home
   void put(int i, int j, ConstMatrixView tile) {
     blas::lacpy_all(tile, f.tile(i, j));
+    dlog.record(i, j);
   }
 };
 
@@ -113,6 +118,20 @@ class Builder {
       : a_(a), opt_(opt), vsa_(make_config(opt)) {
     store_ = std::make_shared<LuStore>(TileMatrix(a.rows(), a.cols(), a.nb()));
     vsa_.set_global(store_);
+    if (opt.transport == prt::Transport::Socket) {
+      // Each node process fills its own copy-on-write store; the deposit
+      // log ships every child's factor tiles back for the parent to merge.
+      store_->dlog.enable();
+      auto store = store_;
+      vsa_.set_process_hooks(
+          [store] { return store->dlog.serialize(store->f); },
+          [store](int, const Packet& blob) {
+            vsaqr::TileDepositLog::apply(
+                blob, [&store](int i, int j, ConstMatrixView v) {
+                  store->put(i, j, v);
+                });
+          });
+    }
     bytes_ = vsaqr::tile_packet_bytes(a.nb(), a.nb());
   }
 
@@ -194,6 +213,14 @@ class Builder {
     c.trace = opt.trace;
     c.watchdog_seconds = opt.watchdog_seconds;
     c.graph_check = opt.graph_check;
+    c.transport = opt.transport;
+    c.reliable_transport = opt.reliable_transport;
+    c.fault_plan = opt.fault_plan;
+    c.retransmit_timeout_us = opt.retransmit_timeout_us;
+    c.max_retransmits = opt.max_retransmits;
+    c.max_respawns = opt.max_respawns;
+    c.replay_log_bytes = opt.replay_log_bytes;
+    c.heartbeat_timeout_seconds = opt.heartbeat_timeout_seconds;
     return c;
   }
 

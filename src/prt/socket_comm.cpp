@@ -47,12 +47,26 @@ std::vector<std::vector<int>> SocketComm::socketpair_mesh(int nranks) {
   return mesh;
 }
 
-SocketComm::SocketComm(int nranks, int rank, std::vector<int> peer_fds)
-    : Comm(nranks), rank_(rank), peer_fds_(std::move(peer_fds)) {
+SocketComm::SocketComm(int nranks, int rank, std::vector<int> peer_fds,
+                       std::uint32_t epoch,
+                       std::vector<std::uint32_t> peer_epochs)
+    : Comm(nranks), rank_(rank), epoch_(epoch), peer_fds_(nranks),
+      peer_epoch_(nranks), peer_down_(nranks) {
   require(rank_ >= 0 && rank_ < nranks, "SocketComm: rank out of range");
-  require(static_cast<int>(peer_fds_.size()) == nranks,
+  require(static_cast<int>(peer_fds.size()) == nranks,
           "SocketComm: need one fd per rank");
-  peer_fds_[rank_] = -1;  // never talk to ourselves over a socket
+  require(peer_epochs.empty() ||
+              static_cast<int>(peer_epochs.size()) == nranks,
+          "SocketComm: need one peer epoch per rank (or none)");
+  peer_fds[rank_] = -1;  // never talk to ourselves over a socket
+  for (int r = 0; r < nranks; ++r) {
+    peer_fds_[r].store(peer_fds[r], std::memory_order_relaxed);
+    peer_epoch_[r].store(peer_epochs.empty() ? 0u : peer_epochs[r],
+                         std::memory_order_relaxed);
+    peer_down_[r].store(false, std::memory_order_relaxed);
+  }
+  // Self-delivered messages are stamped with our own incarnation.
+  peer_epoch_[rank_].store(epoch_, std::memory_order_relaxed);
   wmu_.reserve(nranks);
   for (int r = 0; r < nranks; ++r) wmu_.push_back(std::make_unique<std::mutex>());
   cancelled_to_.assign(nranks, 0);
@@ -68,11 +82,49 @@ SocketComm::~SocketComm() {
   // Best-effort nudge; the receiver also polls stop_ on a short timeout.
   (void)!::write(wake_pipe_[1], &b, 1);
   if (receiver_.joinable()) receiver_.join();
-  for (int fd : peer_fds_) {
-    if (fd >= 0) ::close(fd);
+  for (auto& fd : peer_fds_) {
+    const int f = fd.load(std::memory_order_relaxed);
+    if (f >= 0) ::close(f);
+  }
+  // Rejoins queued but never installed still own their fds.
+  for (const Rejoin& rj : rejoins_) {
+    if (rj.fd >= 0) ::close(rj.fd);
   }
   ::close(wake_pipe_[0]);
   ::close(wake_pipe_[1]);
+}
+
+void SocketComm::rejoin_peer(int rank, int fd, std::uint32_t epoch) {
+  {
+    std::lock_guard<std::mutex> lock(rjmu_);
+    rejoins_.push_back(Rejoin{rank, fd, epoch});
+  }
+  // Nudge an idle proxy out of recv_wait so it installs promptly.
+  interrupt(rank_);
+}
+
+std::vector<SocketComm::Rejoin> SocketComm::take_rejoins() {
+  std::lock_guard<std::mutex> lock(rjmu_);
+  std::vector<Rejoin> out;
+  out.swap(rejoins_);
+  return out;
+}
+
+void SocketComm::install_rejoin(const Rejoin& rj) {
+  PQR_ASSERT(rj.rank >= 0 && rj.rank < size() && rj.rank != rank_,
+             "SocketComm: bad rejoin rank");
+  {
+    // The write lock serializes against in-flight write_frame calls: no
+    // sender can interleave half a frame across the fd swap.
+    std::lock_guard<std::mutex> lock(*wmu_[rj.rank]);
+    peer_fds_[rj.rank].store(rj.fd, std::memory_order_release);
+    peer_epoch_[rj.rank].store(rj.epoch, std::memory_order_release);
+  }
+  peer_down_[rj.rank].store(false, std::memory_order_release);
+  // Wake the receiver so it reconciles (closes the replaced fd, discards
+  // the dead incarnation's partial stream, and starts polling the new fd).
+  const char b = 'w';
+  (void)!::write(wake_pipe_[1], &b, 1);
 }
 
 bool SocketComm::write_frame(int dst, std::uint32_t kind, std::uint32_t flags,
@@ -88,15 +140,22 @@ bool SocketComm::write_frame(int dst, std::uint32_t kind, std::uint32_t flags,
   wire::put_u64(hdr + 20, static_cast<std::uint64_t>(len));
   wire::put_i64(hdr + 28, seq);
   wire::put_i64(hdr + 36, ack);
-  const int fd = peer_fds_[dst];
-  if (fd < 0) return false;
+  wire::put_u32(hdr + 44, epoch_);
   // One frame, one writer at a time: header and payload must be adjacent
   // on the stream. SOCK_STREAM backpressure cannot deadlock two mutually
   // blocked senders because every process's receiver thread drains
-  // independently of its own sends.
+  // independently of its own sends. The fd is loaded under the same lock
+  // install_rejoin swaps it under, so a frame never splits across fds.
   std::lock_guard<std::mutex> lock(*wmu_[dst]);
-  if (!send_all(fd, hdr, kFrameHeaderBytes)) return false;
-  if (len > 0 && !send_all(fd, payload, len)) return false;
+  const int fd = peer_fds_[dst].load(std::memory_order_acquire);
+  if (fd < 0) return false;
+  if (!send_all(fd, hdr, kFrameHeaderBytes) ||
+      (len > 0 && !send_all(fd, payload, len))) {
+    // The peer's process is gone (or its socket is); freeze the link
+    // until a replacement rejoins.
+    peer_down_[dst].store(true, std::memory_order_release);
+    return false;
+  }
   return true;
 }
 
@@ -113,7 +172,9 @@ bool SocketComm::local_enqueue(Message m) {
 bool SocketComm::transmit(int dst, const Message& m) {
   bool ok;
   if (dst == rank_) {
-    ok = local_enqueue(m);
+    Message self = m;
+    self.epoch = epoch_;  // self-delivery is always the live incarnation
+    ok = local_enqueue(std::move(self));
   } else {
     ok = write_frame(dst, kData, m.is_ack ? 1u : 0u, m.source, m.tag, m.meta,
                      m.payload.bytes(), m.payload.size(), m.seq, m.ack);
@@ -331,6 +392,7 @@ void SocketComm::parse_frames(int peer, std::vector<std::byte>& buf) {
     const std::size_t len = static_cast<std::size_t>(wire::get_u64(h + 20));
     const long long seq = wire::get_i64(h + 28);
     const long long ack = wire::get_i64(h + 36);
+    const std::uint32_t epoch = wire::get_u32(h + 44);
     if (buf.size() - off < kFrameHeaderBytes + len) break;  // partial frame
     const std::byte* body = h + kFrameHeaderBytes;
     frames_received_.fetch_add(1, std::memory_order_relaxed);
@@ -341,7 +403,7 @@ void SocketComm::parse_frames(int peer, std::vector<std::byte>& buf) {
         Packet p = Packet::make(len, meta);
         if (len > 0) std::memcpy(p.bytes(), body, len);
         (void)local_enqueue(Message{source, tag, meta, seq, ack,
-                                    (flags & 1u) != 0, std::move(p)});
+                                    (flags & 1u) != 0, std::move(p), epoch});
         break;
       }
       case kBarrier: {
@@ -373,13 +435,29 @@ void SocketComm::parse_frames(int peer, std::vector<std::byte>& buf) {
 void SocketComm::receiver_loop() {
   std::vector<std::vector<std::byte>> bufs(size());
   std::vector<char> dead(size(), 0);
+  // The receiver's own view of each peer fd. When install_rejoin swaps a
+  // peer's fd, the receiver — the only thread that might still be polling
+  // the old one — closes the replaced fd itself at the next loop top and
+  // discards the dead incarnation's partial stream bytes.
+  std::vector<int> cur(size(), -1);
+  for (int r = 0; r < size(); ++r) {
+    cur[r] = peer_fds_[r].load(std::memory_order_acquire);
+  }
   std::vector<std::byte> chunk(64 * 1024);
   while (!stop_.load(std::memory_order_acquire)) {
     std::vector<pollfd> pfds;
     std::vector<int> owners;
     for (int r = 0; r < size(); ++r) {
-      if (r == rank_ || peer_fds_[r] < 0 || dead[r] != 0) continue;
-      pfds.push_back({peer_fds_[r], POLLIN, 0});
+      if (r == rank_) continue;
+      const int fd = peer_fds_[r].load(std::memory_order_acquire);
+      if (fd != cur[r]) {  // a replacement rejoined on a fresh socket
+        if (cur[r] >= 0) ::close(cur[r]);
+        cur[r] = fd;
+        bufs[r].clear();  // partial frame bytes of the dead incarnation
+        dead[r] = 0;
+      }
+      if (fd < 0 || dead[r] != 0) continue;
+      pfds.push_back({fd, POLLIN, 0});
       owners.push_back(r);
     }
     pfds.push_back({wake_pipe_[0], POLLIN, 0});
@@ -392,6 +470,7 @@ void SocketComm::receiver_loop() {
     for (std::size_t i = 0; i + 1 < pfds.size(); ++i) {
       if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
       const int peer = owners[i];
+      if (pfds[i].fd != cur[peer]) continue;  // swapped mid-iteration
       const ssize_t k =
           ::recv(pfds[i].fd, chunk.data(), chunk.size(), MSG_DONTWAIT);
       if (k > 0) {
@@ -400,11 +479,18 @@ void SocketComm::receiver_loop() {
       } else if (k == 0 || (k < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
                             errno != EINTR)) {
         dead[peer] = 1;  // peer process exited; normal during teardown
+        peer_down_[peer].store(true, std::memory_order_release);
       }
     }
     if ((pfds.back().revents & POLLIN) != 0) {
       char b;
       (void)!::read(wake_pipe_[0], &b, 1);
+    }
+  }
+  // A swap the loop never got to reconcile would leak the replaced fd.
+  for (int r = 0; r < size(); ++r) {
+    if (cur[r] >= 0 && cur[r] != peer_fds_[r].load(std::memory_order_acquire)) {
+      ::close(cur[r]);
     }
   }
 }

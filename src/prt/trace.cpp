@@ -19,6 +19,23 @@ double Recorder::now() const {
       .count();
 }
 
+std::int64_t Recorder::epoch_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             epoch_.time_since_epoch())
+      .count();
+}
+
+void Recorder::inject(const Event& ev) {
+  // Merged events keep their original lane when it exists (worker global
+  // ids and proxy lanes are process-independent); anything else lands on
+  // lane 0 rather than growing the lane table.
+  const std::size_t lane =
+      ev.thread >= 0 && static_cast<std::size_t>(ev.thread) < buffers_.size()
+          ? static_cast<std::size_t>(ev.thread)
+          : 0;
+  buffers_[lane].push_back(ev);
+}
+
 void Recorder::record(int thread, int color, const Tuple& tuple, double t0,
                       double t1) {
   if (!enabled_) return;

@@ -35,6 +35,17 @@ class Recorder {
   void start_clock();
   double now() const;
 
+  /// The recorder's clock epoch as nanoseconds on the CLOCK_MONOTONIC
+  /// timeline. On Linux the monotonic clock is machine-wide, so a parent
+  /// process can subtract a forked child's epoch from its own and
+  /// offset-align the child's events onto one merged timeline.
+  std::int64_t epoch_ns() const;
+
+  /// Append an already-timestamped event under `ev.thread`'s lane —
+  /// the cross-process trace merge (events deserialized from a node
+  /// process's epilogue). Bypasses `enabled_`; single-threaded use only.
+  void inject(const Event& ev);
+
   /// Called from worker `thread` only (per-thread buffers, no locking).
   void record(int thread, int color, const Tuple& tuple, double t0, double t1);
 

@@ -417,6 +417,7 @@ void Reliable::on_receive(Message m, std::deque<Message>& deliver) {
       auto& link = it->second;
       if (m.ack > link.acked) link.acked = m.ack;
       while (!link.unacked.empty() && link.unacked.front().seq <= link.acked) {
+        retain_for_replay(link, std::move(link.unacked.front()));
         link.unacked.pop_front();
       }
     }
@@ -463,11 +464,62 @@ void Reliable::flush_acks() {
   }
 }
 
+void Reliable::retain_for_replay(SendLink& link, Unacked u) {
+  if (params_.replay_log_bytes == 0) return;  // retention off: drop as before
+  link.replay_bytes += u.payload.size();
+  link.replay.push_back(std::move(u));
+  while (link.replay_bytes > params_.replay_log_bytes &&
+         !link.replay.empty()) {
+    link.replay_bytes -= link.replay.front().payload.size();
+    link.replay.pop_front();
+    ++link.replay_evicted;
+  }
+}
+
+long long Reliable::replay_link(int dst, Clock::time_point now) {
+  auto it = send_.find(dst);
+  if (it == send_.end()) return 0;  // never sent there: nothing to replay
+  auto& link = it->second;
+  if (link.replay_evicted > 0) return -1;  // history incomplete: give up
+  // Replay log (acked, oldest first) goes back IN FRONT of the still-
+  // unacked tail; both are already in ascending seq order, so the merged
+  // queue is the link's complete send history from seq 0.
+  for (auto rit = link.replay.rbegin(); rit != link.replay.rend(); ++rit) {
+    link.unacked.push_front(std::move(*rit));
+  }
+  link.replay.clear();
+  link.replay_bytes = 0;
+  link.acked = -1;
+  link.exhausted = false;
+  for (auto& u : link.unacked) {
+    u.retries = 0;
+    u.rto_us = params_.rto_us;
+    u.deadline = now;  // due immediately: the next poll() walks them in order
+  }
+  replayed_ += static_cast<long long>(link.unacked.size());
+  return static_cast<long long>(link.unacked.size());
+}
+
+void Reliable::reset_recv_link(int src) {
+  auto it = recv_.find(src);
+  if (it == recv_.end()) return;
+  it->second.expected = 0;
+  it->second.out_of_order.clear();
+  it->second.ack_dirty = false;
+}
+
 bool Reliable::poll(Clock::time_point now) {
   for (auto& [dst, link] : send_) {
     if (link.exhausted) continue;
+    const bool up = !link_up_ || link_up_(dst);
     for (auto& u : link.unacked) {
       if (u.deadline > now) continue;
+      if (!up) {
+        // Peer known down (crash window): push the deadline instead of
+        // burning retries — the rejoin path re-arms everything anyway.
+        u.deadline = now + std::chrono::microseconds(u.rto_us);
+        continue;
+      }
       if (u.retries >= params_.max_retries) {
         link.exhausted = true;
         failed_ = true;

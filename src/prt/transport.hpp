@@ -47,6 +47,12 @@ struct Message {
   long long ack = -1;  ///< cumulative ack for the reverse link; -1 = none
   bool is_ack = false;  ///< pure ack frame (empty payload, not routed)
   Packet payload;       ///< already an independent copy on the receive side
+  /// Sender incarnation (crash recovery): 0 for the original process of a
+  /// rank, bumped per respawn. Receivers fence frames whose epoch is
+  /// older than the sender's current incarnation — a stale in-flight
+  /// frame (worst: a stale cumulative ack) from a dead incarnation must
+  /// not touch post-rejoin protocol state. Always 0 in-process.
+  std::uint32_t epoch = 0;
 };
 
 /// Deterministic fault-injection schedule applied inside Comm::isend.
@@ -61,9 +67,19 @@ struct FaultPlan {
   double delay = 0.0;    ///< P(message held for delay_us before delivery)
   double reorder = 0.0;  ///< P(message held behind the next one to the rank)
   int delay_us = 200;    ///< bounded hold time of delayed/reordered messages
+  /// Process-level fault (Socket transport only): SIGKILL the node
+  /// process of `kill_rank` once that rank's workers have completed
+  /// `kill_after` VDP firings. Fires at most once per run, and only in
+  /// the rank's first incarnation — a respawned replacement is never
+  /// re-killed, so every schedule terminates. Deliberately excluded from
+  /// any(): process death is not a message-level fault, so it neither
+  /// activates the oracle nor perturbs the drop/dup/delay/reorder replay.
+  int kill_rank = -1;
+  long long kill_after = 0;
   bool any() const {
     return drop > 0.0 || dup > 0.0 || delay > 0.0 || reorder > 0.0;
   }
+  bool kill() const { return kill_rank >= 0; }
 };
 
 /// Totals of injected faults, surfaced through Vsa::RunStats / RunReport.
@@ -301,6 +317,13 @@ class Reliable {
     int rto_us = 2000;      ///< initial retransmit timeout
     double backoff = 2.0;   ///< timeout multiplier per retransmission
     int max_retries = 10;   ///< retransmits per frame before giving up
+    /// Crash-replay retention: per-destination byte budget of ACKED
+    /// frames kept past acknowledgement (the same shared buffers the
+    /// retransmit queue already holds — no copies). 0 disables retention
+    /// (acked frames drop immediately, the pre-recovery behavior). When
+    /// the budget overflows, the oldest frames are evicted; a later
+    /// replay_link() on a link that evicted reports an unrecoverable gap.
+    std::size_t replay_log_bytes = 0;
   };
 
   Reliable(Comm& comm, int rank, Params params);
@@ -335,10 +358,38 @@ class Reliable {
     retransmit_hook_ = std::move(hook);
   }
 
+  /// Liveness probe consulted by poll(): false for a destination means
+  /// the peer is known down (its process died and has not rejoined yet),
+  /// so timed-out frames have their deadlines pushed instead of burning
+  /// retries — a respawn window must not exhaust the retransmit cap.
+  void set_link_up_probe(std::function<bool(int)> probe) {
+    link_up_ = std::move(probe);
+  }
+
+  /// Crash recovery, survivor side. Requeue the link's ENTIRE retained
+  /// history to dst — the replay log (acked frames) back in front of the
+  /// still-unacked tail — with original sequence numbers, reset acked to
+  /// -1 and all deadlines to `now`, so the normal poll() path
+  /// retransmits everything in order to the fresh incarnation (which
+  /// receives from expected = 0). Returns the number of frames requeued,
+  /// or -1 when eviction already discarded part of the history (an
+  /// unrecoverable gap: the run must fail instead of silently losing
+  /// frames).
+  long long replay_link(int dst, std::chrono::steady_clock::time_point now);
+
+  /// Crash recovery, survivor side: forget everything received from a
+  /// dead incarnation of `src`. The replacement re-sends its stream from
+  /// seq 0, so expected resets to 0 and the reassembly buffer clears;
+  /// duplicate suppression of the re-executed firings happens above this
+  /// layer (per-channel delivered-frame counts in the proxy), not here.
+  void reset_recv_link(int src);
+
   bool failed() const { return failed_; }
   long long retransmits() const { return retransmits_; }
   long long duplicates_suppressed() const { return dup_suppressed_; }
   long long acks_sent() const { return acks_sent_; }
+  /// Frames requeued by replay_link() over the endpoint's lifetime.
+  long long replayed() const { return replayed_; }
 
   /// Sequence-state snapshot of every link this endpoint has touched —
   /// sender views (src == rank) and receiver views (dst == rank).
@@ -376,6 +427,11 @@ class Reliable {
     long long acked = -1;
     bool exhausted = false;
     std::deque<Unacked> unacked;
+    /// Acked frames retained for crash replay, ascending seq, bounded by
+    /// Params::replay_log_bytes (oldest evicted first).
+    std::deque<Unacked> replay;
+    std::size_t replay_bytes = 0;
+    long long replay_evicted = 0;
   };
   struct RecvLink {
     long long expected = 0;
@@ -384,6 +440,9 @@ class Reliable {
   };
 
   long long piggyback_ack(int peer) const;
+  /// Move one freshly acked frame into the replay log (or drop it when
+  /// retention is off), evicting oldest-first past the byte budget.
+  void retain_for_replay(SendLink& link, Unacked u);
 
   Comm& comm_;
   int rank_;
@@ -391,10 +450,12 @@ class Reliable {
   std::map<int, SendLink> send_;  ///< keyed by destination rank
   std::map<int, RecvLink> recv_;  ///< keyed by source rank
   std::function<void(int, int, long long)> retransmit_hook_;
+  std::function<bool(int)> link_up_;
   bool failed_ = false;
   long long retransmits_ = 0;
   long long dup_suppressed_ = 0;
   long long acks_sent_ = 0;
+  long long replayed_ = 0;
 };
 
 // ---- frame coalescing -------------------------------------------------------

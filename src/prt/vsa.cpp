@@ -562,11 +562,25 @@ void Vsa::proxy_loop(Node& n) {
   // so the disabled fast path below is byte-for-byte the old raw-frame
   // proxy (the only addition is a null-pointer test per batch).
   std::unique_ptr<net::Reliable> rel;
+  // Crash recovery is active only in socket node processes with a respawn
+  // budget: the Reliable endpoint then retains acked frames for replay,
+  // idles retransmits to dead peers instead of exhausting, and the proxy
+  // fences stale incarnations + dedups a replacement's re-sent prefix.
+  const bool recovery = sock_comm_ != nullptr && cfg_.max_respawns > 0;
   if (cfg_.reliable_transport) {
     net::Reliable::Params params;
     params.rto_us = cfg_.retransmit_timeout_us;
     params.max_retries = cfg_.max_retransmits;
+    if (recovery) params.replay_log_bytes = cfg_.replay_log_bytes;
     rel = std::make_unique<net::Reliable>(*comm_, n.id, params);
+    if (recovery) {
+      // While a peer's process is down (EOF / write failure seen, no
+      // replacement yet) retransmits to it are deferred, not charged
+      // against the retry budget — the respawn window must not look like
+      // a lossy link that exhausted.
+      rel->set_link_up_probe(
+          [this](int r) { return sock_comm_->peer_alive(r); });
+    }
     if (recorder_->enabled()) {
       // Retransmissions show up as zero-width marks on the node's proxy
       // lane (lane total_threads()+node), tuple = (dst, tag, seq).
@@ -577,6 +591,28 @@ void Vsa::proxy_loop(Node& n) {
       });
     }
   }
+  // Channel-level exactly-once bookkeeping for crash replay. Wire
+  // sequence numbers cannot dedup a respawned peer's re-sent stream: the
+  // replacement re-coalesces from scratch, so its frame k need not carry
+  // the same application frames as the dead incarnation's frame k. What
+  // IS deterministic is the per-channel order of application frames
+  // (single producer VDP, fixed firing order, in-order delivery under
+  // Reliable) — so we count delivered frames per (source node, tag) route
+  // and, at a rejoin, arrange to drop exactly the already-delivered
+  // prefix of the replacement's fresh stream.
+  std::unordered_map<std::uint64_t, long long> delivered;
+  std::unordered_map<std::uint64_t, long long> replay_skip;
+  auto should_deliver = [&](int src, int tag) {
+    if (!recovery) return true;
+    const std::uint64_t key = route_key(src, tag);
+    if (auto it = replay_skip.find(key);
+        it != replay_skip.end() && it->second > 0) {
+      --it->second;
+      return false;  // re-executed duplicate of a frame we already pushed
+    }
+    ++delivered[key];
+    return true;
+  };
   auto deliver = [&](net::Message& m) {
     if (m.tag == net::kAggregateTag) {
       // Split an aggregate back into its application frames. Each frame
@@ -587,16 +623,18 @@ void Vsa::proxy_loop(Node& n) {
       net::WireFrame wf;
       int count = 0;
       while (cursor.next(wf)) {
+        ++count;
+        if (!should_deliver(m.source, wf.tag)) continue;
         auto it = n.route.find(route_key(m.source, wf.tag));
         PQR_ASSERT(it != n.route.end(), "proxy: unroutable coalesced frame");
         Packet p = Packet::make(wf.size, wf.meta);
         if (wf.size > 0) std::memcpy(p.bytes(), wf.data, wf.size);
         it->second->push(std::move(p));
-        ++count;
       }
       PQR_ASSERT(count == m.meta, "proxy: aggregate frame count mismatch");
       return;
     }
+    if (!should_deliver(m.source, m.tag)) return;
     auto it = n.route.find(route_key(m.source, m.tag));
     PQR_ASSERT(it != n.route.end(), "proxy: unroutable message");
     // Raw frame: adopt the transport's (pooled) buffer directly.
@@ -608,6 +646,16 @@ void Vsa::proxy_loop(Node& n) {
   // delivery. With the protocol off, frames go straight through.
   std::deque<net::Message> inbox;
   auto accept = [&](net::Message&& m) {
+    // Fence frames from a dead incarnation of a respawned peer. They can
+    // linger in socket buffers or our mailbox across the rejoin; a stale
+    // cumulative ack in particular would trim frames the replay path just
+    // requeued, deadlocking the replacement. The fence is applied here —
+    // after the mailbox, before the protocol — because the rejoin install
+    // happens on this same thread, so no frame can race past it.
+    if (recovery && m.source != n.id &&
+        m.epoch < sock_comm_->peer_epoch(m.source)) {
+      return;
+    }
     if (rel) {
       rel->on_receive(std::move(m), inbox);
     } else {
@@ -718,6 +766,32 @@ void Vsa::proxy_loop(Node& n) {
   for (;;) {
     const auto t0 = Clock::now();
     bool any = false;
+    if (recovery) {
+      // Install any peer rejoin queued by the control thread. This thread
+      // owns the Reliable endpoint and the routes, so install + replay +
+      // dedup snapshot are a single atomic step from the proxy's view.
+      for (const auto& rj : sock_comm_->take_rejoins()) {
+        any = true;
+        sock_comm_->install_rejoin(rj);
+        if (rel) {
+          const long long nrep = rel->replay_link(rj.rank, Clock::now());
+          if (nrep < 0) {
+            // The replay log overflowed its byte budget before this crash:
+            // part of the acked history is gone and the replacement can
+            // never be made whole. Tear the run down with a transport
+            // failure instead of silently wedging.
+            cancel_run_from_transport();
+          }
+          rel->reset_recv_link(rj.rank);
+        }
+        // The replacement re-executes its node from the start: arrange to
+        // drop the prefix of each of its channels that this node already
+        // consumed (exactly-once at the channel level).
+        for (const auto& [key, cnt] : delivered) {
+          if (static_cast<int>(key >> 32) == rj.rank) replay_skip[key] = cnt;
+        }
+      }
+    }
     // Serve the outgoing queues of this node's workers (and the node
     // queue used by the work-stealing executor).
     for (Worker* w : n.workers) {
@@ -783,6 +857,7 @@ void Vsa::proxy_loop(Node& n) {
     total_dups_suppressed_.fetch_add(rel->duplicates_suppressed(),
                                      std::memory_order_relaxed);
     total_acks_sent_.fetch_add(rel->acks_sent(), std::memory_order_relaxed);
+    total_replayed_.fetch_add(rel->replayed(), std::memory_order_relaxed);
     if (cancelled_.load(std::memory_order_acquire)) {
       std::lock_guard<std::mutex> lock(fail_mu_);
       for (auto& g : rel->gaps()) link_gaps_.push_back(std::move(g));
@@ -827,6 +902,18 @@ Vsa::RunStats Vsa::run() {
     const unsigned hw = std::thread::hardware_concurrency();
     spin_us_ = (hw != 0 && workers_.size() <= hw) ? 50 : 0;
   }
+  if (cfg_.max_respawns > 0) {
+    require(cfg_.transport == Transport::Socket,
+            "run: Config::max_respawns requires the Socket transport (crash "
+            "recovery respawns OS processes)");
+    require(cfg_.reliable_transport,
+            "run: crash recovery (max_respawns > 0) requires "
+            "reliable_transport — survivors replay a crashed peer's frames "
+            "from the protocol's retained send log");
+  }
+  require(!cfg_.fault_plan.kill() || cfg_.transport == Transport::Socket,
+          "run: FaultPlan kill faults require the Socket transport (there is "
+          "no process to kill in-process)");
 
   if (cfg_.transport == Transport::Socket) return run_socket();
 
@@ -1024,6 +1111,99 @@ bool fd_read_exact(int fd, void* buf, std::size_t n) {
   return true;
 }
 
+/// Bounded counterpart of fd_read_exact: poll before every recv and give
+/// up (returning false) once `deadline` passes. Control-plane reads in
+/// the parent must never block indefinitely on a wedged child — the
+/// caller escalates to the SIGKILL backstop instead.
+bool fd_read_deadline(int fd, void* buf, std::size_t n,
+                      std::chrono::steady_clock::time_point deadline) {
+  char* p = static_cast<char*>(buf);
+  while (n > 0) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - std::chrono::steady_clock::now())
+                          .count();
+    if (left < 0) return false;
+    pollfd pfd{fd, POLLIN, 0};
+    const int pn = ::poll(&pfd, 1, static_cast<int>(std::min<long long>(
+                                       left, 100)));
+    if (pn < 0 && errno != EINTR) return false;
+    if (pn <= 0) continue;
+    const ssize_t k = ::recv(fd, p, n, 0);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (k == 0) return false;  // EOF
+    p += k;
+    n -= static_cast<std::size_t>(k);
+  }
+  return true;
+}
+
+/// Read one control byte, keeping room for an SCM_RIGHTS descriptor: the
+/// rejoin handshake rides its fd on the first byte of the 'R' message,
+/// and a plain read() at that moment would silently discard it.
+/// Returns 1 on success, 0 on EOF, -1 on error; *out_fd receives the
+/// passed descriptor (or stays -1).
+int ctl_read_byte(int fd, char* c, int* out_fd) {
+  *out_fd = -1;
+  iovec iov{c, 1};
+  alignas(cmsghdr) char cbuf[CMSG_SPACE(sizeof(int))];
+  msghdr msg{};
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  msg.msg_control = cbuf;
+  msg.msg_controllen = sizeof cbuf;
+  for (;;) {
+    const ssize_t k = ::recvmsg(fd, &msg, 0);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (k == 0) return 0;
+    break;
+  }
+  for (cmsghdr* cm = CMSG_FIRSTHDR(&msg); cm != nullptr;
+       cm = CMSG_NXTHDR(&msg, cm)) {
+    if (cm->cmsg_level == SOL_SOCKET && cm->cmsg_type == SCM_RIGHTS) {
+      std::memcpy(out_fd, CMSG_DATA(cm), sizeof(int));
+    }
+  }
+  return 1;
+}
+
+/// Send a small control message with one descriptor attached to its
+/// first byte (SCM_RIGHTS). The kernel duplicates the fd into the
+/// receiver at delivery, so the caller may close its copy on return.
+bool ctl_send_fd(int fd, const std::byte* hdr, std::size_t n, int pass_fd) {
+  iovec iov{const_cast<std::byte*>(hdr), n};
+  alignas(cmsghdr) char cbuf[CMSG_SPACE(sizeof(int))];
+  std::memset(cbuf, 0, sizeof cbuf);
+  msghdr msg{};
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  msg.msg_control = cbuf;
+  msg.msg_controllen = sizeof cbuf;
+  cmsghdr* cm = CMSG_FIRSTHDR(&msg);
+  cm->cmsg_level = SOL_SOCKET;
+  cm->cmsg_type = SCM_RIGHTS;
+  cm->cmsg_len = CMSG_LEN(sizeof(int));
+  std::memcpy(CMSG_DATA(cm), &pass_fd, sizeof(int));
+  for (;;) {
+    const ssize_t k = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    // A socketpair takes the whole few-byte message atomically; finish a
+    // (theoretical) short write without re-sending the ancillary data.
+    if (static_cast<std::size_t>(k) < n) {
+      return fd_send_all(fd, hdr + k, n - static_cast<std::size_t>(k));
+    }
+    return true;
+  }
+}
+
 bool ctl_send_blob(int fd, char type, const net::wire::Blob& b) {
   std::byte hdr[9];
   hdr[0] = static_cast<std::byte>(type);
@@ -1055,6 +1235,8 @@ void serialize_report(net::wire::Blob& b, const Vsa::RunReport& r) {
   b.i64(r.faults.delayed);
   b.i64(r.faults.reordered);
   b.i64(r.retransmits);
+  b.u32(static_cast<std::uint32_t>(r.dead_ranks.size()));
+  for (int d : r.dead_ranks) b.i32(d);
 }
 
 Vsa::RunReport deserialize_report(const std::byte* p, std::size_t n) {
@@ -1084,6 +1266,8 @@ Vsa::RunReport deserialize_report(const std::byte* p, std::size_t n) {
   r.faults.delayed = br.i64();
   r.faults.reordered = br.i64();
   r.retransmits = br.i64();
+  const std::uint32_t nd = br.u32();
+  for (std::uint32_t i = 0; i < nd; ++i) r.dead_ranks.push_back(br.i32());
   return r;
 }
 
@@ -1100,20 +1284,26 @@ std::string failure_header(const std::string& reason, const Vsa::Config& cfg) {
            "s; the VSA is deadlocked.\n";
   }
   return "PRT socket transport: a node process exited without a report "
-         "(crash or abort in a forked node); tearing the run down.\n";
+         "(crash or abort in a forked node) and the respawn budget was "
+         "exhausted or recovery is off (Config::max_respawns); tearing the "
+         "run down.\n";
 }
 
 }  // namespace
 
-void Vsa::child_main(int rank, std::vector<int> peer_fds, int control_fd) {
-  auto sock_comm = std::make_unique<net::SocketComm>(cfg_.nodes, rank,
-                                                     std::move(peer_fds));
+void Vsa::child_main(int rank, std::vector<int> peer_fds, int control_fd,
+                     std::uint32_t incarnation,
+                     std::vector<std::uint32_t> peer_epochs) {
+  auto sock_comm = std::make_unique<net::SocketComm>(
+      cfg_.nodes, rank, std::move(peer_fds), incarnation,
+      std::move(peer_epochs));
   net::SocketComm* sock = sock_comm.get();
+  sock_comm_ = sock;
   comm_ = std::move(sock_comm);
   if (cfg_.fault_plan.any()) comm_->set_fault_plan(cfg_.fault_plan);
   const PacketPool::Stats pool0 = PacketPool::stats();
-  recorder_ = std::make_unique<trace::Recorder>(total_threads(),
-                                                /*enabled=*/false, cfg_.nodes);
+  recorder_ = std::make_unique<trace::Recorder>(total_threads(), cfg_.trace,
+                                                cfg_.nodes);
   recorder_->start_clock();
 
   Node& node = *nodes_[rank];
@@ -1138,7 +1328,10 @@ void Vsa::child_main(int rank, std::vector<int> peer_fds, int control_fd) {
       }
     });
   }
-  if (node.has_remote) {
+  if (node.has_remote || cfg_.max_respawns > 0) {
+    // With a respawn budget the proxy must exist even on a node with no
+    // remote channels today: a rejoining replacement may need its acks
+    // and replays served.
     node.proxy = std::thread([this, &node] { proxy_loop(node); });
   }
 
@@ -1152,18 +1345,57 @@ void Vsa::child_main(int rank, std::vector<int> peer_fds, int control_fd) {
     }
     comm_->interrupt(rank);
   };
+  // Dispatch one pending control byte. Returns 0 when handled ('R'
+  // rejoin, stray bytes), 1 on cancel ('C', EOF, parent death), 2 on 'G'.
+  auto handle_ctl = [&]() -> int {
+    char c = 0;
+    int rfd = -1;
+    const int k = ctl_read_byte(control_fd, &c, &rfd);
+    if (k <= 0) {
+      if (rfd >= 0) ::close(rfd);
+      return 1;
+    }
+    if (c == 'R') {
+      // Peer rejoin: the fresh socket fd rides the first byte of the
+      // handshake (see wire::RejoinHdr). Queue it for the proxy thread.
+      std::byte rest[net::wire::kRejoinBodyBytes];
+      if (!fd_read_exact(control_fd, rest, sizeof rest)) {
+        if (rfd >= 0) ::close(rfd);
+        return 1;
+      }
+      const net::wire::RejoinHdr rj = net::wire::get_rejoin_body(rest);
+      if (rfd >= 0 && rj.rank >= 0 && rj.rank < cfg_.nodes &&
+          rj.rank != rank) {
+        sock->rejoin_peer(rj.rank, rfd, rj.epoch);
+      } else if (rfd >= 0) {
+        ::close(rfd);
+      }
+      return 0;
+    }
+    if (rfd >= 0) ::close(rfd);
+    if (c == 'G') return 2;
+    return 1;  // 'C' or garbage: the run is over
+  };
+  // Liveness heartbeat to the parent (~5/s): its control plane SIGKILLs a
+  // child it has not heard from in heartbeat_timeout_seconds.
+  auto last_hb_sent = std::chrono::steady_clock::now();
+  auto send_heartbeat = [&] {
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_hb_sent < 200ms) return;
+    last_hb_sent = now;
+    const char h = 'H';
+    (void)fd_send_all(control_fd, &h, 1);
+  };
   auto check_parent = [&] {
     pollfd pfd{control_fd, POLLIN, 0};
     if (::poll(&pfd, 1, 0) <= 0 ||
         (pfd.revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
       return;
     }
-    char c = 0;
-    (void)fd_read_exact(control_fd, &c, 1);
-    // 'C', garbage, or EOF (the parent died) all mean the same thing
-    // here: the run is over and nobody wants our results.
-    parent_cancel = true;
-    cancel_locally();
+    if (handle_ctl() == 1) {
+      parent_cancel = true;
+      cancel_locally();
+    }
   };
 
   // Per-process watchdog: local progress is a completed or in-flight
@@ -1176,6 +1408,16 @@ void Vsa::child_main(int rank, std::vector<int> peer_fds, int control_fd) {
   while (workers_running_.load(std::memory_order_acquire) > 0) {
     std::this_thread::sleep_for(1ms);
     check_parent();
+    send_heartbeat();
+    if (incarnation == 0 && cfg_.fault_plan.kill() &&
+        cfg_.fault_plan.kill_rank == rank &&
+        fires_.load(std::memory_order_relaxed) >= cfg_.fault_plan.kill_after) {
+      // Injected crash: die exactly as a real segfault/OOM-kill would —
+      // no unwinding, no 'F' report, sockets torn down by the kernel.
+      // Only the first incarnation self-destructs, or the respawn loop
+      // would never converge.
+      ::kill(::getpid(), SIGKILL);
+    }
     bool progress = false;
     const long long f = fires_.load(std::memory_order_relaxed);
     if (f != last_fires) {
@@ -1231,6 +1473,7 @@ void Vsa::child_main(int rank, std::vector<int> peer_fds, int control_fd) {
       ok = false;
       break;
     }
+    send_heartbeat();
     pollfd pfd{control_fd, POLLIN, 0};
     const int pn = ::poll(&pfd, 1, /*ms=*/10);
     if (pn < 0 && errno != EINTR) {
@@ -1239,14 +1482,14 @@ void Vsa::child_main(int rank, std::vector<int> peer_fds, int control_fd) {
       break;
     }
     if (pn <= 0) continue;
-    char c = 0;
-    if (!fd_read_exact(control_fd, &c, 1) || c == 'C') {
+    const int verdict = handle_ctl();
+    if (verdict == 1) {
       ok = false;
       parent_cancel = true;
       cancelled_.store(true, std::memory_order_release);
       break;
     }
-    if (c == 'G') break;
+    if (verdict == 2) break;  // 'G': every node is done
   }
 
   done_.store(true, std::memory_order_release);
@@ -1254,11 +1497,13 @@ void Vsa::child_main(int rank, std::vector<int> peer_fds, int control_fd) {
   if (node.proxy.joinable()) node.proxy.join();
 
   if (!ok) {
-    if (!parent_cancel) {
-      net::wire::Blob b;
-      serialize_report(b, make_run_report(rank));
-      (void)ctl_send_blob(control_fd, 'F', b);
-    }
+    // Always ship the local report — even when the parent initiated the
+    // cancel. When a sibling process crashed, the survivors' link gaps
+    // (who was mid-flight to the dead rank, and how far behind) are the
+    // most useful part of the final diagnostic; the parent merges them.
+    net::wire::Blob b;
+    serialize_report(b, make_run_report(rank));
+    (void)ctl_send_blob(control_fd, 'F', b);
     comm_.reset();  // join the receiver thread before exiting
     ::_exit(1);
   }
@@ -1305,16 +1550,38 @@ void Vsa::child_main(int rank, std::vector<int> peer_fds, int control_fd) {
   } else {
     b.u64(0);
   }
+  // Crash-recovery epilogue: which incarnation finished, how many frames
+  // this process replayed for rejoining peers, and (when tracing) the
+  // local events with this process's clock epoch so the parent can
+  // offset-align them onto one timeline.
+  b.u32(incarnation);
+  b.i64(total_replayed_.load(std::memory_order_relaxed));
+  b.i64(recorder_->epoch_ns());
+  const std::vector<trace::Event> events =
+      cfg_.trace ? recorder_->collect() : std::vector<trace::Event>{};
+  b.u64(events.size());
+  for (const trace::Event& ev : events) {
+    b.i32(ev.thread);
+    b.i32(ev.color);
+    b.u32(static_cast<std::uint32_t>(ev.tuple.size()));
+    for (int x : ev.tuple.values()) b.i32(x);
+    b.f64(ev.t0);
+    b.f64(ev.t1);
+  }
   (void)ctl_send_blob(control_fd, 'E', b);
   comm_.reset();  // join the receiver thread before exiting
   ::_exit(0);
 }
 
 Vsa::RunStats Vsa::run_socket() {
-  require(!cfg_.trace,
-          "run: Config::trace is not supported with the Socket transport "
-          "(per-process trace recorders are not merged)");
   const int N = cfg_.nodes;
+  // The parent's recorder is purely a merge target: children ship their
+  // events home in the 'E' epilogue together with their clock epoch, and
+  // the parent offset-aligns them onto this recorder's timeline (Linux
+  // CLOCK_MONOTONIC is machine-wide, so epochs are directly comparable).
+  recorder_ = std::make_unique<trace::Recorder>(total_threads(), cfg_.trace,
+                                                cfg_.nodes);
+  recorder_->start_clock();
   auto mesh = net::SocketComm::socketpair_mesh(N);
   std::vector<int> ctl_parent(N, -1), ctl_child(N, -1);
   for (int r = 0; r < N; ++r) {
@@ -1328,6 +1595,7 @@ Vsa::RunStats Vsa::run_socket() {
 
   const auto t_start = std::chrono::steady_clock::now();
   std::vector<pid_t> pids(N, -1);
+  std::vector<std::uint32_t> incarnation(N, 0);
   for (int r = 0; r < N; ++r) {
     const pid_t pid = ::fork();
     require(pid >= 0,
@@ -1345,7 +1613,8 @@ Vsa::RunStats Vsa::run_socket() {
         if (ctl_parent[s] >= 0) ::close(ctl_parent[s]);
         if (s != r && ctl_child[s] >= 0) ::close(ctl_child[s]);
       }
-      child_main(r, std::move(mesh[r]), ctl_child[r]);  // never returns
+      child_main(r, std::move(mesh[r]), ctl_child[r], /*incarnation=*/0,
+                 std::vector<std::uint32_t>(N, 0));  // never returns
     }
     pids[r] = pid;
   }
@@ -1357,12 +1626,17 @@ Vsa::RunStats Vsa::run_socket() {
   for (int r = 0; r < N; ++r) ::close(ctl_child[r]);
 
   // Control plane: collect 'D' from everyone, broadcast 'G', collect
-  // epilogues; on any 'F' or unexplained child exit, broadcast 'C' and
-  // re-throw the (first) failure after reaping every child.
+  // epilogues. A child that dies without a report (EOF, SIGKILL,
+  // heartbeat silence) is respawned from this process's pristine
+  // pre-thread image while the respawn budget lasts; otherwise — and on
+  // any 'F' — broadcast 'C' and re-throw the merged failure after
+  // reaping every child.
   enum ChildState { kRunning, kDone, kEnded, kFailed };
   std::vector<int> state(N, kRunning);
   std::vector<std::vector<std::byte>> epilogue(N);
+  std::vector<char> reaped(N, 0);
   bool go_sent = false, cancel_sent = false, failed = false;
+  int respawns_used = 0;
   RunReport fail_report;
   const bool bounded = cfg_.watchdog_seconds > 0;
   // Generous backstop over the children's own watchdogs: if it trips,
@@ -1371,18 +1645,135 @@ Vsa::RunStats Vsa::run_socket() {
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double>(cfg_.watchdog_seconds + 120.0));
+  // Per-child liveness: children heartbeat ('H') about five times a
+  // second; silence past this deadline means a wedged (not merely slow —
+  // the heartbeat loop runs regardless of kernel durations) process and
+  // is escalated to SIGKILL, which then takes the dead-child path below.
+  const bool hb_bounded = cfg_.heartbeat_timeout_seconds > 0;
+  const auto hb_timeout =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(
+              hb_bounded ? cfg_.heartbeat_timeout_seconds : 0.0));
+  std::vector<std::chrono::steady_clock::time_point> last_heard(
+      N, std::chrono::steady_clock::now());
   auto fail_with = [&](RunReport r) {
     if (!failed) {
       failed = true;
       fail_report = std::move(r);
+      return;
+    }
+    // Later reports refine rather than replace the first: survivors' link
+    // gaps and any additional dead ranks accumulate onto it.
+    for (auto& g : r.links) fail_report.links.push_back(std::move(g));
+    for (int d : r.dead_ranks) {
+      if (std::find(fail_report.dead_ranks.begin(),
+                    fail_report.dead_ranks.end(),
+                    d) == fail_report.dead_ranks.end()) {
+        fail_report.dead_ranks.push_back(d);
+      }
     }
   };
   auto read_blob = [&](int fd, std::vector<std::byte>& out) {
+    // Bounded: a child wedged mid-blob must not hang the control plane
+    // past the liveness deadline it would otherwise be judged by.
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        (hb_bounded ? hb_timeout
+                    : std::chrono::steady_clock::duration(
+                          std::chrono::hours(24)));
     std::byte len8[8];
-    if (!fd_read_exact(fd, len8, 8)) return false;
+    if (!fd_read_deadline(fd, len8, 8, deadline)) return false;
     const std::uint64_t len = net::wire::get_u64(len8);
     out.resize(len);
-    return len == 0 || fd_read_exact(fd, out.data(), len);
+    return len == 0 || fd_read_deadline(fd, out.data(), len, deadline);
+  };
+
+  auto respawn = [&](int r) {
+    ++respawns_used;
+    ++incarnation[r];
+    // Fresh socketpairs replacement <-> every survivor plus a new control
+    // pair; the old descriptors died with the old process.
+    std::vector<int> child_row(N, -1);
+    std::vector<int> surv_fd(N, -1);
+    for (int s = 0; s < N; ++s) {
+      if (s == r) continue;
+      int sv[2];
+      require(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) == 0,
+              "run: respawn socketpair failed: " +
+                  std::string(std::strerror(errno)));
+      child_row[s] = sv[0];
+      surv_fd[s] = sv[1];
+    }
+    int ctl[2];
+    require(::socketpair(AF_UNIX, SOCK_STREAM, 0, ctl) == 0,
+            "run: respawn control socketpair failed: " +
+                std::string(std::strerror(errno)));
+    // The parent runs no threads, so fork here is as safe as the initial
+    // fork loop: the replacement inherits the same pristine
+    // copy-on-write image of the unrun graph (VDPs, channels, feeds) and
+    // will re-fire its node from the start.
+    const pid_t pid = ::fork();
+    require(pid >= 0,
+            "run: respawn fork failed: " + std::string(std::strerror(errno)));
+    if (pid == 0) {
+      for (int s = 0; s < N; ++s) {
+        if (surv_fd[s] >= 0) ::close(surv_fd[s]);
+        if (ctl_parent[s] >= 0) ::close(ctl_parent[s]);
+      }
+      ::close(ctl[0]);
+      child_main(r, std::move(child_row), ctl[1], incarnation[r],
+                 incarnation);  // never returns
+    }
+    pids[r] = pid;
+    reaped[r] = 0;
+    ctl_parent[r] = ctl[0];
+    ::close(ctl[1]);
+    for (int s = 0; s < N; ++s) {
+      if (child_row[s] >= 0) ::close(child_row[s]);
+    }
+    // Hand every survivor its end of the fresh link: a wire::RejoinHdr
+    // with the descriptor riding the first byte (SCM_RIGHTS duplicates
+    // it into the survivor at delivery, so our copy closes).
+    for (int s = 0; s < N; ++s) {
+      if (surv_fd[s] < 0) continue;
+      std::byte hdr[net::wire::kRejoinHdrBytes];
+      net::wire::put_rejoin_hdr(
+          hdr, net::wire::RejoinHdr{r, incarnation[r]});
+      if (state[s] != kFailed && ctl_parent[s] >= 0) {
+        (void)ctl_send_fd(ctl_parent[s], hdr, sizeof hdr, surv_fd[s]);
+      }
+      ::close(surv_fd[s]);
+    }
+    // The replacement must re-finish its node: re-gate 'G' on it.
+    state[r] = kRunning;
+    last_heard[r] = std::chrono::steady_clock::now();
+  };
+
+  auto handle_child_death = [&](int r) {
+    if (!reaped[r]) {
+      int st = 0;
+      ::waitpid(pids[r], &st, 0);
+      reaped[r] = 1;
+    }
+    if (ctl_parent[r] >= 0) {
+      ::close(ctl_parent[r]);
+      ctl_parent[r] = -1;
+    }
+    if (state[r] == kEnded) return;  // epilogue already delivered
+    if (!failed && !go_sent && respawns_used < cfg_.max_respawns) {
+      respawn(r);
+      return;
+    }
+    // No budget left, or the run is past the point of recovery (once 'G'
+    // is out, survivors tear their protocol state down and the dead
+    // rank's epilogue may be gone with it): structured failure naming
+    // the dead rank and — from this process's pristine image — the VDP
+    // tuples that died with it.
+    state[r] = kFailed;
+    RunReport rep = make_run_report(r);
+    rep.reason = "process";
+    rep.dead_ranks.push_back(r);
+    fail_with(std::move(rep));
   };
 
   for (;;) {
@@ -1416,40 +1807,58 @@ Vsa::RunStats Vsa::run_socket() {
       owners.push_back(r);
     }
     const int pn = ::poll(pfds.data(), pfds.size(), /*ms=*/100);
-    if (bounded && std::chrono::steady_clock::now() > kill_deadline) {
-      for (int r = 0; r < N; ++r) ::kill(pids[r], SIGKILL);
+    const auto now = std::chrono::steady_clock::now();
+    if (bounded && now > kill_deadline) {
       for (int r = 0; r < N; ++r) {
-        int st = 0;
-        ::waitpid(pids[r], &st, 0);
-        ::close(ctl_parent[r]);
+        if (!reaped[r]) ::kill(pids[r], SIGKILL);
+      }
+      for (int r = 0; r < N; ++r) {
+        if (!reaped[r]) {
+          int st = 0;
+          ::waitpid(pids[r], &st, 0);
+        }
+        if (ctl_parent[r] >= 0) ::close(ctl_parent[r]);
       }
       throw RunError(
           "PRT socket transport: node processes stopped responding; "
           "killed.\n",
           make_run_report());
     }
+    // Heartbeat deadline: a child silent past the timeout is wedged.
+    // SIGKILL it and take the normal dead-child path (respawn or fail).
+    if (hb_bounded) {
+      for (int r = 0; r < N; ++r) {
+        if (state[r] == kEnded || state[r] == kFailed) continue;
+        if (now - last_heard[r] > hb_timeout) {
+          ::kill(pids[r], SIGKILL);
+          handle_child_death(r);
+        }
+      }
+    }
     if (pn <= 0) continue;
     for (std::size_t i = 0; i < pfds.size(); ++i) {
       if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
       const int r = owners[i];
+      // Skip entries whose fd was closed or replaced since the poll (a
+      // heartbeat kill or an earlier death in this same sweep respawned
+      // the rank): the snapshot no longer describes this child.
+      if (ctl_parent[r] != pfds[i].fd) continue;
       char t = 0;
       if (!fd_read_exact(pfds[i].fd, &t, 1)) {
-        state[r] = kFailed;  // died without a report
-        RunReport rep;
-        rep.reason = "process";
-        fail_with(std::move(rep));
+        handle_child_death(r);  // EOF without 'E'/'F': crashed outright
         continue;
       }
-      if (t == 'D') {
+      last_heard[r] = std::chrono::steady_clock::now();
+      if (t == 'H') {
+        // Liveness heartbeat only.
+      } else if (t == 'D') {
         state[r] = kDone;
       } else if (t == 'E') {
         if (read_blob(pfds[i].fd, epilogue[r])) {
           state[r] = kEnded;
         } else {
-          state[r] = kFailed;
-          RunReport rep;
-          rep.reason = "process";
-          fail_with(std::move(rep));
+          ::kill(pids[r], SIGKILL);
+          handle_child_death(r);
         }
       } else if (t == 'F') {
         std::vector<std::byte> blob;
@@ -1462,18 +1871,19 @@ Vsa::RunStats Vsa::run_socket() {
           fail_with(std::move(rep));
         }
       } else {
-        state[r] = kFailed;
-        RunReport rep;
-        rep.reason = "process";
-        fail_with(std::move(rep));
+        // Protocol violation: treat it as a crash of the child.
+        ::kill(pids[r], SIGKILL);
+        handle_child_death(r);
       }
     }
   }
 
   for (int r = 0; r < N; ++r) {
-    int st = 0;
-    ::waitpid(pids[r], &st, 0);
-    ::close(ctl_parent[r]);
+    if (!reaped[r]) {
+      int st = 0;
+      ::waitpid(pids[r], &st, 0);
+    }
+    if (ctl_parent[r] >= 0) ::close(ctl_parent[r]);
   }
   if (failed) {
     // Header first: argument evaluation is unsequenced, so reading
@@ -1483,11 +1893,14 @@ Vsa::RunStats Vsa::run_socket() {
   }
 
   RunStats stats;
+  stats.respawns = respawns_used;
   stats.busy_per_thread.assign(total_threads(), 0.0);
   stats.proxy_busy_per_node.assign(N, 0.0);
+  const std::int64_t parent_epoch_ns = recorder_->epoch_ns();
   for (int r = 0; r < N; ++r) {
     net::wire::BlobReader br(epilogue[r].data(), epilogue[r].size());
-    stats.fires += br.i64();
+    const long long child_fires = br.i64();
+    stats.fires += child_fires;
     const std::uint32_t nw = br.u32();
     for (std::uint32_t l = 0; l < nw; ++l) {
       stats.busy_per_thread[r * cfg_.workers_per_node + l] = br.f64();
@@ -1518,6 +1931,28 @@ Vsa::RunStats Vsa::run_socket() {
       std::memcpy(app.bytes(), br.take(app_len), app_len);
     }
     if (merge_hook_) merge_hook_(r, app);
+    // Crash-recovery tail of the epilogue: incarnation, replay work, and
+    // (when tracing) the child's events offset-aligned onto the parent's
+    // clock so the merged timeline is coherent across processes.
+    const std::uint32_t child_incarnation = br.u32();
+    if (child_incarnation > 0) stats.refired_fires += child_fires;
+    stats.replayed_frames += br.i64();
+    const std::int64_t child_epoch_ns = br.i64();
+    const double off =
+        static_cast<double>(child_epoch_ns - parent_epoch_ns) * 1e-9;
+    const std::uint64_t nev = br.u64();
+    for (std::uint64_t e = 0; e < nev; ++e) {
+      trace::Event ev;
+      ev.thread = br.i32();
+      ev.color = br.i32();
+      const std::uint32_t tn = br.u32();
+      std::vector<int> vals(tn);
+      for (std::uint32_t x = 0; x < tn; ++x) vals[x] = br.i32();
+      ev.tuple = Tuple(std::move(vals));
+      ev.t0 = br.f64() + off;
+      ev.t1 = br.f64() + off;
+      recorder_->inject(ev);
+    }
   }
   stats.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
@@ -1562,6 +1997,11 @@ Vsa::RunReport Vsa::make_run_report(int only_node) const {
 
 std::string Vsa::RunReport::to_string() const {
   std::ostringstream os;
+  if (!dead_ranks.empty()) {
+    os << "  dead node processes:";
+    for (int r : dead_ranks) os << ' ' << r;
+    os << '\n';
+  }
   for (const std::string& line : stuck_vdps) os << "  " << line << '\n';
   os << "  (" << vdps_alive << " VDPs still alive)";
   for (const auto& g : links) os << "\n  " << g.to_string();

@@ -23,6 +23,10 @@
 
 namespace pulsarqr::prt {
 
+namespace net {
+class SocketComm;
+}
+
 /// Lazy fires a ready VDP once then moves on (encourages lookahead; the
 /// paper's best scheme for tree QR); Aggressive re-fires while ready.
 enum class Scheduling { Lazy, Aggressive };
@@ -100,10 +104,32 @@ class Vsa {
     /// destination whose oldest staged frame has waited this long.
     int coalesce_flush_us = 50;
     /// Transport backend for inter-node traffic (see prt::Transport).
-    /// Socket mode forks one process per node at run(); it requires
-    /// trace == false and, for results to reach the parent, process
-    /// hooks (set_process_hooks) or side effects written to files.
+    /// Socket mode forks one process per node at run(); for results to
+    /// reach the parent it needs process hooks (set_process_hooks) or
+    /// side effects written to files. With trace on, each child ships
+    /// its events home in the run epilogue and the parent merges them
+    /// into one clock-aligned timeline.
     Transport transport = Transport::InProcess;
+    /// Crash recovery (Socket transport only; requires
+    /// reliable_transport). How many dead node processes the parent may
+    /// replace over the whole run: a dead child (EOF, SIGKILL, heartbeat
+    /// timeout) is respawned from the pristine pre-fork image with a
+    /// bumped incarnation epoch, survivors replay their retained frame
+    /// history to it, and it re-fires its VDPs from scratch. 0 (the
+    /// default) keeps today's behavior — any child death fails the run
+    /// with a structured RunError naming the dead rank.
+    int max_respawns = 0;
+    /// Per-destination byte budget of acked frames each survivor retains
+    /// for crash replay (only when max_respawns > 0). An eviction that a
+    /// later replay would have needed fails the run instead of silently
+    /// losing frames.
+    std::size_t replay_log_bytes = 64 * 1024 * 1024;
+    /// Parent-side liveness deadline: a child that sends neither a
+    /// heartbeat nor a control byte for this long is declared dead
+    /// (SIGKILLed and, budget permitting, respawned). Also bounds every
+    /// parent control-plane read — a child hung before its first
+    /// heartbeat can no longer stall the parent forever.
+    double heartbeat_timeout_seconds = 10.0;
   };
 
   struct RunStats {
@@ -143,17 +169,24 @@ class Vsa {
     long long retransmits = 0;           ///< frames re-sent by the protocol
     long long duplicates_suppressed = 0; ///< frames deduplicated on receive
     long long acks_sent = 0;             ///< pure (non-piggybacked) acks
+    // Crash recovery (all zero on a run with no process deaths).
+    long long respawns = 0;          ///< node processes replaced mid-run
+    long long replayed_frames = 0;   ///< frames survivors requeued for replay
+    long long refired_fires = 0;     ///< VDP firings of respawned incarnations
   };
 
   /// Structured diagnosis attached to a RunError: what was stuck and why,
   /// in machine-readable form (the what() string renders the same data).
   struct RunReport {
-    std::string reason;  ///< "watchdog" or "transport"
+    std::string reason;  ///< "watchdog", "transport" or "process"
     std::vector<std::string> stuck_vdps;  ///< tuple/counter/input-slot lines
     int vdps_alive = 0;
     std::vector<net::LinkGap> links;  ///< in-flight sequence gaps per link
     net::FaultCounters faults;
     long long retransmits = 0;
+    /// Socket transport: ranks whose process died without a clean exit
+    /// (and, with recovery off or exhausted, killed the run).
+    std::vector<int> dead_ranks;
     std::string to_string() const;
   };
 
@@ -277,12 +310,16 @@ class Vsa {
   /// `only_node` >= 0 restricts the stuck-VDP census to that node — a
   /// forked node process reports only what it was responsible for.
   RunReport make_run_report(int only_node = -1) const;
-  /// Socket transport: fork one process per node, run the control plane,
-  /// merge child epilogues into RunStats (or re-throw a child failure).
+  /// Socket transport: fork one process per node, run the control plane
+  /// (heartbeats, death detection, respawn + rejoin orchestration), merge
+  /// child epilogues into RunStats (or re-throw a child failure).
   RunStats run_socket();
   /// Body of one forked node process; never returns (always _exit).
+  /// `incarnation` is 0 for the original fork, bumped per respawn;
+  /// `peer_epochs` the incarnation table of every rank at fork time.
   [[noreturn]] void child_main(int rank, std::vector<int> peer_fds,
-                               int control_fd);
+                               int control_fd, std::uint32_t incarnation,
+                               std::vector<std::uint32_t> peer_epochs);
   /// First-failure path (called from a proxy): mark the run failed and
   /// wake every worker and proxy so the shutdown join in run() completes.
   void cancel_run_from_transport();
@@ -340,8 +377,17 @@ class Vsa {
   std::atomic<long long> total_retransmits_{0};
   std::atomic<long long> total_dups_suppressed_{0};
   std::atomic<long long> total_acks_sent_{0};
+  /// Frames this process requeued from the replay log when a crashed
+  /// peer's replacement rejoined (published by the proxy at exit).
+  std::atomic<long long> total_replayed_{0};
   mutable std::mutex fail_mu_;
   std::vector<net::LinkGap> link_gaps_;  ///< guarded by fail_mu_
+
+  /// Non-owning view of comm_ as the socket backend. Set only inside
+  /// socket node processes (child_main) so the proxy can fence frames
+  /// from dead incarnations, poll queued peer rejoins and probe peer
+  /// liveness. Null on the in-process path and in the parent.
+  net::SocketComm* sock_comm_ = nullptr;
 
   // Socket-transport result plumbing (set_process_hooks).
   std::function<Packet()> collect_hook_;

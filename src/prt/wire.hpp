@@ -70,6 +70,30 @@ inline double get_f64(const std::byte* p) {
   return std::bit_cast<double>(get_u64(p));
 }
 
+/// Control-plane rejoin handshake of the socket transport's crash
+/// recovery: 'R' {rank i32, epoch u32}, sent parent -> survivor with the
+/// replacement's fresh socket descriptor riding the first byte via
+/// SCM_RIGHTS. Both ends encode/decode through this codec so the layout
+/// lives in exactly one place.
+inline constexpr std::size_t kRejoinHdrBytes = 9;
+inline constexpr std::size_t kRejoinBodyBytes = kRejoinHdrBytes - 1;
+
+struct RejoinHdr {
+  std::int32_t rank;     ///< rank that was respawned
+  std::uint32_t epoch;   ///< its new incarnation number
+};
+
+inline void put_rejoin_hdr(std::byte* p, const RejoinHdr& h) {
+  p[0] = static_cast<std::byte>('R');
+  put_i32(p + 1, h.rank);
+  put_u32(p + 5, h.epoch);
+}
+
+/// Decode the body bytes that follow the already-consumed 'R' tag.
+inline RejoinHdr get_rejoin_body(const std::byte* p) {
+  return RejoinHdr{get_i32(p), get_u32(p + 4)};
+}
+
 /// Append-only little-endian blob builder for variable-length payloads
 /// (control-plane messages, serialized deposits and reports).
 class Blob {

@@ -1,0 +1,95 @@
+// Socket-transport result shipping for scenario stores that collect one
+// TileMatrix of final tiles (Cholesky's L, LU's in-place factors) — the
+// same mechanism ResultStore implements for QR, factored out so every
+// scenario produces correct results under prt::Transport::Socket.
+//
+// Under the socket backend each node process deposits into its own
+// copy-on-write copy of the store, so the parent's copy stays empty.
+// With the log enabled (pre-fork), each put also records its (i, j);
+// serialize() re-reads the recorded slots into one little-endian blob
+// the child ships home in its run epilogue, and apply() replays a
+// child's blob into the parent's store. Replay goes through the same
+// put used by the VDPs, so a plain lacpy-overwrite store is naturally
+// idempotent — replaying identical content twice is harmless, which is
+// exactly the contract crash recovery needs.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "prt/packet.hpp"
+#include "prt/wire.hpp"
+#include "tile/tile_matrix.hpp"
+
+namespace pulsarqr::vsaqr {
+
+class TileDepositLog {
+ public:
+  /// Start recording deposits. Call BEFORE the run (i.e. pre-fork).
+  void enable() { enabled_ = true; }
+  bool enabled() const { return enabled_; }
+
+  /// Record that slot (i, j) of the store's matrix was written.
+  void record(int i, int j) {
+    if (!enabled_) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    log_.push_back({i, j});
+  }
+
+  /// Little-endian blob of every recorded slot, re-read from `m`
+  /// (shape + column-major data per slot).
+  prt::Packet serialize(const TileMatrix& m) const {
+    namespace wire = prt::net::wire;
+    std::vector<Entry> log;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      log = log_;
+    }
+    wire::Blob b;
+    b.u32(static_cast<std::uint32_t>(log.size()));
+    for (const Entry& e : log) {
+      b.i32(e.i);
+      b.i32(e.j);
+      const ConstMatrixView v = m.tile(e.i, e.j);
+      b.i32(v.rows);
+      b.i32(v.cols);
+      for (int c = 0; c < v.cols; ++c) b.f64s(v.col(c), v.rows);
+    }
+    prt::Packet out = prt::Packet::make(b.size());
+    if (b.size() > 0) std::memcpy(out.bytes(), b.data(), b.size());
+    return out;
+  }
+
+  /// Replay one child's blob through `put(i, j, view)` — the store's own
+  /// deposit function, so whatever discipline it enforces applies to
+  /// shipped tiles too.
+  template <class Put>
+  static void apply(const prt::Packet& blob, Put&& put) {
+    namespace wire = prt::net::wire;
+    wire::BlobReader br(blob.bytes(), blob.size());
+    const std::uint32_t count = br.u32();
+    std::vector<double> buf;
+    for (std::uint32_t k = 0; k < count; ++k) {
+      const int i = br.i32();
+      const int j = br.i32();
+      const int rows = br.i32();
+      const int cols = br.i32();
+      require(rows >= 0 && cols >= 0,
+              "TileDepositLog::apply: corrupt deposit blob");
+      buf.resize(static_cast<std::size_t>(rows) * cols);
+      for (std::size_t e = 0; e < buf.size(); ++e) buf[e] = br.f64();
+      put(i, j, ConstMatrixView(buf.data(), rows, cols, rows));
+    }
+  }
+
+ private:
+  struct Entry {
+    int i;
+    int j;
+  };
+  bool enabled_ = false;
+  mutable std::mutex mu_;
+  std::vector<Entry> log_;  ///< guarded by mu_
+};
+
+}  // namespace pulsarqr::vsaqr

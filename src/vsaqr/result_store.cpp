@@ -1,5 +1,7 @@
 #include "vsaqr/result_store.hpp"
 
+#include <cstring>
+
 #include "blas/blas.hpp"
 #include "prt/wire.hpp"
 
@@ -12,6 +14,20 @@ void blob_matrix(prt::net::wire::Blob& b, ConstMatrixView v) {
   b.i32(v.cols);
   for (int j = 0; j < v.cols; ++j) b.f64s(v.col(j), v.rows);
 }
+
+/// Bitwise equality of two equally-shaped views (memcmp per column: a
+/// replayed deposit must reproduce the first write exactly, including
+/// signed zeros and NaN payloads).
+bool bitwise_equal(ConstMatrixView a, ConstMatrixView b) {
+  if (a.rows != b.rows || a.cols != b.cols) return false;
+  for (int j = 0; j < a.cols; ++j) {
+    if (std::memcmp(a.col(j), b.col(j),
+                    static_cast<std::size_t>(a.rows) * sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
 }  // namespace
 
 ResultStore::ResultStore(int m, int n, int nb, int ib)
@@ -19,7 +35,9 @@ ResultStore::ResultStore(int m, int n, int nb, int ib)
       tg_(a_.mt(), a_.nt(), ib, nb, n),
       tt_(a_.mt(), a_.nt(), ib, nb, n),
       ib_(ib),
-      tile_written_(static_cast<std::size_t>(a_.mt()) * a_.nt()) {
+      tile_written_(static_cast<std::size_t>(a_.mt()) * a_.nt()),
+      tg_written_(static_cast<std::size_t>(a_.mt()) * a_.nt()),
+      tt_written_(static_cast<std::size_t>(a_.mt()) * a_.nt()) {
   // Pre-touch every T slot so concurrent put_tg/put_tt never allocate the
   // same lazily-created buffer from two threads.
   for (int j = 0; j < a_.nt(); ++j) {
@@ -31,29 +49,53 @@ ResultStore::ResultStore(int m, int n, int nb, int ib)
 }
 
 void ResultStore::put_tile(int i, int j, ConstMatrixView tile) {
-  const bool was =
-      tile_written_[i + static_cast<std::size_t>(j) * a_.mt()].exchange(true);
-  PQR_ASSERT(!was, "ResultStore: tile deposited twice");
   MatrixView dst = a_.tile(i, j);
   PQR_ASSERT(dst.rows == tile.rows && dst.cols == tile.cols,
              "ResultStore: tile shape mismatch");
+  const bool was =
+      tile_written_[i + static_cast<std::size_t>(j) * a_.mt()].exchange(true);
+  if (was) {
+    PQR_ASSERT(dedup_, "ResultStore: tile deposited twice");
+    PQR_ASSERT(bitwise_equal(tile, dst),
+               "ResultStore: conflicting re-deposit of tile (replay produced "
+               "different content)");
+    return;  // idempotent replay: already written, already logged
+  }
   blas::lacpy_all(tile, dst);
   log_deposit(0, i, j);
 }
 
 void ResultStore::put_tg(int i, int j, ConstMatrixView t) {
   MatrixView dst = tg_.t(i, j);
-  blas::lacpy_all(t.block(0, 0, dst.rows, dst.cols), dst);
-  log_deposit(1, i, j);
+  const ConstMatrixView src = t.block(0, 0, dst.rows, dst.cols);
+  const bool was =
+      tg_written_[i + static_cast<std::size_t>(j) * a_.mt()].exchange(true);
+  if (was && dedup_) {
+    PQR_ASSERT(bitwise_equal(src, dst),
+               "ResultStore: conflicting re-deposit of geqrt T factors");
+    return;
+  }
+  blas::lacpy_all(src, dst);
+  if (!was) log_deposit(1, i, j);
 }
 
 void ResultStore::put_tt(int i, int j, ConstMatrixView t) {
   MatrixView dst = tt_.t(i, j);
-  blas::lacpy_all(t.block(0, 0, dst.rows, dst.cols), dst);
-  log_deposit(2, i, j);
+  const ConstMatrixView src = t.block(0, 0, dst.rows, dst.cols);
+  const bool was =
+      tt_written_[i + static_cast<std::size_t>(j) * a_.mt()].exchange(true);
+  if (was && dedup_) {
+    PQR_ASSERT(bitwise_equal(src, dst),
+               "ResultStore: conflicting re-deposit of tree T factors");
+    return;
+  }
+  blas::lacpy_all(src, dst);
+  if (!was) log_deposit(2, i, j);
 }
 
 void ResultStore::enable_deposit_log() { log_enabled_ = true; }
+
+void ResultStore::enable_dedup() { dedup_ = true; }
 
 void ResultStore::log_deposit(std::uint8_t kind, int i, int j) {
   if (!log_enabled_) return;

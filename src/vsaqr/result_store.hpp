@@ -54,6 +54,21 @@ class ResultStore {
   /// Replay one child's blob into this store.
   void apply_deposits(const prt::Packet& blob);
 
+  // ---- crash recovery: exactly-once deposits ----
+  //
+  // Under crash recovery a deposit can in principle be replayed (a
+  // respawned node re-executes its VDPs from scratch, and the parent
+  // applies whatever epilogue blobs reach it). With dedup enabled a
+  // re-deposit of an already-written slot is verified to be bitwise
+  // identical to the first write and then skipped — it neither
+  // overwrites nor re-logs — so replay is idempotent end to end. A
+  // re-deposit with DIFFERENT content still asserts: that is not
+  // recovery, it is two VDPs claiming one slot.
+
+  /// Make re-deposits idempotent (verify + skip) instead of fatal.
+  /// Call BEFORE the run, alongside enable_deposit_log().
+  void enable_dedup();
+
  private:
   struct Deposit {
     std::uint8_t kind;  ///< 0 = tile, 1 = tg, 2 = tt
@@ -67,7 +82,12 @@ class ResultStore {
   ref::TStore tt_;
   int ib_;
   std::vector<std::atomic<bool>> tile_written_;
+  /// First-writer flags for the T stores, mirroring tile_written_: they
+  /// make put_tg/put_tt replays detectable (and loggable exactly once).
+  std::vector<std::atomic<bool>> tg_written_;
+  std::vector<std::atomic<bool>> tt_written_;
   bool log_enabled_ = false;
+  bool dedup_ = false;
   mutable std::mutex log_mu_;
   std::vector<Deposit> log_;  ///< guarded by log_mu_
 };

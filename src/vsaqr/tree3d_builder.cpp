@@ -294,6 +294,7 @@ class Builder {
       // deposit log ships every child's tiles back for the parent to
       // merge before finish().
       store_->enable_deposit_log();
+      if (opt.max_respawns > 0) store_->enable_dedup();
       auto store = store_;
       vsa_.set_process_hooks(
           [store] { return store->serialize_deposits(); },
@@ -349,6 +350,9 @@ class Builder {
     c.coalesce_bytes = opt.coalesce_bytes;
     c.coalesce_flush_us = opt.coalesce_flush_us;
     c.transport = opt.transport;
+    c.max_respawns = opt.max_respawns;
+    c.replay_log_bytes = opt.replay_log_bytes;
+    c.heartbeat_timeout_seconds = opt.heartbeat_timeout_seconds;
     return c;
   }
 
@@ -597,6 +601,7 @@ class ApplyBuilder {
     vsa_.set_global(store_);
     if (opt.transport == prt::Transport::Socket) {
       store_->enable_deposit_log();
+      if (opt.max_respawns > 0) store_->enable_dedup();
       auto store = store_;
       vsa_.set_process_hooks(
           [store] { return store->serialize_deposits(); },
@@ -640,6 +645,9 @@ class ApplyBuilder {
     c.coalesce_bytes = opt.coalesce_bytes;
     c.coalesce_flush_us = opt.coalesce_flush_us;
     c.transport = opt.transport;
+    c.max_respawns = opt.max_respawns;
+    c.replay_log_bytes = opt.replay_log_bytes;
+    c.heartbeat_timeout_seconds = opt.heartbeat_timeout_seconds;
     return c;
   }
 

@@ -61,6 +61,17 @@ struct TreeQrOptions {
   /// (see prt::Transport). Socket mode ships result tiles back to the
   /// parent through the ResultStore deposit log.
   prt::Transport transport = prt::Transport::InProcess;
+  /// Crash recovery over the Socket transport: how many node-process
+  /// deaths the run may absorb by respawning (see
+  /// prt::Vsa::Config::max_respawns; requires reliable_transport). Also
+  /// switches the ResultStore to idempotent re-deposits.
+  int max_respawns = 0;
+  /// Per-destination byte budget of the crash-replay frame log (see
+  /// prt::Vsa::Config::replay_log_bytes).
+  std::size_t replay_log_bytes = 64 * 1024 * 1024;
+  /// Parent-side liveness deadline on child heartbeats and control-plane
+  /// reads (see prt::Vsa::Config::heartbeat_timeout_seconds).
+  double heartbeat_timeout_seconds = 10.0;
 };
 
 struct TreeQrRun {

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <cstring>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -54,6 +55,7 @@ TEST(SocketCommTest, FullMessageHeaderSurvivesTheWire) {
   EXPECT_EQ(m->seq, 42);
   EXPECT_EQ(m->ack, 7);
   EXPECT_FALSE(m->is_ack);
+  EXPECT_EQ(m->epoch, 0u);  // first incarnation unless told otherwise
   ASSERT_EQ(prt::net::Comm::get_count(*m), 24u);
   for (int i = 0; i < 24; ++i) {
     EXPECT_EQ(m->payload.bytes()[i], static_cast<std::byte>(i * 7));
@@ -61,6 +63,25 @@ TEST(SocketCommTest, FullMessageHeaderSurvivesTheWire) {
   EXPECT_EQ(p.a->messages_offered(), 1);
   EXPECT_EQ(p.a->messages_sent(), 1);
   EXPECT_EQ(p.a->bytes_sent(), 24);
+}
+
+TEST(SocketCommTest, EpochStampsEveryFrameIncludingSelfDelivery) {
+  // Crash recovery fences stale frames by sender incarnation: every frame
+  // a comm emits — wire and self-delivered alike — must carry its epoch.
+  auto mesh = SocketComm::socketpair_mesh(2);
+  SocketComm a(2, 0, mesh[0], /*epoch=*/3, {3, 0});
+  SocketComm b(2, 1, mesh[1], /*epoch=*/0, {3, 0});
+  a.isend(0, 1, 5, Packet::make(8), 1);
+  auto m = b.recv_wait(1, 2'000'000);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->epoch, 3u);
+  a.isend(0, 0, 5, Packet::make(8), 2);
+  auto s = a.try_recv(0);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->epoch, 3u);
+  // The ctor-provided incarnation vector seeds the receiver-side fence.
+  EXPECT_EQ(b.peer_epoch(0), 3u);
+  EXPECT_EQ(a.peer_epoch(1), 0u);
 }
 
 TEST(SocketCommTest, SelfSendStaysLocal) {
@@ -277,13 +298,34 @@ TEST(SocketVsaTest, ExhaustedRetriesSurfaceTheChildRunReport) {
   }
 }
 
-TEST(SocketVsaTest, TracingIsRejectedUpFront) {
+TEST(SocketVsaTest, TraceMergesChildTimelinesIntoOneRecorder) {
+  // Every node process records into its own Recorder; the 'E' epilogue
+  // ships the events plus the child's clock epoch, and the parent
+  // offset-aligns them onto its own timeline. The merged trace must
+  // cover every child's lanes with sane, parent-relative timestamps.
   Matrix a0(40, 10);
   fill_random(a0.view(), 20);
   TileMatrix a = TileMatrix::from_dense(a0.view(), 5);
   auto opt = socket_qr_options(2, 2);
-  opt.trace = true;  // per-process event buffers are not merged (yet)
-  EXPECT_THROW(vsaqr::tree_qr(a, opt), Error);
+  opt.trace = true;
+  auto run = vsaqr::tree_qr(a, opt);
+  ASSERT_FALSE(run.events.empty());
+  // Worker lanes are global thread ids; each node's proxy gets the lane
+  // total_threads + node.
+  const int lanes = opt.nodes * opt.workers_per_node + opt.nodes;
+  std::set<int> seen;
+  for (const auto& ev : run.events) {
+    ASSERT_GE(ev.thread, 0);
+    ASSERT_LT(ev.thread, lanes);
+    ASSERT_LE(ev.t0, ev.t1);
+    // Children start after the parent's clock: a negative t0 would mean
+    // the offset alignment (child epoch - parent epoch) went wrong.
+    ASSERT_GE(ev.t0, 0.0);
+    seen.insert(ev.thread);
+  }
+  EXPECT_GT(seen.size(), 1u) << "trace covers only one lane";
+  // One span per firing, at least (proxies may add more).
+  EXPECT_GE(static_cast<long long>(run.events.size()), run.stats.fires);
 }
 
 TEST(SocketVsaTest, SolveRunsOverTheSocketBackend) {

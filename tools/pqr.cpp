@@ -9,14 +9,21 @@
 //                 --rto-us 2000 --max-retransmits 10
 //                 --coalesce-bytes 65536 --flush-us 50 --no-packet-pool
 //                 --transport inproc|socket
+//                 --max-respawns 0 --replay-log-mb 64 --hb-timeout 10
+//                 --kill-node -1 --kill-after 0
 //                 --kernel-isa auto|avx512|avx2|neon|scalar]
 //
 // The chaos flags install a deterministic FaultPlan on the inter-node
 // transport (same seed => same fault schedule); --reliable layers the
 // ack/retransmit protocol on top so the run still completes correctly.
+// Under --transport socket, --kill-node R --kill-after F SIGKILLs rank R's
+// node process after F firings and --max-respawns N lets the run absorb up
+// to N such deaths by respawning (requires --reliable).
 //   pqr solve    --m 4096 --n 512 [--nrhs 1 ...]
-//   pqr chol     --n 1024 [--nb 128 --nodes 2 --workers 2]
-//   pqr lu       --n 1024 [--nb 128 --nodes 2 --workers 2]
+//   pqr chol     --n 1024 [--nb 128 --nodes 2 --workers 2
+//                 --transport inproc|socket --reliable ...]
+//   pqr lu       --n 1024 [--nb 128 --nodes 2 --workers 2
+//                 --transport inproc|socket --reliable ...]
 //   pqr simulate --m 368640 --n 4608 [--nb 192 --ib 48 --tree hier --h 6
 //                 --nodes 768]
 //
@@ -111,21 +118,11 @@ plan::PlanConfig tree_config(const Args& a) {
   return cfg;
 }
 
-vsaqr::TreeQrOptions qr_options(const Args& a) {
-  vsaqr::TreeQrOptions opt;
-  opt.tree = tree_config(a);
-  opt.ib = a.geti("ib", 32);
-  opt.nodes = a.geti("nodes", 1);
-  opt.workers_per_node = a.geti("workers", 2);
-  opt.scheduling = a.gets("sched", "lazy") == "aggressive"
-                       ? prt::Scheduling::Aggressive
-                       : prt::Scheduling::Lazy;
-  opt.trace = a.has("trace");
-  opt.graph_check = a.geti("graph-check", 1) != 0;
-  opt.channel_impl = a.gets("channel", "spsc") == "mutex"
-                         ? prt::ChannelImpl::Mutex
-                         : prt::ChannelImpl::Spsc;
-  opt.spin_us = a.geti("spin-us", opt.spin_us);
+/// Transport / chaos / reliability / crash-recovery flags, shared by the
+/// factor, solve, chol and lu commands (their option structs carry
+/// identically-named fields).
+template <class Opt>
+void transport_options(Opt& opt, const Args& a) {
   // Transport backend: in-process mailbox threads (default) or one forked
   // OS process per node over Unix-domain sockets.
   const std::string transport = a.gets("transport", "inproc");
@@ -144,18 +141,55 @@ vsaqr::TreeQrOptions qr_options(const Args& a) {
   opt.fault_plan.delay = a.getd("delay", 0.0);
   opt.fault_plan.reorder = a.getd("reorder", 0.0);
   opt.fault_plan.delay_us = a.geti("delay-us", opt.fault_plan.delay_us);
+  // Process-level fault + the recovery budget that absorbs it.
+  opt.fault_plan.kill_rank = a.geti("kill-node", opt.fault_plan.kill_rank);
+  opt.fault_plan.kill_after = a.geti("kill-after", 0);
   opt.reliable_transport = a.geti("reliable", 0) != 0;
   opt.retransmit_timeout_us = a.geti("rto-us", opt.retransmit_timeout_us);
   opt.max_retransmits = a.geti("max-retransmits", opt.max_retransmits);
-  // Egress coalescing (--coalesce-bytes 0 turns it off).
-  opt.coalesce_bytes = static_cast<std::size_t>(
-      a.geti("coalesce-bytes", static_cast<int>(opt.coalesce_bytes)));
-  opt.coalesce_flush_us = a.geti("flush-us", opt.coalesce_flush_us);
+  opt.max_respawns = a.geti("max-respawns", opt.max_respawns);
+  opt.replay_log_bytes = static_cast<std::size_t>(a.geti(
+                             "replay-log-mb",
+                             static_cast<int>(opt.replay_log_bytes >> 20)))
+                         << 20;
+  opt.heartbeat_timeout_seconds =
+      a.getd("hb-timeout", opt.heartbeat_timeout_seconds);
   if (opt.fault_plan.any() && !opt.reliable_transport) {
     std::fprintf(stderr,
                  "warning: fault injection without --reliable; expect a "
                  "watchdog RunError on lossy schedules\n");
   }
+}
+
+/// One line of crash-recovery accounting, printed when recovery was armed
+/// or actually exercised.
+void print_recovery(const prt::Vsa::RunStats& stats, int max_respawns) {
+  if (max_respawns <= 0 && stats.respawns == 0) return;
+  std::printf("recovery: respawns=%lld replayed_frames=%lld "
+              "refired_fires=%lld\n",
+              stats.respawns, stats.replayed_frames, stats.refired_fires);
+}
+
+vsaqr::TreeQrOptions qr_options(const Args& a) {
+  vsaqr::TreeQrOptions opt;
+  opt.tree = tree_config(a);
+  opt.ib = a.geti("ib", 32);
+  opt.nodes = a.geti("nodes", 1);
+  opt.workers_per_node = a.geti("workers", 2);
+  opt.scheduling = a.gets("sched", "lazy") == "aggressive"
+                       ? prt::Scheduling::Aggressive
+                       : prt::Scheduling::Lazy;
+  opt.trace = a.has("trace");
+  opt.graph_check = a.geti("graph-check", 1) != 0;
+  opt.channel_impl = a.gets("channel", "spsc") == "mutex"
+                         ? prt::ChannelImpl::Mutex
+                         : prt::ChannelImpl::Spsc;
+  opt.spin_us = a.geti("spin-us", opt.spin_us);
+  transport_options(opt, a);
+  // Egress coalescing (--coalesce-bytes 0 turns it off).
+  opt.coalesce_bytes = static_cast<std::size_t>(
+      a.geti("coalesce-bytes", static_cast<int>(opt.coalesce_bytes)));
+  opt.coalesce_flush_us = a.geti("flush-us", opt.coalesce_flush_us);
   return opt;
 }
 
@@ -192,6 +226,7 @@ int cmd_factor(const Args& a) {
                 run.stats.fault_streams, run.stats.retransmits,
                 run.stats.duplicates_suppressed, run.stats.acks_sent);
   }
+  print_recovery(run.stats, opt.max_respawns);
   if (a.has("trace")) {
     std::ofstream os(a.gets("trace", "trace.csv"));
     prt::trace::write_csv(os, run.events);
@@ -250,7 +285,9 @@ int cmd_chol(const Args& a) {
   opt.nodes = a.geti("nodes", 1);
   opt.workers_per_node = a.geti("workers", 2);
   opt.graph_check = a.geti("graph-check", 1) != 0;
+  transport_options(opt, a);
   auto run = chol::vsa_cholesky(TileMatrix::from_dense(spd.view(), nb), opt);
+  print_recovery(run.stats, opt.max_respawns);
   Matrix l = chol::extract_l(run.l);
   Matrix llt(n, n);
   blas::gemm(blas::Trans::No, blas::Trans::Yes, 1.0, l.view(), l.view(), 0.0,
@@ -276,7 +313,9 @@ int cmd_lu(const Args& a) {
   opt.nodes = a.geti("nodes", 1);
   opt.workers_per_node = a.geti("workers", 2);
   opt.graph_check = a.geti("graph-check", 1) != 0;
+  transport_options(opt, a);
   auto run = lu::vsa_lu(TileMatrix::from_dense(m.view(), nb), opt);
+  print_recovery(run.stats, opt.max_respawns);
   // Verify by solving a planted system through the factors.
   Rng rng(a.geti("seed", 1) + 7);
   std::vector<double> xtrue(n);
