@@ -1,0 +1,166 @@
+// Throughput benchmark for the batched small-matrix QR path: jobs/sec and
+// Gflop/s of the fused single-graph plan against (a) one VSA graph per
+// matrix — the cost a caller pays without the batch API, isolating the
+// per-graph build + GraphCheck + worker spawn/teardown overhead — and
+// (b) a plain sequential LAPACK-style geqrt loop, the zero-runtime floor.
+// All three run the identical geqrt kernel on identical bytes, so the
+// deltas are pure runtime overhead. Timing is manual: the input refill
+// (matrices are factored in place) happens outside the measured region.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "blas/simd.hpp"
+#include "common/rng.hpp"
+#include "kernels/tile_kernels.hpp"
+#include "plan/flops.hpp"
+#include "vsaqr/qr_batch.hpp"
+
+namespace {
+
+using namespace pulsarqr;
+
+constexpr int kIb = 32;
+constexpr int kWorkers = 2;  // same thread count for fused and per-matrix
+
+template <class T>
+struct BatchData {
+  std::vector<MatrixT<T>> pristine, a, t;
+  std::vector<MatrixViewT<T>> av, tv;
+  std::size_t tile_bytes;
+
+  BatchData(int batch, int m, int n) {
+    const int k = std::min(m, n);
+    tile_bytes = sizeof(T) * static_cast<std::size_t>(m) * n;
+    pristine.reserve(batch);
+    a.reserve(batch);
+    t.reserve(batch);
+    Rng rng(20260808);
+    for (int i = 0; i < batch; ++i) {
+      pristine.emplace_back(m, n);
+      MatrixT<T>& p = pristine.back();
+      for (int j = 0; j < n; ++j) {
+        for (int r = 0; r < m; ++r) p(r, j) = static_cast<T>(rng.next_symmetric());
+      }
+      a.push_back(p);
+      t.emplace_back(std::min(kIb, k), k);
+    }
+    for (int i = 0; i < batch; ++i) {
+      av.push_back(a[i].view());
+      tv.push_back(t[i].view());
+    }
+  }
+
+  void refill() {
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      std::memcpy(a[i].data(), pristine[i].data(), tile_bytes);
+    }
+  }
+};
+
+void set_counters(benchmark::State& state, int batch, int m, int n) {
+  const double jobs = static_cast<double>(state.iterations()) * batch;
+  state.SetItemsProcessed(static_cast<int64_t>(jobs));
+  state.counters["jobs_per_s"] =
+      benchmark::Counter(jobs, benchmark::Counter::kIsRate);
+  state.counters["Gflop/s"] = benchmark::Counter(
+      jobs * plan::flops_geqrt(m, n) * 1e-9, benchmark::Counter::kIsRate);
+  state.SetLabel(blas::simd::isa_name(blas::simd::active_isa()));
+}
+
+template <class T>
+void bm_batch_fused(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  const int n = static_cast<int>(state.range(2));
+  BatchData<T> data(batch, m, n);
+  vsaqr::BatchOptions opt;
+  opt.ib = kIb;
+  opt.workers_per_node = kWorkers;
+  for (auto _ : state) {
+    data.refill();
+    const auto t0 = std::chrono::steady_clock::now();
+    const vsaqr::BatchRun run = vsaqr::qr_batch(
+        std::span<const MatrixViewT<T>>(data.av),
+        std::span<const MatrixViewT<T>>(data.tv), opt);
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    benchmark::DoNotOptimize(run.stats.fires);
+    state.SetIterationTime(dt.count());
+  }
+  set_counters(state, batch, m, n);
+}
+
+void BM_qr_batch_fused(benchmark::State& state) {
+  bm_batch_fused<double>(state);
+}
+
+void BM_qr_batch_fused_f32(benchmark::State& state) {
+  bm_batch_fused<float>(state);
+}
+
+// One full VSA lifecycle per matrix: what the batch API exists to amortize.
+void BM_qr_single_graph(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  const int n = static_cast<int>(state.range(2));
+  BatchData<double> data(batch, m, n);
+  vsaqr::BatchOptions opt;
+  opt.ib = kIb;
+  opt.workers_per_node = kWorkers;
+  for (auto _ : state) {
+    data.refill();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < batch; ++i) {
+      const vsaqr::BatchRun run =
+          vsaqr::qr_batch(std::span<const MatrixView>(&data.av[i], 1),
+                          std::span<const MatrixView>(&data.tv[i], 1), opt);
+      benchmark::DoNotOptimize(run.stats.fires);
+    }
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    state.SetIterationTime(dt.count());
+  }
+  set_counters(state, batch, m, n);
+}
+
+// The zero-runtime floor: a plain loop of geqrt calls on one thread.
+void BM_qr_sequential(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  const int n = static_cast<int>(state.range(2));
+  BatchData<double> data(batch, m, n);
+  kernels::Workspace ws;
+  for (auto _ : state) {
+    data.refill();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < batch; ++i) {
+      kernels::geqrt(data.av[i], kIb, data.tv[i], ws);
+    }
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    state.SetIterationTime(dt.count());
+  }
+  set_counters(state, batch, m, n);
+}
+
+}  // namespace
+
+BENCHMARK(BM_qr_batch_fused)
+    ->Args({64, 64, 16})->Args({1024, 64, 16})
+    ->Args({64, 128, 32})->Args({1024, 128, 32})
+    ->UseManualTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_qr_batch_fused_f32)
+    ->Args({1024, 64, 16})
+    ->UseManualTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_qr_single_graph)
+    ->Args({64, 64, 16})->Args({1024, 64, 16})
+    ->Args({64, 128, 32})->Args({1024, 128, 32})
+    ->UseManualTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_qr_sequential)
+    ->Args({64, 64, 16})->Args({1024, 64, 16})
+    ->Args({64, 128, 32})->Args({1024, 128, 32})
+    ->UseManualTime()->Unit(benchmark::kMillisecond);

@@ -375,17 +375,79 @@ void gemm_ref_t(Trans ta, Trans tb, T alpha, ConstMatrixViewT<T> a,
   }
 }
 
+// Crossover between the direct small path and the packed loop nest,
+// derived from the active table's register tile: packing (two streaming
+// copies plus zero padding) starts paying for itself once the product
+// covers roughly 64 micro-tile volumes. For the AVX-512 f64 tile (16x4)
+// this reproduces the old hard-coded 4096 cutoff; smaller tiles (scalar
+// 8x4, NEON 4x4) amortize packing sooner and now get a lower threshold
+// instead of inheriting a constant tuned on the widest ISA.
+template <class T>
+long long gemm_small_max_work_t() {
+  const simd::KernelTable<T>& kt = simd::kernels<T>();
+  return 64LL * kt.mr * kt.nr;
+}
+
+// Direct small-shape gemm: every column of C is produced by one fused
+// table sweep over the operands in place — no packing, and (unlike the
+// packed path) no thread_local pack-buffer touch, so a tiny product never
+// faults in the MC*KC/KC*NC panel pages. TT is the one combination with
+// no contiguous fused sweep (both operands would be row-strided); it is
+// rare in the QR kernels and falls back to the reference sweep.
+template <class T>
+void gemm_small_t(Trans ta, Trans tb, T alpha, ConstMatrixViewT<T> a,
+                  ConstMatrixViewT<T> b, T beta, MatrixViewT<T> c) {
+  const int m = c.rows;
+  const int n = c.cols;
+  const int k = (ta == Trans::No) ? a.cols : a.rows;
+  {
+    const int kb = (tb == Trans::No) ? b.rows : b.cols;
+    const int ma = (ta == Trans::No) ? a.rows : a.cols;
+    const int nb_ = (tb == Trans::No) ? b.cols : b.rows;
+    PQR_ASSERT(k == kb && ma == m && nb_ == n, "gemm: shape mismatch");
+  }
+  if (beta == T(0)) {
+    laset_all_t(T(0), T(0), c);
+  } else if (beta != T(1)) {
+    for (int j = 0; j < c.cols; ++j) scal(c.rows, beta, c.col(j));
+  }
+  if (alpha == T(0) || k == 0 || m == 0 || n == 0) return;
+  const simd::KernelTable<T>& kt = simd::kernels<T>();
+  if (ta == Trans::No && tb == Trans::No) {
+    // C.col(j) += alpha * sum_p B(p,j) * A.col(p)
+    for (int j = 0; j < n; ++j) {
+      kt.axpy_cols(m, alpha, b.col(j), 1, a.data, a.ld, k, c.col(j));
+    }
+  } else if (ta == Trans::Yes && tb == Trans::No) {
+    // C(i,j) += alpha * dot(A.col(i), B.col(j))
+    for (int j = 0; j < n; ++j) {
+      kt.dot_cols(k, alpha, b.col(j), a.data, a.ld, m, c.col(j), 1);
+    }
+  } else if (ta == Trans::No && tb == Trans::Yes) {
+    // C.col(j) += alpha * sum_p B(j,p) * A.col(p): B's row j is the
+    // coefficient vector, strided by its leading dimension.
+    for (int j = 0; j < n; ++j) {
+      kt.axpy_cols(m, alpha, b.data + j, b.ld, a.data, a.ld, k, c.col(j));
+    }
+  } else {
+    gemm_tt(alpha, a, b, c);
+  }
+}
+
 template <class T>
 void gemm_t(Trans ta, Trans tb, T alpha, ConstMatrixViewT<T> a,
             ConstMatrixViewT<T> b, T beta, MatrixViewT<T> c) {
   const int k = (ta == Trans::No) ? a.cols : a.rows;
-  // Tiny products cannot amortize the packing sweep; keep them on the
-  // sweep kernels regardless of the knob.
+  // Tiny products cannot amortize the packing sweep; they go to the
+  // direct small tier instead (still through the SIMD tables, but with
+  // the operands read in place).
   const long long work = static_cast<long long>(c.rows) * c.cols * k;
-  if (gemm_impl() == GemmImpl::Packed && work > 4096) {
+  if (gemm_impl() != GemmImpl::Packed) {
+    gemm_ref(ta, tb, alpha, a, b, beta, c);
+  } else if (work > gemm_small_max_work_t<T>()) {
     gemm_packed(ta, tb, alpha, a, b, beta, c);
   } else {
-    gemm_ref(ta, tb, alpha, a, b, beta, c);
+    gemm_small_t(ta, tb, alpha, a, b, beta, c);
   }
 }
 
@@ -406,6 +468,20 @@ void gemm_ref(Trans ta, Trans tb, float alpha, ConstMatrixViewF a,
               ConstMatrixViewF b, float beta, MatrixViewF c) {
   gemm_ref_t(ta, tb, alpha, a, b, beta, c);
 }
+
+void gemm_small(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+                ConstMatrixView b, double beta, MatrixView c) {
+  gemm_small_t(ta, tb, alpha, a, b, beta, c);
+}
+
+void gemm_small(Trans ta, Trans tb, float alpha, ConstMatrixViewF a,
+                ConstMatrixViewF b, float beta, MatrixViewF c) {
+  gemm_small_t(ta, tb, alpha, a, b, beta, c);
+}
+
+long long gemm_small_max_work_f64() { return gemm_small_max_work_t<double>(); }
+
+long long gemm_small_max_work_f32() { return gemm_small_max_work_t<float>(); }
 
 void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView a,
           ConstMatrixView b, double beta, MatrixView c) {

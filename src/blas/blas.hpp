@@ -78,6 +78,23 @@ void gemm_ref(Trans ta, Trans tb, double alpha, ConstMatrixView a,
 void gemm_packed(Trans ta, Trans tb, double alpha, ConstMatrixView a,
                  ConstMatrixView b, double beta, MatrixView c);
 
+/// Direct small-shape implementation: no packing, no pack-buffer touch —
+/// the operands are streamed straight through the active kernel table's
+/// fused column sweeps (axpy_cols / dot_cols). This is where gemm() sends
+/// products below gemm_small_max_work(); directly callable for A/B tests
+/// and benches. Same contract as gemm().
+void gemm_small(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+                ConstMatrixView b, double beta, MatrixView c);
+void gemm_small(Trans ta, Trans tb, float alpha, ConstMatrixViewF a,
+                ConstMatrixViewF b, float beta, MatrixViewF c);
+
+/// Largest m*n*k the Packed dispatch routes to gemm_small instead of the
+/// packed loop nest. Derived from the active kernel table's register tile
+/// (64 micro-tile volumes, i.e. 64*mr*nr), not a hard-coded constant: the
+/// packing sweep amortizes later on tables with bigger tiles.
+long long gemm_small_max_work_f64();
+long long gemm_small_max_work_f32();
+
 /// B := alpha * op(A) * B (Side::Left) or alpha * B * op(A) (Side::Right),
 /// A triangular.
 void trmm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,

@@ -166,10 +166,19 @@ void gemm_packed_t(Trans ta, Trans tb, T alpha, ConstMatrixViewT<T> a,
   const int nr = kt.nr;
 
   PackBuffers<T>& bufs = pack_buffers<T>();
-  // Worst-case panel footprints: blocks rounded up to whole mr/nr panels.
-  bufs.a.reserve(static_cast<std::size_t>(MC + mr - 1) / mr * mr * KC);
-  const int nc_max = std::min(((n + nr - 1) / nr) * nr, NC + nr - 1);
-  bufs.b.reserve(static_cast<std::size_t>(KC) * nc_max);
+  // Panel footprints for THIS problem, capped by the cache blocking and
+  // rounded up to whole mr/nr panels. Sizing to the problem (instead of
+  // the worst-case MC*KC / KC*NC) keeps sub-block products from faulting
+  // in megabytes of thread_local pack pages they will never use; the
+  // buffers remain grow-only, so steady-state calls still allocate
+  // nothing once a thread has seen its largest shape.
+  const int kc_max = std::min(KC, k);
+  const int mc_max =
+      std::min(((m + mr - 1) / mr) * mr, ((MC + mr - 1) / mr) * mr);
+  const int nc_max =
+      std::min(((n + nr - 1) / nr) * nr, ((NC + nr - 1) / nr) * nr);
+  bufs.a.reserve(static_cast<std::size_t>(mc_max) * kc_max);
+  bufs.b.reserve(static_cast<std::size_t>(kc_max) * nc_max);
 
   for (int jc = 0; jc < n; jc += NC) {
     const int nc = std::min(NC, n - jc);

@@ -88,6 +88,13 @@ struct KernelTable {
   /// dimension ldx.
   void (*axpy_cols)(int n, T alpha, const T* coeff, int inc_c, const T* x,
                     int ldx, int ncols, T* y) = nullptr;
+  /// Fused Householder apply C := (I - tau * v * v^T) C for the small-panel
+  /// geqr2 path: C is m-by-n with leading dimension ldc, v has length m
+  /// with v(0) = 1 implicit (v[0] is never read). Four columns at a time,
+  /// the reduction (w_j = v^T c_j) and the update (c_j -= tau * w_j * v)
+  /// run back-to-back while the block is register/L1 resident — no
+  /// workspace, unlike the classic two-pass larf with a work vector.
+  void (*larf)(int m, int n, T tau, const T* v, T* c, int ldc) = nullptr;
 };
 
 namespace detail {

@@ -240,6 +240,71 @@ struct Kernels {
     }
   }
 
+  // Fused small-panel Householder apply: C := (I - tau * v * v^T) C with
+  // v(0) = 1 implicit. Per block of four columns the dot pass (w_j =
+  // c_j(0) + dot(v[1:], c_j[1:])) and the update pass (c_j(0) -= tau*w_j;
+  // c_j[1:] -= tau*w_j * v[1:]) run back-to-back, so v and the column
+  // block stay cache-hot and no work vector is needed — this is the
+  // geqr2 inner loop of the batched small-matrix QR path.
+  static void larf(int m, int n, T tau, const T* v, T* c, int ldc) {
+    if (tau == T(0) || m <= 0) return;
+    const int len = m - 1;  // rows below the implicit leading 1
+    const T* vt = v + 1;
+    int j = 0;
+    for (; j + 4 <= n; j += 4) {
+      T* c0 = c + static_cast<std::ptrdiff_t>(j) * ldc;
+      T* c1 = c0 + ldc;
+      T* c2 = c1 + ldc;
+      T* c3 = c2 + ldc;
+      reg a0 = VT::zero(), a1 = VT::zero(), a2 = VT::zero(), a3 = VT::zero();
+      int i = 0;
+      for (; i + W <= len; i += W) {
+        const reg xv = VT::loadu(vt + i);
+        a0 = VT::fma(xv, VT::loadu(c0 + 1 + i), a0);
+        a1 = VT::fma(xv, VT::loadu(c1 + 1 + i), a1);
+        a2 = VT::fma(xv, VT::loadu(c2 + 1 + i), a2);
+        a3 = VT::fma(xv, VT::loadu(c3 + 1 + i), a3);
+      }
+      T s0 = c0[0] + VT::hsum(a0), s1 = c1[0] + VT::hsum(a1),
+        s2 = c2[0] + VT::hsum(a2), s3 = c3[0] + VT::hsum(a3);
+      for (; i < len; ++i) {
+        const T vi = vt[i];
+        s0 += vi * c0[1 + i];
+        s1 += vi * c1[1 + i];
+        s2 += vi * c2[1 + i];
+        s3 += vi * c3[1 + i];
+      }
+      const T t0 = tau * s0, t1 = tau * s1, t2 = tau * s2, t3 = tau * s3;
+      c0[0] -= t0;
+      c1[0] -= t1;
+      c2[0] -= t2;
+      c3[0] -= t3;
+      const reg w0 = VT::set1(-t0), w1 = VT::set1(-t1), w2 = VT::set1(-t2),
+                w3 = VT::set1(-t3);
+      i = 0;
+      for (; i + W <= len; i += W) {
+        const reg xv = VT::loadu(vt + i);
+        VT::storeu(c0 + 1 + i, VT::fma(w0, xv, VT::loadu(c0 + 1 + i)));
+        VT::storeu(c1 + 1 + i, VT::fma(w1, xv, VT::loadu(c1 + 1 + i)));
+        VT::storeu(c2 + 1 + i, VT::fma(w2, xv, VT::loadu(c2 + 1 + i)));
+        VT::storeu(c3 + 1 + i, VT::fma(w3, xv, VT::loadu(c3 + 1 + i)));
+      }
+      for (; i < len; ++i) {
+        const T vi = vt[i];
+        c0[1 + i] -= t0 * vi;
+        c1[1 + i] -= t1 * vi;
+        c2[1 + i] -= t2 * vi;
+        c3[1 + i] -= t3 * vi;
+      }
+    }
+    for (; j < n; ++j) {
+      T* cj = c + static_cast<std::ptrdiff_t>(j) * ldc;
+      const T t = tau * (cj[0] + dot(len, vt, cj + 1));
+      cj[0] -= t;
+      axpy(len, -t, vt, cj + 1);
+    }
+  }
+
   static KernelTable<T> table() {
     KernelTable<T> t;
     t.mr = MR;
@@ -250,6 +315,7 @@ struct Kernels {
     t.dot_cols = &dot_cols;
     t.ger_cols = &ger_cols;
     t.axpy_cols = &axpy_cols;
+    t.larf = &larf;
     return t;
   }
 };

@@ -31,6 +31,24 @@ void ormqr(blas::Trans trans, ConstMatrixView v, ConstMatrixView t, int ib,
   lapack::ormqr_t(trans, v, t, ib, c, tls_workspace());
 }
 
+void geqrt(MatrixViewF a, int ib, MatrixViewF t, Workspace& ws) {
+  lapack::geqrt(a, ib, t, ws);
+}
+
+void geqrt(MatrixViewF a, int ib, MatrixViewF t) {
+  lapack::geqrt(a, ib, t, tls_workspace());
+}
+
+void ormqr(blas::Trans trans, ConstMatrixViewF v, ConstMatrixViewF t, int ib,
+           MatrixViewF c, Workspace& ws) {
+  lapack::ormqr_t(trans, v, t, ib, c, ws);
+}
+
+void ormqr(blas::Trans trans, ConstMatrixViewF v, ConstMatrixViewF t, int ib,
+           MatrixViewF c) {
+  lapack::ormqr_t(trans, v, t, ib, c, tls_workspace());
+}
+
 namespace {
 
 // Row bound of column c of the stacked block A2/V2: the dense (TS) kernels

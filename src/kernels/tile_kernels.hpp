@@ -73,9 +73,15 @@ void ttmqr(blas::Trans trans, ConstMatrixView v2, ConstMatrixView t, int ib,
 void ttmqr(blas::Trans trans, ConstMatrixView v2, ConstMatrixView t, int ib,
            MatrixView c1, MatrixView c2);
 
-// Single-precision instantiations of the stacked (tree) kernels. The cores
-// are templated on the scalar type and route through the same SIMD kernel
-// tables; contracts match the double versions.
+// Single-precision instantiations of the panel and stacked (tree) kernels.
+// The cores are templated on the scalar type and route through the same
+// SIMD kernel tables; contracts match the double versions.
+void geqrt(MatrixViewF a, int ib, MatrixViewF t, Workspace& ws);
+void geqrt(MatrixViewF a, int ib, MatrixViewF t);
+void ormqr(blas::Trans trans, ConstMatrixViewF v, ConstMatrixViewF t, int ib,
+           MatrixViewF c, Workspace& ws);
+void ormqr(blas::Trans trans, ConstMatrixViewF v, ConstMatrixViewF t, int ib,
+           MatrixViewF c);
 void tsqrt(MatrixViewF a1, MatrixViewF a2, int ib, MatrixViewF t,
            Workspace& ws);
 void tsmqr(blas::Trans trans, ConstMatrixViewF v2, ConstMatrixViewF t, int ib,

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "blas/simd.hpp"
+
 namespace pulsarqr::lapack {
 
 using blas::Diag;
@@ -41,56 +43,33 @@ T larfg_t(int n, T& alpha, T* x) {
   return tau;
 }
 
-}  // namespace
-
-double larfg(int n, double& alpha, double* x) { return larfg_t(n, alpha, x); }
-
-float larfg(int n, float& alpha, float* x) { return larfg_t(n, alpha, x); }
-
-void larf_left(const double* v, double tau, MatrixView c, double* work) {
-  if (tau == 0.0) return;
-  const int m = c.rows;
-  const int n = c.cols;
-  // work := C^T v  (v(0) = 1 implicit)
-  for (int j = 0; j < n; ++j) {
-    const double* cj = c.col(j);
-    double s = cj[0];
-    for (int i = 1; i < m; ++i) s += cj[i] * v[i];
-    work[j] = s;
-  }
-  // C := C - tau * v * work^T
-  for (int j = 0; j < n; ++j) {
-    const double t = tau * work[j];
-    if (t == 0.0) continue;
-    double* cj = c.col(j);
-    cj[0] -= t;
-    for (int i = 1; i < m; ++i) cj[i] -= t * v[i];
-  }
-}
-
-void larft(ConstMatrixView v, const double* tau, MatrixView t) {
+template <class T>
+void larft_t(ConstMatrixViewT<T> v, const T* tau, MatrixViewT<T> t) {
   const int k = v.cols;
   PQR_ASSERT(t.rows >= k && t.cols >= k, "larft: T too small");
   const int m = v.rows;
+  const blas::simd::KernelTable<T>& kt = blas::simd::kernels<T>();
   for (int i = 0; i < k; ++i) {
     t(i, i) = tau[i];
     if (i == 0) continue;
     // t(0:i, i) = -tau_i * V(:, 0:i)^T * v_i, exploiting the unit-lower
-    // trapezoidal structure: v_i has zeros above row i and v_i(i) = 1.
-    for (int j = 0; j < i; ++j) {
-      // dot over rows i..m-1; row i of column j is v(i, j), v_i(i) = 1.
-      double s = v(i, j);  // * v_i(i) == 1
-      for (int r = i + 1; r < m; ++r) s += v(r, j) * v(r, i);
-      t(j, i) = -tau[i] * s;
+    // trapezoidal structure: v_i has zeros above row i and v_i(i) = 1, so
+    // the head term is v(i, j) and the tail is one fused multi-column dot
+    // over rows i+1..m-1.
+    for (int j = 0; j < i; ++j) t(j, i) = -tau[i] * v(i, j);
+    if (i + 1 < m) {
+      kt.dot_cols(m - i - 1, -tau[i], v.col(i) + i + 1, v.col(0) + i + 1,
+                  v.ld, i, t.col(i), 1);
     }
     // t(0:i, i) := T(0:i, 0:i) * t(0:i, i)
     blas::trmv(Uplo::Upper, Trans::No, Diag::NonUnit,
-               ConstMatrixView(t.data, i, i, t.ld), t.col(i));
+               ConstMatrixViewT<T>(t.data, i, i, t.ld), t.col(i));
   }
 }
 
-void larfb_left(blas::Trans trans, ConstMatrixView v, ConstMatrixView t,
-                MatrixView c, double* work) {
+template <class T>
+void larfb_left_t(blas::Trans trans, ConstMatrixViewT<T> v,
+                  ConstMatrixViewT<T> t, MatrixViewT<T> c, T* work) {
   const int m = c.rows;
   const int n = c.cols;
   const int k = v.cols;
@@ -98,30 +77,54 @@ void larfb_left(blas::Trans trans, ConstMatrixView v, ConstMatrixView t,
              "larfb_left: shape mismatch");
   if (k == 0 || m == 0 || n == 0) return;
   // W (k-by-n) = V^T C, with V = [V1 (unit lower tri, k-by-k); V2].
-  MatrixView w(work, k, n, k);
+  MatrixViewT<T> w(work, k, n, k);
   // W := V1^T C1 : copy C1 then trmm.
-  blas::lacpy_all(ConstMatrixView(c.data, k, n, c.ld), w);
-  blas::trmm(blas::Side::Left, Uplo::Lower, Trans::Yes, Diag::Unit,
-             1.0, ConstMatrixView(v.data, k, k, v.ld), w);
+  blas::lacpy_all(ConstMatrixViewT<T>(c.data, k, n, c.ld), w);
+  blas::trmm(blas::Side::Left, Uplo::Lower, Trans::Yes, Diag::Unit, T(1),
+             ConstMatrixViewT<T>(v.data, k, k, v.ld), w);
   if (m > k) {
-    blas::gemm(Trans::Yes, Trans::No, 1.0, v.block(k, 0, m - k, k),
-               ConstMatrixView(c.data + k, m - k, n, c.ld), 1.0, w);
+    blas::gemm(Trans::Yes, Trans::No, T(1), v.block(k, 0, m - k, k),
+               ConstMatrixViewT<T>(c.data + k, m - k, n, c.ld), T(1), w);
   }
   // W := op(T) W
-  blas::trmm(blas::Side::Left, Uplo::Upper, trans, Diag::NonUnit, 1.0,
-             ConstMatrixView(t.data, k, k, t.ld), w);
+  blas::trmm(blas::Side::Left, Uplo::Upper, trans, Diag::NonUnit, T(1),
+             ConstMatrixViewT<T>(t.data, k, k, t.ld), w);
   // C := C - V W
   if (m > k) {
-    blas::gemm(Trans::No, Trans::No, -1.0, v.block(k, 0, m - k, k),
-               ConstMatrixView(w), 1.0,
-               MatrixView(c.data + k, m - k, n, c.ld));
+    blas::gemm(Trans::No, Trans::No, T(-1), v.block(k, 0, m - k, k),
+               ConstMatrixViewT<T>(w), T(1),
+               MatrixViewT<T>(c.data + k, m - k, n, c.ld));
   }
   // C1 := C1 - V1 W : compute V1 W via trmm into a copy of W, then subtract.
-  blas::trmm(blas::Side::Left, Uplo::Lower, Trans::No, Diag::Unit, 1.0,
-             ConstMatrixView(v.data, k, k, v.ld), w);
+  blas::trmm(blas::Side::Left, Uplo::Lower, Trans::No, Diag::Unit, T(1),
+             ConstMatrixViewT<T>(v.data, k, k, v.ld), w);
   for (int j = 0; j < n; ++j) {
-    blas::axpy(k, -1.0, w.col(j), c.col(j));
+    blas::axpy(k, T(-1), w.col(j), c.col(j));
   }
+}
+
+}  // namespace
+
+double larfg(int n, double& alpha, double* x) { return larfg_t(n, alpha, x); }
+
+float larfg(int n, float& alpha, float* x) { return larfg_t(n, alpha, x); }
+
+void larft(ConstMatrixView v, const double* tau, MatrixView t) {
+  larft_t(v, tau, t);
+}
+
+void larft(ConstMatrixViewF v, const float* tau, MatrixViewF t) {
+  larft_t(v, tau, t);
+}
+
+void larfb_left(blas::Trans trans, ConstMatrixView v, ConstMatrixView t,
+                MatrixView c, double* work) {
+  larfb_left_t(trans, v, t, c, work);
+}
+
+void larfb_left(blas::Trans trans, ConstMatrixViewF v, ConstMatrixViewF t,
+                MatrixViewF c, float* work) {
+  larfb_left_t(trans, v, t, c, work);
 }
 
 }  // namespace pulsarqr::lapack

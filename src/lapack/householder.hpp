@@ -4,6 +4,11 @@
 // Conventions follow LAPACK: a reflector is H = I - tau * v * v^T with
 // v(0) = 1 implicit; a block of k reflectors is H_1 ... H_k =
 // I - V * T * V^T with V unit-lower-trapezoidal and T upper triangular.
+//
+// Every routine exists for double and float: the single-precision overloads
+// back the f32 geqrt/qr_batch path. The rank-1 apply itself (dlarf) lives
+// in the SIMD kernel tables as the fused `larf` entry (blas/simd.hpp) and
+// is called directly by geqr2 — there is no separate larf routine here.
 #pragma once
 
 #include "blas/blas.hpp"
@@ -18,19 +23,18 @@ double larfg(int n, double& alpha, double* x);
 /// Single-precision variant (same contract), for the float kernel path.
 float larfg(int n, float& alpha, float* x);
 
-/// Apply H = I - tau * v * v^T from the left to C. v has length C.rows
-/// with v(0) = 1 implicit (v[0] is not read). work must hold C.cols doubles.
-void larf_left(const double* v, double tau, MatrixView c, double* work);
-
 /// Form the T factor of a block reflector from V (m-by-k, unit lower
 /// trapezoidal, diagonal ones implicit) and tau (length k). T is k-by-k
 /// upper triangular, written into t.
 void larft(ConstMatrixView v, const double* tau, MatrixView t);
+void larft(ConstMatrixViewF v, const float* tau, MatrixViewF t);
 
 /// Apply a block reflector (or its transpose) from the left:
 /// C := (I - V op(T) V^T) C, with trans selecting op(T) = T or T^T.
-/// V is m-by-k unit-lower-trapezoidal; work must hold k * C.cols doubles.
+/// V is m-by-k unit-lower-trapezoidal; work must hold k * C.cols scalars.
 void larfb_left(blas::Trans trans, ConstMatrixView v, ConstMatrixView t,
                 MatrixView c, double* work);
+void larfb_left(blas::Trans trans, ConstMatrixViewF v, ConstMatrixViewF t,
+                MatrixViewF c, float* work);
 
 }  // namespace pulsarqr::lapack

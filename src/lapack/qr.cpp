@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "blas/simd.hpp"
 #include "lapack/householder.hpp"
 
 namespace pulsarqr::lapack {
@@ -12,26 +13,82 @@ using blas::Uplo;
 using kernels::Workspace;
 using kernels::WsFrame;
 
-void geqr2(MatrixView a, double* tau, Workspace& ws) {
+namespace {
+
+// The geqr2 trailing update is the kernel table's fused larf entry (dot
+// and rank-1 update in one cache-hot sweep, no work vector), which is what
+// makes the sub-nb64 batched path cheap: a 64x16 geqr2 performs no
+// workspace traffic at all.
+template <class T>
+void geqr2_t(MatrixViewT<T> a, T* tau) {
   const int m = a.rows;
   const int n = a.cols;
   const int k = std::min(m, n);
-  WsFrame frame(ws);
-  double* work = ws.alloc(std::max(n, 1));
+  const blas::simd::KernelTable<T>& kt = blas::simd::kernels<T>();
   for (int j = 0; j < k; ++j) {
-    double* col = a.col(j) + j;
+    T* col = a.col(j) + j;
     tau[j] = larfg(m - j, col[0], col + 1);
     if (j + 1 < n) {
-      // Apply H_j to the trailing columns; col[0] temporarily plays v(0)=1.
-      const double ajj = col[0];
-      col[0] = 1.0;
-      larf_left(col, tau[j], a.block(j, j + 1, m - j, n - j - 1), work);
-      col[0] = ajj;
+      // Apply H_j to the trailing columns; larf treats v(0) = 1 as
+      // implicit, so col[0] (which already holds beta) is never read.
+      kt.larf(m - j, n - j - 1, tau[j], col, a.col(j + 1) + j, a.ld);
     }
   }
 }
 
-void geqr2(MatrixView a, double* tau) { geqr2(a, tau, kernels::tls_workspace()); }
+template <class T>
+void geqrt_t(MatrixViewT<T> a, int ib, MatrixViewT<T> t, Workspace& ws) {
+  const int m = a.rows;
+  const int n = a.cols;
+  const int k = std::min(m, n);
+  if (k == 0) return;
+  require(ib >= 1, "geqrt: ib must be positive");
+  PQR_ASSERT(t.rows >= std::min(ib, k) && t.cols >= k, "geqrt: T too small");
+  WsFrame frame(ws);
+  T* tau = ws.alloc_as<T>(k);
+  T* work = ws.alloc_as<T>(static_cast<std::size_t>(ib) * std::max(n, 1));
+  for (int j = 0; j < k; j += ib) {
+    const int kb = std::min(ib, k - j);
+    geqr2_t<T>(a.block(j, j, m - j, kb), tau + j);
+    // T block for this panel, stored at T(0:kb, j:j+kb).
+    larft(ConstMatrixViewT<T>(a.block(j, j, m - j, kb)), tau + j,
+          t.block(0, j, kb, kb));
+    if (j + kb < n) {
+      larfb_left(Trans::Yes, ConstMatrixViewT<T>(a.block(j, j, m - j, kb)),
+                 ConstMatrixViewT<T>(t.block(0, j, kb, kb)),
+                 a.block(j, j + kb, m - j, n - j - kb), work);
+    }
+  }
+}
+
+template <class T>
+void ormqr_t_t(blas::Trans trans, ConstMatrixViewT<T> a, ConstMatrixViewT<T> t,
+               int ib, MatrixViewT<T> c, Workspace& ws) {
+  const int m = c.rows;
+  const int k = std::min(a.rows, a.cols);
+  PQR_ASSERT(a.rows == m, "ormqr_t: V row mismatch");
+  if (k == 0) return;
+  WsFrame frame(ws);
+  T* work = ws.alloc_as<T>(static_cast<std::size_t>(ib) * std::max(c.cols, 1));
+  const int nblocks = (k + ib - 1) / ib;
+  for (int bi = 0; bi < nblocks; ++bi) {
+    const int b = trans == Trans::Yes ? bi : nblocks - 1 - bi;
+    const int j = b * ib;
+    const int kb = std::min(ib, k - j);
+    larfb_left(trans, a.block(j, j, m - j, kb), t.block(0, j, kb, kb),
+               c.block(j, 0, m - j, c.cols), work);
+  }
+}
+
+}  // namespace
+
+void geqr2(MatrixView a, double* tau, Workspace&) { geqr2_t<double>(a, tau); }
+
+void geqr2(MatrixView a, double* tau) { geqr2_t<double>(a, tau); }
+
+void geqr2(MatrixViewF a, float* tau, Workspace&) { geqr2_t<float>(a, tau); }
+
+void geqr2(MatrixViewF a, float* tau) { geqr2_t<float>(a, tau); }
 
 void geqrf(MatrixView a, double* tau, int nb, Workspace& ws) {
   const int m = a.rows;
@@ -59,30 +116,19 @@ void geqrf(MatrixView a, double* tau, int nb) {
 }
 
 void geqrt(MatrixView a, int ib, MatrixView t, Workspace& ws) {
-  const int m = a.rows;
-  const int n = a.cols;
-  const int k = std::min(m, n);
-  if (k == 0) return;
-  require(ib >= 1, "geqrt: ib must be positive");
-  PQR_ASSERT(t.rows >= std::min(ib, k) && t.cols >= k, "geqrt: T too small");
-  WsFrame frame(ws);
-  double* tau = ws.alloc(k);
-  double* work = ws.alloc(static_cast<std::size_t>(ib) * std::max(n, 1));
-  for (int j = 0; j < k; j += ib) {
-    const int kb = std::min(ib, k - j);
-    geqr2(a.block(j, j, m - j, kb), tau + j, ws);
-    // T block for this panel, stored at T(0:kb, j:j+kb).
-    larft(a.block(j, j, m - j, kb), tau + j, t.block(0, j, kb, kb));
-    if (j + kb < n) {
-      larfb_left(Trans::Yes, a.block(j, j, m - j, kb),
-                 ConstMatrixView(t.block(0, j, kb, kb)),
-                 a.block(j, j + kb, m - j, n - j - kb), work);
-    }
-  }
+  geqrt_t<double>(a, ib, t, ws);
 }
 
 void geqrt(MatrixView a, int ib, MatrixView t) {
-  geqrt(a, ib, t, kernels::tls_workspace());
+  geqrt_t<double>(a, ib, t, kernels::tls_workspace());
+}
+
+void geqrt(MatrixViewF a, int ib, MatrixViewF t, Workspace& ws) {
+  geqrt_t<float>(a, ib, t, ws);
+}
+
+void geqrt(MatrixViewF a, int ib, MatrixViewF t) {
+  geqrt_t<float>(a, ib, t, kernels::tls_workspace());
 }
 
 void ormqr(blas::Trans trans, ConstMatrixView a, const double* tau,
@@ -115,25 +161,22 @@ void ormqr(blas::Trans trans, ConstMatrixView a, const double* tau,
 
 void ormqr_t(blas::Trans trans, ConstMatrixView a, ConstMatrixView t, int ib,
              MatrixView c, Workspace& ws) {
-  const int m = c.rows;
-  const int k = std::min(a.rows, a.cols);
-  PQR_ASSERT(a.rows == m, "ormqr_t: V row mismatch");
-  if (k == 0) return;
-  WsFrame frame(ws);
-  double* work = ws.alloc(static_cast<std::size_t>(ib) * std::max(c.cols, 1));
-  const int nblocks = (k + ib - 1) / ib;
-  for (int bi = 0; bi < nblocks; ++bi) {
-    const int b = trans == Trans::Yes ? bi : nblocks - 1 - bi;
-    const int j = b * ib;
-    const int kb = std::min(ib, k - j);
-    larfb_left(trans, a.block(j, j, m - j, kb), t.block(0, j, kb, kb),
-               c.block(j, 0, m - j, c.cols), work);
-  }
+  ormqr_t_t<double>(trans, a, t, ib, c, ws);
 }
 
 void ormqr_t(blas::Trans trans, ConstMatrixView a, ConstMatrixView t, int ib,
              MatrixView c) {
-  ormqr_t(trans, a, t, ib, c, kernels::tls_workspace());
+  ormqr_t_t<double>(trans, a, t, ib, c, kernels::tls_workspace());
+}
+
+void ormqr_t(blas::Trans trans, ConstMatrixViewF a, ConstMatrixViewF t,
+             int ib, MatrixViewF c, Workspace& ws) {
+  ormqr_t_t<float>(trans, a, t, ib, c, ws);
+}
+
+void ormqr_t(blas::Trans trans, ConstMatrixViewF a, ConstMatrixViewF t,
+             int ib, MatrixViewF c) {
+  ormqr_t_t<float>(trans, a, t, ib, c, kernels::tls_workspace());
 }
 
 Matrix form_q(ConstMatrixView a, const double* tau, int k) {

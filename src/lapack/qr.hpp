@@ -15,12 +15,21 @@ namespace pulsarqr::lapack {
 // Every routine exists in two forms: one taking an explicit scratch
 // Workspace (the hot path — zero heap allocation in steady state) and a
 // convenience overload that uses the calling thread's tls_workspace().
+//
+// geqr2, geqrt and ormqr_t — the panel routines the tile kernels and the
+// batched small-matrix QR build on — also have float overloads; the cores
+// are templated on the scalar type and route through the same SIMD kernel
+// tables as the double path.
 
 /// Unblocked Householder QR of an m-by-n matrix (m >= n not required).
 /// On exit the upper triangle holds R, the strict lower trapezoid holds the
-/// Householder vectors; tau must have min(m, n) entries.
+/// Householder vectors; tau must have min(m, n) entries. The trailing
+/// update goes through the kernel table's fused larf entry and needs no
+/// scratch — the Workspace overload is kept for signature symmetry.
 void geqr2(MatrixView a, double* tau, kernels::Workspace& ws);
 void geqr2(MatrixView a, double* tau);
+void geqr2(MatrixViewF a, float* tau, kernels::Workspace& ws);
+void geqr2(MatrixViewF a, float* tau);
 
 /// Blocked Householder QR with block size nb. Same output layout as geqr2.
 void geqrf(MatrixView a, double* tau, int nb, kernels::Workspace& ws);
@@ -31,6 +40,8 @@ void geqrf(MatrixView a, double* tau, int nb = 32);
 /// inner panel (kb = min(ib, n - j)).
 void geqrt(MatrixView a, int ib, MatrixView t, kernels::Workspace& ws);
 void geqrt(MatrixView a, int ib, MatrixView t);
+void geqrt(MatrixViewF a, int ib, MatrixViewF t, kernels::Workspace& ws);
+void geqrt(MatrixViewF a, int ib, MatrixViewF t);
 
 /// Apply Q (or Q^T) from geqr2/geqrf output to C from the left:
 /// C := op(Q) * C. a holds the reflectors (m-by-k), tau their scalars.
@@ -45,6 +56,10 @@ void ormqr_t(blas::Trans trans, ConstMatrixView a, ConstMatrixView t, int ib,
              MatrixView c, kernels::Workspace& ws);
 void ormqr_t(blas::Trans trans, ConstMatrixView a, ConstMatrixView t, int ib,
              MatrixView c);
+void ormqr_t(blas::Trans trans, ConstMatrixViewF a, ConstMatrixViewF t,
+             int ib, MatrixViewF c, kernels::Workspace& ws);
+void ormqr_t(blas::Trans trans, ConstMatrixViewF a, ConstMatrixViewF t,
+             int ib, MatrixViewF c);
 
 /// Form the leading m-by-k columns of Q explicitly from geqrf output.
 Matrix form_q(ConstMatrixView a, const double* tau, int k);

@@ -334,6 +334,125 @@ TEST(TileKernelIsaFuzz, StackedKernelsMatchScalarF32) {
   stacked_isa_cross_check<float>(5e-4f);
 }
 
+// ---- Sub-micro-tile small-GEMM tier ---------------------------------------
+//
+// The direct (non-packing) small tier handles every shape below the
+// work <= 64*MR*NR threshold; sweep all m, n in 1..16 with odd leading
+// dimensions and every Trans pair, under every compiled-and-supported ISA,
+// both through the public dispatcher (blas::gemm) and the gemm_small entry
+// point itself.
+TEST(GemmSmall, SubMicroTileShapesEveryIsa) {
+  IsaGuard guard;
+  const Trans ts[] = {Trans::No, Trans::Yes};
+  const double alphas[] = {1.0, -0.75, 0.0};
+  const double betas[] = {0.0, 1.0, -0.5};
+  for (Isa isa : supported_isas()) {
+    SCOPED_TRACE(blas::simd::isa_name(isa));
+    ASSERT_TRUE(blas::simd::set_isa(isa));
+    int idx = 0;
+    for (int m = 1; m <= 16; ++m) {
+      for (int n = 1; n <= 16; ++n) {
+        const int k = 1 + (idx % 16);
+        const Trans ta = ts[idx % 2];
+        const Trans tb = ts[(idx / 2) % 2];
+        const Case cs{m,
+                      n,
+                      k,
+                      1 + idx % 2 * 2,  // odd ld padding on a
+                      3 - idx % 2 * 2,  // and on b
+                      idx % 5,
+                      ta,
+                      tb,
+                      alphas[idx % 3],
+                      betas[(idx / 3) % 3]};
+        run_case(cs);
+        // Same shape straight through gemm_small (the dispatcher may route
+        // some of these to the packed path if the threshold moves).
+        std::uint64_t seed = 0xc0ffee ^ (static_cast<std::uint64_t>(idx) << 8);
+        Matrix a = make_operand(ta, m, k, cs.lda_pad, seed + 1);
+        Matrix b = make_operand(tb, k, n, cs.ldb_pad, seed + 2);
+        Matrix c0(m + cs.ldc_pad, n);
+        fill_random(c0.view(), seed + 3);
+        Matrix c_ref = c0;
+        Matrix c_small = c0;
+        ConstMatrixView av = operand_view(a, ta, m, k);
+        ConstMatrixView bv = operand_view(b, tb, k, n);
+        blas::gemm_ref(ta, tb, cs.alpha, av, bv, cs.beta,
+                       MatrixView(c_ref.data(), m, n, c_ref.rows()));
+        blas::gemm_small(ta, tb, cs.alpha, av, bv, cs.beta,
+                         MatrixView(c_small.data(), m, n, c_small.rows()));
+        const double tol = tol_for(k);
+        for (int j = 0; j < n; ++j) {
+          for (int i = 0; i < m; ++i) {
+            const double scale = std::fmax(1.0, std::fabs(c_ref(i, j)));
+            ASSERT_NEAR(c_ref(i, j), c_small(i, j), tol * scale)
+                << "gemm_small mismatch at (" << i << ", " << j << ") m=" << m
+                << " n=" << n << " k=" << k;
+          }
+        }
+        ++idx;
+      }
+    }
+  }
+}
+
+TEST(GemmSmallF32, SubMicroTileShapesEveryIsa) {
+  IsaGuard guard;
+  const Trans ts[] = {Trans::No, Trans::Yes};
+  for (Isa isa : supported_isas()) {
+    SCOPED_TRACE(blas::simd::isa_name(isa));
+    ASSERT_TRUE(blas::simd::set_isa(isa));
+    int idx = 0;
+    for (int m = 1; m <= 16; m += 3) {
+      for (int n = 1; n <= 16; n += 3) {
+        for (int k : {1, 5, 16}) {
+          const Trans ta = ts[idx % 2];
+          const Trans tb = ts[(idx / 2) % 2];
+          const std::uint64_t seed = 0xf32f32 + idx;
+          MatrixF a(ta == Trans::No ? m + 1 : k + 1, std::max(ta == Trans::No ? k : m, 1));
+          MatrixF b(tb == Trans::No ? k + 3 : n + 3, std::max(tb == Trans::No ? n : k, 1));
+          fill_random_f(a.view(), seed + 1);
+          fill_random_f(b.view(), seed + 2);
+          MatrixF c0(m, n);
+          fill_random_f(c0.view(), seed + 3);
+          MatrixF c_ref = c0;
+          MatrixF c_small = c0;
+          ConstMatrixViewF av(a.data(), ta == Trans::No ? m : k,
+                              ta == Trans::No ? k : m, a.rows());
+          ConstMatrixViewF bv(b.data(), tb == Trans::No ? k : n,
+                              tb == Trans::No ? n : k, b.rows());
+          blas::gemm_ref(ta, tb, 1.25f, av, bv, -0.5f,
+                         MatrixViewF(c_ref.data(), m, n, c_ref.rows()));
+          blas::gemm_small(ta, tb, 1.25f, av, bv, -0.5f,
+                           MatrixViewF(c_small.data(), m, n, c_small.rows()));
+          const float tol = 2e-6f * static_cast<float>(k + 8);
+          for (int j = 0; j < n; ++j) {
+            for (int i = 0; i < m; ++i) {
+              const float scale = std::fmax(1.0f, std::fabs(c_ref(i, j)));
+              ASSERT_NEAR(c_ref(i, j), c_small(i, j), tol * scale)
+                  << "f32 gemm_small mismatch at (" << i << ", " << j
+                  << ") m=" << m << " n=" << n << " k=" << k;
+            }
+          }
+          ++idx;
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmSmall, ThresholdDerivesFromActiveTable) {
+  IsaGuard guard;
+  for (Isa isa : supported_isas()) {
+    SCOPED_TRACE(blas::simd::isa_name(isa));
+    ASSERT_TRUE(blas::simd::set_isa(isa));
+    const auto& kt64 = blas::simd::kernels<double>();
+    const auto& kt32 = blas::simd::kernels<float>();
+    EXPECT_EQ(blas::gemm_small_max_work_f64(), 64LL * kt64.mr * kt64.nr);
+    EXPECT_EQ(blas::gemm_small_max_work_f32(), 64LL * kt32.mr * kt32.nr);
+  }
+}
+
 TEST(GemmFuzz, DispatcherKnob) {
   // The knob must route through the selected implementation; both agree
   // numerically, so just check the setting round-trips and gemm still works.

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "blas/blas.hpp"
@@ -169,6 +170,59 @@ INSTANTIATE_TEST_SUITE_P(Shapes, TtParam,
                                            std::make_tuple(12, 12, 4)));
 
 // ---- geqrt/ormqr as tile kernels -------------------------------------------
+
+// Sub-micro-tile shapes: the fused larf kernel and the small-GEMM tier own
+// these sizes, and off-by-ones in their fringe handling show up here first.
+TEST(GeqrtTile, TinyShapesReconstruct) {
+  for (int m = 1; m <= 9; m += 2) {
+    for (int n = 1; n <= 9; n += 2) {
+      for (int ib : {1, 2, 4}) {
+        SCOPED_TRACE(::testing::Message()
+                     << "m=" << m << " n=" << n << " ib=" << ib);
+        const int k = std::min(m, n);
+        Matrix a = random_matrix(m, n, 331 + 7 * m + n);
+        Matrix a0 = a;
+        Matrix t(std::min(ib, k), k);
+        kernels::geqrt(a.view(), ib, t.view());
+        Matrix c = a0;
+        kernels::ormqr(Trans::Yes, a.view(), t.view(), ib, c.view());
+        for (int j = 0; j < n; ++j) {
+          for (int i = 0; i <= std::min(j, m - 1); ++i) {
+            EXPECT_NEAR(c(i, j), a(i, j), 1e-12);
+          }
+          for (int i = j + 1; i < m; ++i) EXPECT_NEAR(c(i, j), 0.0, 1e-12);
+        }
+      }
+    }
+  }
+}
+
+// Single-precision geqrt/ormqr: same reconstruction property at float
+// tolerance, on the batch bench's headline shape and a tiny one.
+TEST(GeqrtTileF32, ApplyTransposeYieldsR) {
+  const std::pair<int, int> shapes[] = {{64, 16}, {5, 3}};
+  for (const auto& [m, n] : shapes) {
+    SCOPED_TRACE(::testing::Message() << "m=" << m << " n=" << n);
+    const int ib = std::min(4, n);
+    MatrixF a(m, n);
+    Rng rng(341);
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < m; ++i) {
+        a(i, j) = static_cast<float>(rng.next_symmetric());
+      }
+    }
+    MatrixF a0 = a;
+    MatrixF t(ib, n);
+    kernels::geqrt(a.view(), ib, t.view());
+    MatrixF c = a0;
+    kernels::ormqr(Trans::Yes, a.view(), t.view(), ib, c.view());
+    const float tol = 1e-4f;
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i <= j; ++i) EXPECT_NEAR(c(i, j), a(i, j), tol);
+      for (int i = j + 1; i < m; ++i) EXPECT_NEAR(c(i, j), 0.0f, tol);
+    }
+  }
+}
 
 TEST(GeqrtTile, ApplyTransposeYieldsR) {
   const int m = 12;

@@ -19,6 +19,14 @@
 // Under --transport socket, --kill-node R --kill-after F SIGKILLs rank R's
 // node process after F firings and --max-respawns N lets the run absorb up
 // to N such deaths by respawning (requires --reliable).
+//   pqr batch    --batch 1024 --m 64 --n 16 [--ib 32 --nodes 1 --workers 2
+//                 --chunk 0 --f32 --seed 1 --check --graph-check 0
+//                 --kernel-isa ...]
+//
+// `batch` factors N independent small matrices through ONE fused VSA plan
+// (see src/vsaqr/qr_batch.hpp) and reports jobs/sec plus per-matrix latency
+// percentiles; --check verifies each result is bitwise identical to a
+// sequential geqrt loop.
 //   pqr solve    --m 4096 --n 512 [--nrhs 1 ...]
 //   pqr chol     --n 1024 [--nb 128 --nodes 2 --workers 2
 //                 --transport inproc|socket --reliable ...]
@@ -36,16 +44,21 @@
 #pragma GCC diagnostic ignored "-Wrestrict"
 #endif
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "blas/blas.hpp"
 #include "blas/simd.hpp"
 #include "chol/vsa_chol.hpp"
+#include "kernels/tile_kernels.hpp"
+#include "vsaqr/qr_batch.hpp"
 #include "common/rng.hpp"
 #include "lu/vsa_lu.hpp"
 #include "lapack/solve.hpp"
@@ -249,6 +262,93 @@ int cmd_factor(const Args& a) {
   return 0;
 }
 
+/// Nearest-rank percentile of an already-sorted latency vector, in
+/// microseconds.
+double pct_us(const std::vector<double>& sorted, int p) {
+  const std::size_t n = sorted.size();
+  const std::size_t rank =
+      std::max<std::size_t>(1, (n * p + 99) / 100);  // ceil(p/100 * n)
+  return sorted[std::min(rank, n) - 1] * 1e6;
+}
+
+template <class T>
+int run_batch(const Args& a, const char* prec) {
+  const int batch = a.geti("batch", 1024);
+  const int m = a.geti("m", 64);
+  const int n = a.geti("n", 16);
+  const int k = std::min(m, n);
+  if (batch < 1 || k < 1) {
+    std::fprintf(stderr, "batch: need --batch >= 1 and --m, --n >= 1\n");
+    return 2;
+  }
+  vsaqr::BatchOptions opt;
+  opt.ib = a.geti("ib", 32);
+  opt.nodes = a.geti("nodes", 1);
+  opt.workers_per_node = a.geti("workers", 2);
+  opt.chunk = a.geti("chunk", 0);
+  opt.graph_check = a.geti("graph-check", 1) != 0;
+  opt.record_latency = true;
+
+  std::vector<MatrixT<T>> mats, tfac;
+  std::vector<MatrixViewT<T>> av, tv;
+  mats.reserve(batch);
+  tfac.reserve(batch);
+  Rng rng(static_cast<std::uint64_t>(a.geti("seed", 1)));
+  for (int i = 0; i < batch; ++i) {
+    mats.emplace_back(m, n);
+    tfac.emplace_back(std::min(opt.ib, k), k);
+    MatrixT<T>& mat = mats.back();
+    for (int j = 0; j < n; ++j) {
+      for (int r = 0; r < m; ++r) mat(r, j) = static_cast<T>(rng.next_symmetric());
+    }
+  }
+  std::vector<MatrixT<T>> ref_a, ref_t;
+  if (a.has("check")) {
+    ref_a = mats;
+    ref_t = tfac;
+  }
+  for (int i = 0; i < batch; ++i) {
+    av.push_back(mats[i].view());
+    tv.push_back(tfac[i].view());
+  }
+
+  const auto run = vsaqr::qr_batch(std::span<const MatrixViewT<T>>(av),
+                                   std::span<const MatrixViewT<T>>(tv), opt);
+  std::vector<double> lat = run.matrix_seconds;
+  std::sort(lat.begin(), lat.end());
+  std::printf("batch %d of %dx%d ib=%d kernels=%s/%s: %.3fs wall, "
+              "%.0f jobs/s, p50=%.2fus p99=%.2fus, %lld firings, %d VDPs, "
+              "%lld chunks\n",
+              batch, m, n, opt.ib,
+              blas::simd::isa_name(blas::simd::active_isa()), prec,
+              run.stats.seconds, batch / run.stats.seconds, pct_us(lat, 50),
+              pct_us(lat, 99), run.stats.fires, run.vdp_count, run.chunks);
+  if (a.has("check")) {
+    kernels::Workspace ws;
+    long long mismatches = 0;
+    for (int i = 0; i < batch; ++i) {
+      kernels::geqrt(ref_a[i].view(), opt.ib, ref_t[i].view(), ws);
+      const bool ok =
+          std::memcmp(mats[i].data(), ref_a[i].data(),
+                      sizeof(T) * static_cast<std::size_t>(m) * n) == 0 &&
+          std::memcmp(tfac[i].data(), ref_t[i].data(),
+                      sizeof(T) * static_cast<std::size_t>(ref_t[i].rows()) *
+                          ref_t[i].cols()) == 0;
+      if (!ok) ++mismatches;
+    }
+    std::printf("check: %lld of %d matrices differ from sequential geqrt "
+                "(bitwise)\n",
+                mismatches, batch);
+    if (mismatches > 0) return 1;
+  }
+  return 0;
+}
+
+int cmd_batch(const Args& a) {
+  return a.geti("f32", 0) != 0 ? run_batch<float>(a, "f32")
+                               : run_batch<double>(a, "f64");
+}
+
 int cmd_solve(const Args& a) {
   const int m = a.geti("m", 4096);
   const int n = a.geti("n", 512);
@@ -372,7 +472,8 @@ int cmd_simulate(const Args& a) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: pqr <factor|solve|chol|lu|simulate> [--key ...]\n"
+                 "usage: pqr <factor|batch|solve|chol|lu|simulate> "
+                 "[--key ...]\n"
                  "see the header of tools/pqr.cpp for the full flag list\n");
     return 2;
   }
@@ -418,6 +519,7 @@ int main(int argc, char** argv) {
   }
   try {
     if (std::strcmp(cmd, "factor") == 0) return cmd_factor(a);
+    if (std::strcmp(cmd, "batch") == 0) return cmd_batch(a);
     if (std::strcmp(cmd, "solve") == 0) return cmd_solve(a);
     if (std::strcmp(cmd, "chol") == 0) return cmd_chol(a);
     if (std::strcmp(cmd, "lu") == 0) return cmd_lu(a);
